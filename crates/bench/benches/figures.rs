@@ -1,0 +1,113 @@
+//! Criterion benches: one group per table/figure, timing the scaled-down
+//! (Scale::Small) version of each experiment driver so `cargo bench` exercises
+//! the full harness in minutes. The `fig*` binaries print the actual rows and
+//! accept `--paper` for larger runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use coup::experiments::{
+    fig10_speedups, fig11_amat, fig12_privatization, fig13_delayed, fig13_immediate,
+    fig2_histogram_bins, fig8_verification, paper_workloads, sensitivity_reduction_unit, Scale,
+};
+use coup_protocol::state::ProtocolKind;
+use coup_sim::config::SystemConfig;
+use coup_workloads::runner::run_workload;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_histogram_bins");
+    group.sample_size(10);
+    group.bench_function("sweep_small", |b| {
+        b.iter(|| fig2_histogram_bins(Scale::Small, 8));
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_verification");
+    group.sample_size(10);
+    group.bench_function("two_level_small", |b| {
+        b.iter(|| fig8_verification(Scale::Small, false));
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_speedup");
+    group.sample_size(10);
+    for (name, _) in paper_workloads(Scale::Small) {
+        group.bench_function(name, |b| {
+            b.iter(|| fig10_speedups(Scale::Small, name));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_amat");
+    group.sample_size(10);
+    group.bench_function("hist", |b| {
+        b.iter(|| fig11_amat(Scale::Small, "hist"));
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_privatization");
+    group.sample_size(10);
+    group.bench_function("bins_2048", |b| {
+        b.iter(|| fig12_privatization(Scale::Small, 2_048));
+    });
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_refcount");
+    group.sample_size(10);
+    group.bench_function("immediate_low_count", |b| {
+        b.iter(|| fig13_immediate(Scale::Small, false));
+    });
+    group.bench_function("delayed", |b| {
+        b.iter(|| fig13_delayed(Scale::Small, 8));
+    });
+    group.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sens_reduction_unit");
+    group.sample_size(10);
+    group.bench_function("all_workloads", |b| {
+        b.iter(|| sensitivity_reduction_unit(Scale::Small, 8));
+    });
+    group.finish();
+}
+
+fn bench_single_workload_runs(c: &mut Criterion) {
+    // Per-workload single runs under each protocol, for quick regression
+    // tracking of simulator throughput.
+    let mut group = c.benchmark_group("single_runs");
+    group.sample_size(10);
+    for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
+        for (name, workload) in paper_workloads(Scale::Small) {
+            group.bench_function(format!("{name}_{protocol}"), |b| {
+                b.iter(|| {
+                    run_workload(SystemConfig::test_system(8, protocol), workload.as_ref())
+                        .expect("workload verifies")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig8,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_sensitivity,
+    bench_single_workload_runs
+);
+criterion_main!(figures);

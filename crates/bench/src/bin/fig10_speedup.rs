@@ -1,0 +1,46 @@
+//! Fig. 10: per-application speedups of COUP and MESI as core counts grow.
+//!
+//! For each of the five Table-2 benchmarks, runs MESI and MEUSI at a sweep of
+//! core counts and prints the speedup of each over the single-core MESI run,
+//! plus COUP's advantage over MESI at every point and the off-chip traffic
+//! reduction (the §5.2 numbers).
+//!
+//! Run with: `cargo run --release -p coup-bench --bin fig10_speedup [-- --paper]`
+
+use coup::experiments::{fig10_speedups, paper_workloads};
+use coup_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 10: speedups over single-core MESI (higher is better)\n");
+
+    for (name, _) in paper_workloads(scale) {
+        let points = fig10_speedups(scale, name);
+        let base = points.first().map(|p| p.mesi.cycles).unwrap_or(1).max(1) as f64;
+        println!("{name}:");
+        println!(
+            "{:>7} | {:>12} | {:>12} | {:>12} | {:>16}",
+            "cores", "MESI speedup", "COUP speedup", "COUP vs MESI", "traffic reduction"
+        );
+        for p in &points {
+            let traffic_reduction = if p.meusi.traffic.offchip_bytes == 0 {
+                1.0
+            } else {
+                p.mesi.traffic.offchip_bytes as f64 / p.meusi.traffic.offchip_bytes as f64
+            };
+            println!(
+                "{:>7} | {:>12.2} | {:>12.2} | {:>11.2}x | {:>15.2}x",
+                p.x,
+                base / p.mesi.cycles as f64,
+                base / p.meusi.cycles as f64,
+                p.speedup(),
+                traffic_reduction,
+            );
+        }
+        println!();
+    }
+
+    println!("Expected shape (paper, 128 cores): COUP beats MESI by ~2.4x on hist and");
+    println!("pgrank, ~34% on spmv, ~20% on bfs, and ~4% on fluidanimate, with off-chip");
+    println!("traffic reduced by up to ~20x on hist.");
+}

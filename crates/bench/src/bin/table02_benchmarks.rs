@@ -1,0 +1,51 @@
+//! Table 2: benchmark characteristics.
+//!
+//! Prints the paper's benchmark table next to what this reproduction actually
+//! runs: the synthetic input substituted for each (unavailable) original
+//! input, the commutative operation used, and the measured single-core
+//! run time of the reproduction's kernels.
+//!
+//! Run with: `cargo run --release -p coup-bench --bin table02_benchmarks [-- --paper]`
+
+use coup::experiments::{paper_workloads, Scale};
+use coup_bench::scale_from_args;
+use coup_protocol::state::ProtocolKind;
+use coup_sim::config::SystemConfig;
+use coup_workloads::characteristics::table2;
+use coup_workloads::runner::run_workload;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 2: benchmark characteristics (reproduction)\n");
+    println!(
+        "{:<14} {:<32} {:<34} {:<14} {:>14} {:>16}",
+        "benchmark", "paper input", "reproduction input", "comm op", "paper seq (Mcyc)", "repro seq (cyc)"
+    );
+
+    let rows = table2();
+    let workloads = paper_workloads(scale);
+    for row in &rows {
+        let repro_name = if row.name == "fldanim" { "fluidanimate" } else { row.name };
+        let workload = workloads.iter().find(|(n, _)| *n == repro_name);
+        let measured = workload.map(|(_, w)| {
+            let cfg = match scale {
+                Scale::Small => SystemConfig::test_system(1, ProtocolKind::Mesi),
+                Scale::Paper => SystemConfig::paper_system(1, ProtocolKind::Mesi),
+            };
+            run_workload(cfg, w.as_ref()).expect("workload verifies").cycles
+        });
+        println!(
+            "{:<14} {:<32} {:<34} {:<14} {:>14} {:>16}",
+            row.name,
+            row.paper_input,
+            row.repro_input,
+            row.comm_op.to_string(),
+            row.paper_seq_mcycles,
+            measured.map_or_else(|| "-".to_string(), |c| c.to_string()),
+        );
+    }
+
+    println!();
+    println!("Absolute cycle counts are not comparable (synthetic inputs, memory-level");
+    println!("simulator); the commutative operation per benchmark matches the paper.");
+}

@@ -1,0 +1,53 @@
+//! # coup
+//!
+//! A from-scratch reproduction of **"Exploiting Commutativity to Reduce the
+//! Cost of Updates to Shared Data in Cache-Coherent Systems"** (Zhang, Horn,
+//! Sanchez — MICRO 2015).
+//!
+//! COUP extends invalidation-based coherence protocols with an *update-only*
+//! permission: multiple private caches may simultaneously buffer commutative
+//! partial updates (additions, bitwise logic) to the same cache line, and a
+//! *reduction unit* combines them when the line is next read. This crate is
+//! the user-facing facade over the workspace:
+//!
+//! * [`coup_protocol`] — commutative operations, MESI/MEUSI state machines,
+//!   directory state, reduction units, and the message-level controllers.
+//! * [`coup_cache`] — set-associative cache arrays and replacement policies.
+//! * [`coup_sim`] — the simulated 1–128-core, multi-socket memory system of
+//!   the paper's Table 1.
+//! * [`coup_workloads`] — the evaluation workloads (hist, spmv, pgrank, bfs,
+//!   fluidanimate-like) and the software baselines (privatization, SNZI,
+//!   Refcache).
+//! * [`coup_verify`] — the exhaustive model checker used for the Fig. 8 study.
+//!
+//! # Quickstart
+//!
+//! Compare the baseline (MESI) against COUP (MEUSI) on a contended shared
+//! counter:
+//!
+//! ```
+//! use coup::CoupSystem;
+//! use coup_protocol::ops::CommutativeOp;
+//!
+//! let mut system = CoupSystem::builder()
+//!     .cores(8)
+//!     .test_scale()
+//!     .build();
+//! let report = system.compare_counter_updates(CommutativeOp::AddU64, 64);
+//! assert!(report.speedup() >= 1.0, "COUP must not lose to MESI on a contended counter");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub use coup_cache;
+pub use coup_protocol;
+pub use coup_sim;
+pub use coup_verify;
+pub use coup_workloads;
+
+pub mod experiments;
+pub mod system;
+
+pub use system::{ComparisonReport, CoupSystem, CoupSystemBuilder};

@@ -1,0 +1,246 @@
+//! The high-level [`CoupSystem`] API: configure a simulated machine once and
+//! run baseline-vs-COUP comparisons on it.
+
+use coup_protocol::ops::CommutativeOp;
+use coup_protocol::state::ProtocolKind;
+use coup_sim::config::SystemConfig;
+use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
+use coup_sim::stats::RunStats;
+use coup_workloads::runner::{run_workload, Workload};
+
+/// Builder for a [`CoupSystem`].
+#[derive(Debug, Clone)]
+pub struct CoupSystemBuilder {
+    cores: usize,
+    paper_scale: bool,
+    seed: u64,
+    slow_reduction_unit: bool,
+}
+
+impl CoupSystemBuilder {
+    /// Number of cores to simulate (1–128).
+    #[must_use]
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Use the paper's full Table-1 cache capacities (default).
+    #[must_use]
+    pub fn paper_scale(mut self) -> Self {
+        self.paper_scale = true;
+        self
+    }
+
+    /// Use tiny caches, for fast tests and doc examples.
+    #[must_use]
+    pub fn test_scale(mut self) -> Self {
+        self.paper_scale = false;
+        self
+    }
+
+    /// Perturbation seed (Alameldeen–Wood style run-to-run variation).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Use the slow, unpipelined 64-bit reduction unit of §5.5 instead of the
+    /// default 256-bit pipelined one.
+    #[must_use]
+    pub fn slow_reduction_unit(mut self) -> Self {
+        self.slow_reduction_unit = true;
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn build(self) -> CoupSystem {
+        let mut cfg = if self.paper_scale {
+            SystemConfig::paper_system(self.cores, ProtocolKind::Meusi)
+        } else {
+            SystemConfig::test_system(self.cores, ProtocolKind::Meusi)
+        };
+        cfg = cfg.with_seed(self.seed);
+        if self.slow_reduction_unit {
+            cfg = cfg.with_reduction_unit(coup_protocol::reduction::ReductionUnitConfig::slow_64bit());
+        }
+        CoupSystem { cfg }
+    }
+}
+
+impl Default for CoupSystemBuilder {
+    fn default() -> Self {
+        CoupSystemBuilder { cores: 16, paper_scale: true, seed: 0, slow_reduction_unit: false }
+    }
+}
+
+/// Results of running the same work under the baseline (MESI) and under COUP
+/// (MEUSI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    /// Statistics of the MESI (baseline, atomic-operation) run.
+    pub mesi: RunStats,
+    /// Statistics of the MEUSI (COUP, commutative-update) run.
+    pub meusi: RunStats,
+}
+
+impl ComparisonReport {
+    /// COUP's speedup over the baseline (>1 means COUP is faster).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.meusi.speedup_over(&self.mesi)
+    }
+
+    /// Factor by which COUP reduces off-chip traffic (>1 means less traffic).
+    #[must_use]
+    pub fn traffic_reduction(&self) -> f64 {
+        if self.meusi.traffic.offchip_bytes == 0 {
+            return 1.0;
+        }
+        self.mesi.traffic.offchip_bytes as f64 / self.meusi.traffic.offchip_bytes as f64
+    }
+
+    /// Factor by which COUP reduces average memory access time.
+    #[must_use]
+    pub fn amat_reduction(&self) -> f64 {
+        let coup = self.meusi.amat();
+        if coup == 0.0 {
+            return 1.0;
+        }
+        self.mesi.amat() / coup
+    }
+}
+
+/// A configured simulated system on which baseline/COUP comparisons can be run.
+///
+/// The same configuration (core count, cache geometry, latencies) is used for
+/// both protocols; only the coherence protocol differs, exactly as in the
+/// paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct CoupSystem {
+    cfg: SystemConfig,
+}
+
+impl CoupSystem {
+    /// Starts building a system.
+    #[must_use]
+    pub fn builder() -> CoupSystemBuilder {
+        CoupSystemBuilder::default()
+    }
+
+    /// The underlying simulator configuration (MEUSI variant).
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Runs `workload` under both protocols and reports the comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's verification fails under either protocol,
+    /// which would indicate a coherence bug.
+    pub fn compare_workload(&mut self, workload: &dyn Workload) -> ComparisonReport {
+        let mesi = run_workload(self.cfg.with_protocol(ProtocolKind::Mesi), workload)
+            .expect("workload must verify under MESI");
+        let meusi = run_workload(self.cfg.with_protocol(ProtocolKind::Meusi), workload)
+            .expect("workload must verify under MEUSI");
+        ComparisonReport { mesi, meusi }
+    }
+
+    /// Runs `workload` under a single protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the workload's result verification fails.
+    pub fn run_workload(
+        &mut self,
+        protocol: ProtocolKind,
+        workload: &dyn Workload,
+    ) -> Result<RunStats, String> {
+        run_workload(self.cfg.with_protocol(protocol), workload)
+    }
+
+    /// The Fig. 1 micro-experiment: every core applies `updates_per_core`
+    /// commutative updates to one shared counter, then one core reads it.
+    /// Returns the baseline-vs-COUP comparison.
+    pub fn compare_counter_updates(
+        &mut self,
+        op: CommutativeOp,
+        updates_per_core: usize,
+    ) -> ComparisonReport {
+        let counter_addr = 0x1000u64;
+        let build_programs = |cores: usize| -> Vec<BoxedProgram> {
+            (0..cores)
+                .map(|core| {
+                    let mut ops = Vec::new();
+                    for _ in 0..updates_per_core {
+                        ops.push(ThreadOp::CommutativeUpdate { addr: counter_addr, op, value: 1 });
+                        ops.push(ThreadOp::Compute(2));
+                    }
+                    if core == 0 {
+                        ops.push(ThreadOp::Barrier);
+                        ops.push(ThreadOp::Load { addr: counter_addr });
+                    } else {
+                        ops.push(ThreadOp::Barrier);
+                    }
+                    ops.push(ThreadOp::Done);
+                    Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+                })
+                .collect()
+        };
+
+        let run = |protocol: ProtocolKind| {
+            let cfg = self.cfg.with_protocol(protocol);
+            let mut machine = coup_sim::machine::Machine::new(cfg);
+            let stats = machine.run(build_programs(cfg.cores));
+            let expected = (cfg.cores * updates_per_core) as u64;
+            let got = machine.memory().peek(counter_addr);
+            assert_eq!(got, expected, "lost updates under {protocol}");
+            stats
+        };
+        ComparisonReport { mesi: run(ProtocolKind::Mesi), meusi: run(ProtocolKind::Meusi) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coup_workloads::hist::{HistScheme, HistWorkload};
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let sys = CoupSystem::builder().cores(4).test_scale().seed(3).build();
+        assert_eq!(sys.config().cores, 4);
+        assert_eq!(sys.config().perturbation_seed, 3);
+        let slow = CoupSystem::builder().cores(2).test_scale().slow_reduction_unit().build();
+        assert_eq!(
+            slow.config().reduction_unit,
+            coup_protocol::reduction::ReductionUnitConfig::slow_64bit()
+        );
+    }
+
+    #[test]
+    fn counter_comparison_favours_coup() {
+        let mut sys = CoupSystem::builder().cores(8).test_scale().build();
+        let report = sys.compare_counter_updates(CommutativeOp::AddU64, 50);
+        assert!(report.speedup() > 1.0, "speedup was {}", report.speedup());
+        assert!(report.traffic_reduction() >= 1.0);
+        assert!(report.amat_reduction() > 0.0);
+    }
+
+    #[test]
+    fn workload_comparison_runs_and_verifies() {
+        let mut sys = CoupSystem::builder().cores(4).test_scale().build();
+        let w = HistWorkload::new(1_500, 64, HistScheme::Shared, 1);
+        let report = sys.compare_workload(&w);
+        assert!(report.meusi.commutative_updates > 0);
+        assert!(report.speedup() > 0.5);
+    }
+}

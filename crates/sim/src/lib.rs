@@ -1,0 +1,56 @@
+//! # coup-sim
+//!
+//! Memory-system simulator for the COUP reproduction: the 1–128-core,
+//! 1–8-socket system of the paper's Table 1/Fig. 9, with private L1/L2 caches,
+//! banked shared L3s with in-cache directories, L4/global-directory chips
+//! connected by a dancehall network, and either MESI (baseline) or MEUSI
+//! (COUP) coherence.
+//!
+//! The simulator is execution-driven at the memory level: workloads are
+//! [`op::ThreadProgram`]s that emit compute delays and memory operations, the
+//! [`machine::Machine`] interleaves them across cores in global time order,
+//! and the [`memsys::MemorySystem`] performs every access functionally (data
+//! values, partial updates, reductions) while charging critical-path latencies
+//! and recording the traffic and AMAT breakdowns the paper reports.
+//!
+//! # Quick example
+//!
+//! ```
+//! use coup_protocol::ops::CommutativeOp;
+//! use coup_protocol::state::ProtocolKind;
+//! use coup_sim::config::SystemConfig;
+//! use coup_sim::machine::Machine;
+//! use coup_sim::op::{ScriptedProgram, ThreadOp};
+//!
+//! // Four cores each add 1 to the same shared counter, twice.
+//! let cfg = SystemConfig::test_system(4, ProtocolKind::Meusi);
+//! let mut machine = Machine::new(cfg);
+//! let programs = (0..4)
+//!     .map(|_| {
+//!         Box::new(ScriptedProgram::new(vec![
+//!             ThreadOp::CommutativeUpdate { addr: 0x1000, op: CommutativeOp::AddU64, value: 1 },
+//!             ThreadOp::CommutativeUpdate { addr: 0x1000, op: CommutativeOp::AddU64, value: 1 },
+//!             ThreadOp::Done,
+//!         ])) as coup_sim::op::BoxedProgram
+//!     })
+//!     .collect();
+//! let stats = machine.run(programs);
+//! assert_eq!(machine.memory().peek(0x1000), 8);
+//! assert_eq!(stats.commutative_updates, 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod machine;
+pub mod memsys;
+pub mod op;
+pub mod stats;
+
+pub use config::{LatencyConfig, SystemConfig, CORES_PER_CHIP};
+pub use machine::Machine;
+pub use memsys::{AccessResult, MemorySystem};
+pub use op::{BoxedProgram, ScriptedProgram, ThreadOp, ThreadProgram};
+pub use stats::{LatencyBreakdown, RunStats, TrafficStats};

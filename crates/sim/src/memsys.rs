@@ -1,0 +1,909 @@
+//! The coherent memory hierarchy: functional data movement plus a
+//! critical-path timing model of the system in Fig. 9 / Table 1.
+//!
+//! # Model
+//!
+//! Coherence is *functionally exact*: every private cache's state, data copy
+//! or partial-update buffer, and the directory's sharer sets are tracked, and
+//! every load observes exactly the value produced by the coherence protocol
+//! (including reductions of partial updates). Workloads can therefore assert
+//! the correctness of their results under both MESI and MEUSI.
+//!
+//! Timing is a critical-path model:
+//!
+//! * each access is charged the Table 1 latency of every level it touches;
+//! * third-party actions (invalidations, downgrades, reductions) add their
+//!   round-trip and reduction-unit latencies to the critical path, computed
+//!   *hierarchically*: cores within the requester's chip are handled by the
+//!   chip's L3 bank, remote chips are handled through the L4, and partial
+//!   updates are aggregated per chip before a final reduction at the L4
+//!   (§3.2, "Deeper cache hierarchies");
+//! * transactions that require third-party actions on the same line are
+//!   serialised (the line "ping-pongs"), which is what makes contended atomic
+//!   updates take hundreds of cycles at high core counts under MESI, while
+//!   same-operation commutative updates under MEUSI proceed concurrently.
+//!
+//! Structural simplifications (documented in DESIGN.md): the directory is
+//! complete (no directory-capacity evictions), the sharer set is tracked flat
+//! per core with chip grouping derived from core ids, and dirty victims are
+//! drained through an unbounded write buffer (off the critical path).
+
+use std::collections::HashMap;
+
+use coup_cache::array::{CacheArray, InsertOutcome};
+use coup_protocol::access::AccessType;
+use coup_protocol::directory::DirectoryEntry;
+use coup_protocol::line::{LineAddr, LineData};
+use coup_protocol::ops::CommutativeOp;
+use coup_protocol::stable::{
+    serve_eviction, serve_request, DataSource, EvictionPlan, OwnerAction, RequestPlan,
+};
+use coup_protocol::state::{PrivateState, ProtocolKind};
+use coup_protocol::stats::ProtocolStats;
+
+use crate::config::SystemConfig;
+use crate::stats::{LatencyBreakdown, TrafficStats};
+
+/// Size, in bytes, of a coherence control message (requests, invalidations, acks).
+const CTRL_MSG_BYTES: u64 = 8;
+/// Size, in bytes, of a data-carrying message (a cache line plus header).
+const DATA_MSG_BYTES: u64 = 72;
+
+/// One private cache line: coherence state plus its payload.
+#[derive(Debug, Clone, Copy)]
+struct PrivateLine {
+    state: PrivateState,
+    data: LineData,
+}
+
+/// Per-core private cache model: an L1 residency filter (timing only) and the
+/// L2, which is the core's coherence point and holds state plus data.
+#[derive(Debug)]
+struct PrivateCache {
+    l1: CacheArray<()>,
+    l2: CacheArray<PrivateLine>,
+}
+
+/// The result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessResult {
+    /// The 64-bit word observed by a load or returned (old value) by an atomic
+    /// read-modify-write; zero for stores and commutative updates.
+    pub value: u64,
+    /// Cycle at which the access completed (the issuing core's new clock).
+    pub completes_at: u64,
+    /// Critical-path latency breakdown of this access.
+    pub latency: LatencyBreakdown,
+    /// Whether the access hit in the private cache without a coherence
+    /// transaction.
+    pub private_hit: bool,
+}
+
+/// The coherent memory hierarchy shared by all cores.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: SystemConfig,
+    protocol: ProtocolKind,
+    directory: HashMap<LineAddr, DirectoryEntry>,
+    memory: HashMap<LineAddr, LineData>,
+    private: Vec<PrivateCache>,
+    l3_resident: Vec<CacheArray<()>>,
+    l4_resident: Vec<CacheArray<()>>,
+    line_busy_until: HashMap<LineAddr, u64>,
+    protocol_stats: ProtocolStats,
+    traffic: TrafficStats,
+    reduction_cycles: u64,
+}
+
+impl MemorySystem {
+    /// Builds an empty memory system (all memory reads as zero) for the given
+    /// configuration.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        let private = (0..cfg.cores)
+            .map(|_| PrivateCache {
+                l1: CacheArray::new(cfg.capacity.l1_geometry()),
+                l2: CacheArray::new(cfg.capacity.l2_geometry()),
+            })
+            .collect();
+        let chips = cfg.chips();
+        MemorySystem {
+            protocol: cfg.protocol,
+            directory: HashMap::new(),
+            memory: HashMap::new(),
+            private,
+            l3_resident: (0..chips).map(|_| CacheArray::new(cfg.capacity.l3_geometry())).collect(),
+            l4_resident: (0..chips).map(|_| CacheArray::new(cfg.capacity.l4_geometry())).collect(),
+            line_busy_until: HashMap::new(),
+            protocol_stats: ProtocolStats::new(),
+            traffic: TrafficStats::default(),
+            reduction_cycles: 0,
+            cfg,
+        }
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Protocol event counters accumulated so far.
+    #[must_use]
+    pub fn protocol_stats(&self) -> ProtocolStats {
+        self.protocol_stats
+    }
+
+    /// Traffic counters accumulated so far.
+    #[must_use]
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+
+    /// Total critical-path cycles spent in reduction units so far.
+    #[must_use]
+    pub fn reduction_cycles(&self) -> u64 {
+        self.reduction_cycles
+    }
+
+    /// Directly writes a 64-bit word to memory, bypassing timing. Used to
+    /// initialise workload data structures before the timed region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_addr` is not 8-byte aligned.
+    pub fn poke(&mut self, byte_addr: u64, value: u64) {
+        assert_eq!(byte_addr % 8, 0, "poke address must be word-aligned");
+        let line = LineAddr::containing(byte_addr);
+        let word = (line.offset_of(byte_addr)) / 8;
+        self.memory.entry(line).or_insert_with(LineData::zeroed).set_word(word, value);
+    }
+
+    /// Reads the *coherent* value of the 64-bit word at `byte_addr`, bypassing
+    /// timing: partial updates buffered in private caches and dirty private
+    /// copies are taken into account. Used to check workload results after the
+    /// timed region without disturbing statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_addr` is not 8-byte aligned.
+    #[must_use]
+    pub fn peek(&self, byte_addr: u64) -> u64 {
+        assert_eq!(byte_addr % 8, 0, "peek address must be word-aligned");
+        let line = LineAddr::containing(byte_addr);
+        let word_idx = line.offset_of(byte_addr) / 8;
+        let entry = self.directory.get(&line).copied().unwrap_or_else(DirectoryEntry::uncached);
+        let base = self.memory.get(&line).copied().unwrap_or_else(LineData::zeroed);
+        match entry.mode() {
+            coup_protocol::state::DirMode::Exclusive => {
+                let owner = entry.sharers().sole_member().expect("exclusive owner");
+                let line_data = self.private[owner]
+                    .l2
+                    .peek(line)
+                    .map_or(base, |p| p.data);
+                line_data.word(word_idx)
+            }
+            coup_protocol::state::DirMode::UpdateOnly(op) => {
+                let mut acc = base;
+                for core in entry.sharers().iter() {
+                    if let Some(p) = self.private[core].l2.peek(line) {
+                        acc.reduce_from(op, &p.data);
+                    }
+                }
+                acc.word(word_idx)
+            }
+            _ => base.word(word_idx),
+        }
+    }
+
+    /// Performs one memory access issued by `core` at time `now`.
+    ///
+    /// `operand` is the store value or the commutative/atomic operand;
+    /// `op` is the commutative operation for atomic and commutative accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or the address is not aligned to the
+    /// access width.
+    pub fn access(
+        &mut self,
+        core: usize,
+        now: u64,
+        access: AccessType,
+        byte_addr: u64,
+        operand: u64,
+    ) -> AccessResult {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let line = LineAddr::containing(byte_addr);
+
+        // Fast path: the private cache can satisfy the access.
+        if let Some(p) = self.private[core].l2.peek(line) {
+            if p.state.satisfies(access) {
+                return self.private_hit(core, now, access, access, byte_addr, operand, line);
+            }
+        }
+        self.coherence_transaction(core, now, access, access, byte_addr, operand, line)
+    }
+
+    /// Performs a conventional atomic read-modify-write (e.g. fetch-and-add,
+    /// `lock or`): requires exclusive permission under *every* protocol, applies
+    /// `op` with `operand`, and returns the old value.
+    ///
+    /// This is the instruction the paper's baseline implementations use; COUP
+    /// workloads use [`MemorySystem::access`] with
+    /// [`AccessType::CommutativeUpdate`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or the address is misaligned.
+    pub fn atomic_rmw(
+        &mut self,
+        core: usize,
+        now: u64,
+        op: CommutativeOp,
+        byte_addr: u64,
+        operand: u64,
+    ) -> AccessResult {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let line = LineAddr::containing(byte_addr);
+        let functional = AccessType::CommutativeUpdate(op);
+        if let Some(p) = self.private[core].l2.peek(line) {
+            if p.state.satisfies(AccessType::Write) {
+                return self.private_hit(
+                    core,
+                    now,
+                    AccessType::Write,
+                    functional,
+                    byte_addr,
+                    operand,
+                    line,
+                );
+            }
+        }
+        self.coherence_transaction(
+            core,
+            now,
+            AccessType::Write,
+            functional,
+            byte_addr,
+            operand,
+            line,
+        )
+    }
+
+    // ---- hit path ------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn private_hit(
+        &mut self,
+        core: usize,
+        now: u64,
+        permission: AccessType,
+        functional: AccessType,
+        byte_addr: u64,
+        operand: u64,
+        line: LineAddr,
+    ) -> AccessResult {
+        let lat = self.cfg.latency;
+        let mut breakdown = LatencyBreakdown { l1: lat.l1 as f64, ..Default::default() };
+        let in_l1 = self.private[core].l1.contains(line);
+        if !in_l1 {
+            breakdown.l2 = lat.l2 as f64;
+            // Fill the L1 residency filter (its own victims are silent).
+            let _ = self.private[core].l1.insert(line, ());
+        } else {
+            // Touch for recency.
+            let _ = self.private[core].l1.get(line);
+        }
+
+        let p = self.private[core].l2.peek_mut(line).expect("hit line is resident");
+        let value =
+            apply_access_to_line(&mut p.data, p.state, functional, byte_addr, operand, line);
+        let next_state = coup_protocol::stable::local_hit_transition(p.state, permission);
+        p.state = next_state;
+        if functional.is_commutative() && matches!(next_state, PrivateState::UpdateOnly(_)) {
+            self.protocol_stats.local_commutative_hits += 1;
+        }
+        // Touch L2 recency.
+        let _ = self.private[core].l2.get(line);
+
+        let total = breakdown.total() as u64;
+        AccessResult { value, completes_at: now + total, latency: breakdown, private_hit: true }
+    }
+
+    // ---- miss / coherence path ------------------------------------------
+
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn coherence_transaction(
+        &mut self,
+        core: usize,
+        now: u64,
+        permission: AccessType,
+        functional: AccessType,
+        byte_addr: u64,
+        operand: u64,
+        line: LineAddr,
+    ) -> AccessResult {
+        let lat = self.cfg.latency;
+        let chip = self.cfg.chip_of(core);
+        let entry =
+            self.directory.get(&line).copied().unwrap_or_else(DirectoryEntry::uncached);
+        let plan = serve_request(self.protocol, &entry, core, permission);
+
+        // ---- timing ----
+        let mut breakdown = LatencyBreakdown {
+            l1: lat.l1 as f64,
+            l2: lat.l2 as f64,
+            l3: lat.l3 as f64,
+            ..Default::default()
+        };
+        // On-chip request traffic (core -> L3).
+        self.traffic.onchip_bytes += CTRL_MSG_BYTES;
+
+        // Group third parties by chip.
+        let mut local_invalidations = 0usize;
+        let mut local_reductions = 0usize;
+        let mut remote_chips: HashMap<usize, (usize, usize)> = HashMap::new(); // chip -> (invals, reductions)
+        for c in plan.invalidate_readers.iter() {
+            if self.cfg.chip_of(c) == chip {
+                local_invalidations += 1;
+            } else {
+                remote_chips.entry(self.cfg.chip_of(c)).or_default().0 += 1;
+            }
+        }
+        for c in plan.reduce_from.iter() {
+            if self.cfg.chip_of(c) == chip {
+                local_reductions += 1;
+            } else {
+                remote_chips.entry(self.cfg.chip_of(c)).or_default().1 += 1;
+            }
+        }
+        let mut owner_remote = false;
+        if let Some((owner, _)) = plan.owner_action {
+            if self.cfg.chip_of(owner) == chip {
+                local_invalidations += 1;
+            } else {
+                owner_remote = true;
+                remote_chips.entry(self.cfg.chip_of(owner)).or_default().0 += 1;
+            }
+        }
+
+        // Does the transaction need the L4 (global directory / home node)?
+        let l3_has_line = self.l3_resident[chip].contains(line);
+        let needs_l4 = !remote_chips.is_empty() || owner_remote || !l3_has_line;
+
+        // On-chip third-party actions: handled by the chip's L3 directory.
+        if local_invalidations + local_reductions > 0 {
+            // Invalidation round trip within the chip.
+            breakdown.l3 += lat.l3 as f64;
+            self.traffic.onchip_bytes +=
+                (local_invalidations + local_reductions) as u64 * CTRL_MSG_BYTES;
+            self.traffic.onchip_bytes += local_invalidations as u64 * CTRL_MSG_BYTES;
+            self.traffic.onchip_bytes += local_reductions as u64 * DATA_MSG_BYTES;
+            if local_reductions > 0 {
+                let r = self.cfg.reduction_unit.reduction_latency(local_reductions);
+                breakdown.l3 += r as f64;
+                self.reduction_cycles += r;
+            }
+        }
+
+        if needs_l4 {
+            // Round trip to the home L4 chip.
+            breakdown.network += 2.0 * lat.network as f64;
+            breakdown.l4 += lat.l4 as f64;
+            self.traffic.offchip_bytes += CTRL_MSG_BYTES; // request
+            self.traffic.offchip_bytes += DATA_MSG_BYTES; // response (data or grant)
+
+            // L4 miss goes to main memory.
+            let l4_home = chip % self.l4_resident.len();
+            if !self.l4_resident[l4_home].contains(line) {
+                breakdown.memory += lat.memory as f64;
+                self.traffic.memory_bytes += DATA_MSG_BYTES;
+                let _ = self.l4_resident[l4_home].insert(line, ());
+            } else {
+                let _ = self.l4_resident[l4_home].get(line);
+            }
+
+            // Remote-chip invalidations / downgrades / reductions issued by the
+            // global directory: chips are handled in parallel, so the critical
+            // path is the slowest chip plus the final aggregation at the L4.
+            if !remote_chips.is_empty() {
+                let mut worst_chip = 0u64;
+                let mut partial_lines_at_l4 = 0usize;
+                for (&_rchip, &(invals, reds)) in &remote_chips {
+                    // L4 -> remote chip -> cores -> back: one network round trip
+                    // plus the remote L3's fan-out.
+                    let mut t = 2 * lat.network + lat.l3;
+                    self.traffic.offchip_bytes += CTRL_MSG_BYTES;
+                    self.traffic.offchip_bytes += invals as u64 * CTRL_MSG_BYTES;
+                    if reds > 0 {
+                        let r = self.cfg.reduction_unit.reduction_latency(reds);
+                        t += r;
+                        self.reduction_cycles += r;
+                        partial_lines_at_l4 += 1;
+                        self.traffic.offchip_bytes += DATA_MSG_BYTES;
+                    } else {
+                        self.traffic.offchip_bytes += CTRL_MSG_BYTES;
+                    }
+                    worst_chip = worst_chip.max(t);
+                }
+                if local_reductions > 0 {
+                    partial_lines_at_l4 += 1;
+                }
+                if partial_lines_at_l4 > 0 {
+                    let r = self.cfg.reduction_unit.reduction_latency(partial_lines_at_l4);
+                    worst_chip += r;
+                    self.reduction_cycles += r;
+                }
+                breakdown.l4_invalidations += worst_chip as f64;
+            }
+        } else {
+            // Served entirely within the chip; data comes from the L3.
+            let _ = self.l3_resident[chip].get(line);
+        }
+        // The line is (now) resident in the requester chip's L3.
+        self.install_in_l3(chip, line);
+
+        // ---- serialisation ----
+        // Transactions with third-party actions, and any transaction that
+        // changes who may write the line, serialise on the line.
+        let contended = !plan.silent;
+        let busy = self.line_busy_until.get(&line).copied().unwrap_or(0);
+        let start = if contended { now.max(busy) } else { now };
+        let wait = start.saturating_sub(now);
+        if wait > 0 {
+            // Attribute the serialisation wait to the component that caused it.
+            if needs_l4 {
+                breakdown.l4_invalidations += wait as f64;
+            } else {
+                breakdown.l3 += wait as f64;
+            }
+        }
+        let completes_at = now + breakdown.total() as u64;
+        if contended {
+            self.line_busy_until.insert(line, completes_at);
+        }
+
+        // ---- protocol statistics ----
+        if plan.silent {
+            self.protocol_stats.silent_grants += 1;
+        } else {
+            self.protocol_stats.invalidating_grants += 1;
+        }
+        self.protocol_stats.copies_invalidated += plan.invalidate_readers.len() as u64;
+        if plan.owner_action.is_some() {
+            self.protocol_stats.owner_interventions += 1;
+        }
+        if !plan.reduce_from.is_empty() {
+            self.protocol_stats.full_reductions += 1;
+            self.protocol_stats.lines_reduced += plan.reduce_from.len() as u64;
+        }
+        if matches!(plan.grant, PrivateState::UpdateOnly(_)) {
+            self.protocol_stats.update_only_grants += 1;
+        }
+        if matches!(entry.mode(), coup_protocol::state::DirMode::UpdateOnly(_))
+            && plan.needs_reduction()
+        {
+            self.protocol_stats.type_switches += 1;
+        }
+
+        // ---- functional execution of the plan ----
+        let value = self.execute_plan(core, line, &plan, functional, byte_addr, operand);
+
+        AccessResult { value, completes_at, latency: breakdown, private_hit: false }
+    }
+
+    /// Applies the data movement described by `plan` and performs the access.
+    fn execute_plan(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        plan: &RequestPlan,
+        access: AccessType,
+        byte_addr: u64,
+        operand: u64,
+    ) -> u64 {
+        // 1. Collect partial updates (full reduction).
+        if !plan.reduce_from.is_empty() {
+            let op = match plan.next_entry.mode() {
+                coup_protocol::state::DirMode::UpdateOnly(op) => Some(op),
+                _ => None,
+            };
+            // The op of the *previous* epoch is what the partials were buffered
+            // under; recover it from any reducing core's state.
+            let mut reduce_op: Option<CommutativeOp> = None;
+            for c in plan.reduce_from.iter() {
+                if let Some(p) = self.private[c].l2.peek(line) {
+                    if let PrivateState::UpdateOnly(o) = p.state {
+                        reduce_op = Some(o);
+                        break;
+                    }
+                }
+            }
+            let reduce_op = reduce_op.or(op);
+            for c in plan.reduce_from.iter() {
+                if let Some(p) = self.private[c].l2.remove(line) {
+                    if let (PrivateState::UpdateOnly(o), Some(_)) = (p.state, reduce_op) {
+                        let mem = self.memory.entry(line).or_insert_with(LineData::zeroed);
+                        mem.reduce_from(o, &p.data);
+                    }
+                }
+                let _ = self.private[c].l1.remove(line);
+            }
+        }
+
+        // 2. Invalidate read-only copies.
+        for c in plan.invalidate_readers.iter() {
+            let _ = self.private[c].l2.remove(line);
+            let _ = self.private[c].l1.remove(line);
+        }
+
+        // 3. Owner action.
+        if let Some((owner, action)) = plan.owner_action {
+            if let Some(p) = self.private[owner].l2.peek_mut(line) {
+                let owner_data = p.data;
+                match action {
+                    OwnerAction::DowngradeToShared => {
+                        self.memory.insert(line, owner_data);
+                        p.state = PrivateState::Shared;
+                    }
+                    OwnerAction::DowngradeToUpdateOnly(op) => {
+                        self.memory.insert(line, owner_data);
+                        p.state = PrivateState::UpdateOnly(op);
+                        p.data = LineData::identity(op);
+                        self.protocol_stats.update_only_grants += 1;
+                    }
+                    OwnerAction::InvalidateWithData => {
+                        self.memory.insert(line, owner_data);
+                        let _ = self.private[owner].l2.remove(line);
+                        let _ = self.private[owner].l1.remove(line);
+                    }
+                }
+                if !matches!(action, OwnerAction::InvalidateWithData) {
+                    // keep L1 residency as-is
+                } else {
+                    let _ = self.private[owner].l1.remove(line);
+                }
+                self.protocol_stats.writebacks += 1;
+            }
+        }
+
+        // 4. Install the granted line at the requester.
+        let granted_data = match plan.grant {
+            PrivateState::UpdateOnly(op) => LineData::identity(op),
+            _ => {
+                debug_assert!(!matches!(plan.data_source, DataSource::None) || plan.silent);
+                self.memory.get(&line).copied().unwrap_or_else(LineData::zeroed)
+            }
+        };
+        let mut new_line = PrivateLine { state: plan.grant, data: granted_data };
+
+        // Perform the access on the freshly granted copy.
+        let value =
+            apply_access_to_line(&mut new_line.data, new_line.state, access, byte_addr, operand, line);
+        // A write/atomic on an E grant leaves the copy Modified.
+        if matches!(access, AccessType::Write)
+            || (matches!(access, AccessType::CommutativeUpdate(_))
+                && new_line.state.has_data_value())
+        {
+            if matches!(new_line.state, PrivateState::Exclusive | PrivateState::Modified) {
+                new_line.state = PrivateState::Modified;
+            }
+        }
+
+        // 5. Update the directory, then insert (handling the victim).
+        self.directory.insert(line, plan.next_entry);
+        self.insert_private_line(core, line, new_line);
+        let _ = self.private[core].l1.insert(line, ());
+
+        value
+    }
+
+    /// Inserts a line into a core's private L2, handling the evicted victim
+    /// through the coherence protocol (writeback or partial reduction).
+    fn insert_private_line(&mut self, core: usize, line: LineAddr, payload: PrivateLine) {
+        match self.private[core].l2.insert(line, payload) {
+            InsertOutcome::Inserted | InsertOutcome::Replaced(_) => {}
+            InsertOutcome::Evicted { addr, payload: victim } => {
+                let _ = self.private[core].l1.remove(addr);
+                let mut entry = self
+                    .directory
+                    .get(&addr)
+                    .copied()
+                    .unwrap_or_else(DirectoryEntry::uncached);
+                if !entry.sharers().contains(core) {
+                    return;
+                }
+                let plan = serve_eviction(&mut entry, core, victim.state);
+                match plan {
+                    EvictionPlan::DropClean => {
+                        self.traffic.onchip_bytes += CTRL_MSG_BYTES;
+                    }
+                    EvictionPlan::WritebackData => {
+                        self.memory.insert(addr, victim.data);
+                        self.traffic.onchip_bytes += DATA_MSG_BYTES;
+                        self.protocol_stats.writebacks += 1;
+                    }
+                    EvictionPlan::PartialReduction(op) => {
+                        let mem = self.memory.entry(addr).or_insert_with(LineData::zeroed);
+                        mem.reduce_from(op, &victim.data);
+                        self.traffic.onchip_bytes += DATA_MSG_BYTES;
+                        self.protocol_stats.partial_reductions += 1;
+                        self.protocol_stats.lines_reduced += 1;
+                        self.reduction_cycles +=
+                            self.cfg.reduction_unit.latency_per_line();
+                    }
+                }
+                self.directory.insert(addr, entry);
+            }
+        }
+    }
+
+    /// Marks a line resident in a chip's L3, handling inclusive recalls of the
+    /// victim it displaces.
+    fn install_in_l3(&mut self, chip: usize, line: LineAddr) {
+        if self.l3_resident[chip].contains(line) {
+            return;
+        }
+        if let InsertOutcome::Evicted { addr, .. } = self.l3_resident[chip].insert(line, ()) {
+            // Inclusive hierarchy: recall the victim from this chip's cores.
+            let mut entry = self
+                .directory
+                .get(&addr)
+                .copied()
+                .unwrap_or_else(DirectoryEntry::uncached);
+            let chip_cores: Vec<usize> = entry
+                .sharers()
+                .iter()
+                .filter(|&c| self.cfg.chip_of(c) == chip)
+                .collect();
+            if chip_cores.is_empty() {
+                return;
+            }
+            // Purge every copy held by this chip's cores, folding partial
+            // updates / dirty data into memory. (A precise model would keep
+            // copies in other chips; collapsing the whole entry is a
+            // conservative simplification that only triggers under L3 capacity
+            // pressure.)
+            let recall = coup_protocol::stable::serve_recall(&mut entry);
+            for c in recall.invalidate.iter().chain(recall.reduce_from.iter()) {
+                if let Some(p) = self.private[c].l2.remove(LineAddr(addr.0)) {
+                    match p.state {
+                        PrivateState::Modified => {
+                            self.memory.insert(addr, p.data);
+                            self.protocol_stats.writebacks += 1;
+                        }
+                        PrivateState::UpdateOnly(op) => {
+                            let mem = self.memory.entry(addr).or_insert_with(LineData::zeroed);
+                            mem.reduce_from(op, &p.data);
+                            self.protocol_stats.partial_reductions += 1;
+                            self.protocol_stats.lines_reduced += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                let _ = self.private[c].l1.remove(addr);
+                self.traffic.onchip_bytes += CTRL_MSG_BYTES;
+            }
+            if let Some(owner) = recall.owner_writeback {
+                if let Some(p) = self.private[owner].l2.remove(addr) {
+                    self.memory.insert(addr, p.data);
+                    self.protocol_stats.writebacks += 1;
+                }
+                let _ = self.private[owner].l1.remove(addr);
+            }
+            self.directory.insert(addr, entry);
+        }
+    }
+}
+
+/// Applies an access to a private line's payload and returns the observed value.
+fn apply_access_to_line(
+    data: &mut LineData,
+    state: PrivateState,
+    access: AccessType,
+    byte_addr: u64,
+    operand: u64,
+    line: LineAddr,
+) -> u64 {
+    let word_offset = (line.offset_of(byte_addr) / 8) * 8;
+    match access {
+        AccessType::Read => data.word(word_offset / 8),
+        AccessType::Write => {
+            data.set_word(word_offset / 8, operand);
+            0
+        }
+        AccessType::CommutativeUpdate(op) => {
+            let lane_offset = line.offset_of(byte_addr) - line.offset_of(byte_addr) % op.width().bytes();
+            if state.has_data_value() || matches!(state, PrivateState::UpdateOnly(_)) {
+                // Atomic fetch-and-op semantics need the old value; commutative
+                // updates discard it, so returning it unconditionally is
+                // harmless and lets AtomicRmw reuse this path.
+                let old = data.lane(op, lane_offset);
+                data.apply_update(op, lane_offset, operand);
+                old
+            } else {
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coup_protocol::state::ProtocolKind;
+
+    const ADD: CommutativeOp = CommutativeOp::AddU64;
+
+    fn sys(cores: usize, protocol: ProtocolKind) -> MemorySystem {
+        MemorySystem::new(SystemConfig::test_system(cores, protocol))
+    }
+
+    #[test]
+    fn load_of_uninitialised_memory_is_zero() {
+        let mut m = sys(2, ProtocolKind::Mesi);
+        let r = m.access(0, 0, AccessType::Read, 0x1000, 0);
+        assert_eq!(r.value, 0);
+        assert!(!r.private_hit);
+        assert!(r.completes_at > 0);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut m = sys(2, ProtocolKind::Mesi);
+        let _ = m.access(0, 0, AccessType::Write, 0x40, 1234);
+        let r = m.access(0, 10, AccessType::Read, 0x40, 0);
+        assert_eq!(r.value, 1234);
+        assert!(r.private_hit, "second access to the same line should hit");
+        // Another core reading sees the same value (after a downgrade).
+        let r1 = m.access(1, 20, AccessType::Read, 0x40, 0);
+        assert_eq!(r1.value, 1234);
+        assert!(!r1.private_hit);
+    }
+
+    #[test]
+    fn poke_and_peek_bypass_timing() {
+        let mut m = sys(1, ProtocolKind::Meusi);
+        m.poke(0x80, 77);
+        assert_eq!(m.peek(0x80), 77);
+        let r = m.access(0, 0, AccessType::Read, 0x80, 0);
+        assert_eq!(r.value, 77);
+    }
+
+    #[test]
+    fn commutative_updates_from_two_cores_reduce_on_read() {
+        let mut m = sys(2, ProtocolKind::Meusi);
+        m.poke(0x100, 20);
+        let c = AccessType::CommutativeUpdate(ADD);
+        let _ = m.access(0, 0, c, 0x100, 1);
+        let _ = m.access(1, 0, c, 0x100, 2);
+        let _ = m.access(0, 10, c, 0x100, 1);
+        let _ = m.access(1, 10, c, 0x100, 2);
+        // Coherent value includes all buffered partial updates.
+        assert_eq!(m.peek(0x100), 26);
+        // A read triggers the full reduction and observes the total.
+        let r = m.access(0, 50, AccessType::Read, 0x100, 0);
+        assert_eq!(r.value, 26);
+        assert!(m.protocol_stats().full_reductions >= 1);
+    }
+
+    #[test]
+    fn updates_hit_locally_in_update_only_mode() {
+        let mut m = sys(2, ProtocolKind::Meusi);
+        let c = AccessType::CommutativeUpdate(ADD);
+        // First updates establish U (or M) copies.
+        let _ = m.access(0, 0, c, 0x200, 1);
+        let _ = m.access(1, 0, c, 0x200, 1);
+        // Subsequent updates are private hits — no coherence transactions.
+        let r0 = m.access(0, 10, c, 0x200, 1);
+        let r1 = m.access(1, 10, c, 0x200, 1);
+        assert!(r0.private_hit && r1.private_hit);
+        assert!(m.protocol_stats().local_commutative_hits >= 2);
+        assert_eq!(m.peek(0x200), 4);
+    }
+
+    #[test]
+    fn atomics_under_mesi_ping_pong() {
+        let mut m = sys(2, ProtocolKind::Mesi);
+        let c = AccessType::CommutativeUpdate(ADD); // treated as a write by MESI
+        let r0 = m.access(0, 0, c, 0x300, 1);
+        let r1 = m.access(1, 0, c, 0x300, 1);
+        let r0b = m.access(0, r0.completes_at, c, 0x300, 1);
+        let r1b = m.access(1, r1.completes_at, c, 0x300, 1);
+        // Under MESI every one of these is a coherence transaction.
+        assert!(!r0b.private_hit && !r1b.private_hit);
+        assert_eq!(m.peek(0x300), 4);
+        assert!(m.protocol_stats().owner_interventions >= 2);
+    }
+
+    #[test]
+    fn meusi_is_not_slower_than_mesi_for_contended_updates() {
+        let run = |protocol| {
+            let mut m = sys(4, protocol);
+            let c = AccessType::CommutativeUpdate(ADD);
+            let mut clocks = [0u64; 4];
+            for round in 0..50 {
+                for core in 0..4 {
+                    let r = m.access(core, clocks[core], c, 0x400, 1);
+                    clocks[core] = r.completes_at;
+                }
+                let _ = round;
+            }
+            (m.peek(0x400), *clocks.iter().max().unwrap())
+        };
+        let (mesi_val, mesi_t) = run(ProtocolKind::Mesi);
+        let (meusi_val, meusi_t) = run(ProtocolKind::Meusi);
+        assert_eq!(mesi_val, 200);
+        assert_eq!(meusi_val, 200);
+        assert!(
+            meusi_t <= mesi_t,
+            "COUP should not be slower on contended updates: {meusi_t} vs {mesi_t}"
+        );
+    }
+
+    #[test]
+    fn atomic_rmw_returns_old_value() {
+        let mut m = sys(1, ProtocolKind::Mesi);
+        m.poke(0x500, 10);
+        // AtomicRmw is modelled as a Write-permission access that applies the op.
+        let r = m.access(0, 0, AccessType::Write, 0x500, 10); // plain store keeps 10
+        assert_eq!(r.value, 0);
+        let r = m.access(0, 10, AccessType::CommutativeUpdate(ADD), 0x500, 5);
+        // In M state the update applies in place and the old value is observable.
+        assert_eq!(r.value, 10);
+        assert_eq!(m.peek(0x500), 15);
+    }
+
+    #[test]
+    fn cross_chip_access_pays_network_and_l4() {
+        let mut m = MemorySystem::new(SystemConfig::test_system(32, ProtocolKind::Mesi));
+        // Core 0 (chip 0) takes the line exclusively; core 16 (chip 1) reads it.
+        let _ = m.access(0, 0, AccessType::Write, 0x600, 7);
+        let r = m.access(16, 100, AccessType::Read, 0x600, 0);
+        assert_eq!(r.value, 7);
+        assert!(r.latency.network > 0.0, "cross-chip access must touch the network");
+        assert!(r.latency.l4 > 0.0);
+        assert!(m.traffic().offchip_bytes > 0);
+    }
+
+    #[test]
+    fn same_chip_sharing_stays_on_chip() {
+        let mut m = MemorySystem::new(SystemConfig::test_system(16, ProtocolKind::Mesi));
+        let r0 = m.access(0, 0, AccessType::Read, 0x700, 0);
+        // First access misses everywhere and must go off-chip to the home L4.
+        assert!(r0.latency.network > 0.0);
+        let r1 = m.access(1, 0, AccessType::Read, 0x700, 0);
+        // Second reader finds the line in the chip's L3: no network traversal.
+        assert!(r1.latency.network == 0.0, "on-chip sharing should not cross the network");
+    }
+
+    #[test]
+    fn capacity_evictions_of_update_only_lines_partially_reduce() {
+        let c = AccessType::CommutativeUpdate(ADD);
+        // Touch far more lines than the tiny L2 can hold, updating each once.
+        // MEUSI grants M for unshared lines, so force U by having a second core
+        // share each line first... simpler: a single update per line is enough
+        // to create M lines whose eviction writes back; the partial-reduction
+        // path is exercised via a second core.
+        let mut m2 = sys(2, ProtocolKind::Meusi);
+        for i in 0..2048u64 {
+            let addr = 0x1_0000 + i * 64;
+            let _ = m2.access(0, i, c, addr, 1);
+            let _ = m2.access(1, i, c, addr, 1);
+        }
+        // Evictions must have occurred, and every line still sums to 2.
+        assert!(m2.protocol_stats().partial_reductions > 0);
+        for i in [0u64, 7, 100, 2047] {
+            let addr = 0x1_0000 + i * 64;
+            assert_eq!(m2.peek(addr), 2, "line {i} lost an update");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        let mut m = sys(1, ProtocolKind::Mesi);
+        let _ = m.access(1, 0, AccessType::Read, 0, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # coup-verify
+//!
+//! Explicit-state model checking of the MESI and MEUSI message-level protocols
+//! (the Murphi study of the paper's §3.4 / Fig. 8).
+//!
+//! The model is a single cache line shared by a handful of caches, a blocking
+//! directory, and unordered networks — the same simplifications the paper
+//! adopts. [`checker::explore`] enumerates every reachable global state by
+//! breadth-first search and checks on each:
+//!
+//! * structural coherence invariants (single exclusive owner, no readable
+//!   copies coexisting with an exclusive owner, all update-only copies under
+//!   the same operation type, read-only copies agree on the value);
+//! * absence of deadlock (a non-quiescent state with no enabled transition);
+//! * when stores are disabled, value conservation on quiescent states: the
+//!   data value plus all buffered partial updates equals the number of
+//!   commutative updates applied — no update is ever lost or duplicated.
+//!
+//! # Example
+//!
+//! ```
+//! use coup_protocol::state::ProtocolKind;
+//! use coup_verify::checker::{explore, Limits, Outcome};
+//! use coup_verify::model::ModelConfig;
+//!
+//! let config = ModelConfig::two_level(2, ProtocolKind::Meusi, 1);
+//! let result = explore(config, Limits { max_states: 200_000, max_millis: 20_000 });
+//! assert_eq!(result.outcome, Outcome::Verified);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod checker;
+pub mod model;
+
+pub use checker::{explore, explore_with_trace, Exploration, Limits, Outcome};
+pub use model::{GlobalState, ModelConfig, TransitionLabel};

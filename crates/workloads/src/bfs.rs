@@ -1,0 +1,300 @@
+//! Parallel breadth-first search with a visited bitmap (`bfs`, Table 2; §4.2).
+//!
+//! High-performance BFS implementations keep the set of visited vertices in a
+//! bitmap that fits in cache. Threads expanding the frontier *read* bits to
+//! decide whether a neighbour needs visiting and *set* bits (with atomic-or
+//! under the baseline, commutative-or under COUP) when they discover new
+//! vertices — the finely-interleaved read/update pattern of §4.2 that keeps
+//! lines bouncing between read-only and update-only modes.
+//!
+//! Frontier bookkeeping (PBFS bags) is thread-private in real implementations
+//! and is modelled as compute cycles: the simulated memory traffic is the
+//! bitmap reads and updates plus streaming reads of the edge lists. The
+//! frontier of each level is precomputed from the reference BFS so that every
+//! thread processes a deterministic share of each level, while the
+//! check-then-set decisions still depend on the simulated bitmap contents.
+
+use coup_protocol::ops::CommutativeOp;
+use coup_sim::memsys::MemorySystem;
+use coup_sim::op::{BoxedProgram, ThreadOp, ThreadProgram};
+
+use crate::layout::{regions, ArrayLayout};
+use crate::runner::Workload;
+use crate::synth::Graph;
+
+/// The BFS workload.
+#[derive(Debug, Clone)]
+pub struct BfsWorkload {
+    graph: Graph,
+    root: usize,
+    bitmap: ArrayLayout,
+    edges_layout: ArrayLayout,
+    /// Vertices of each BFS level (excluding the root level), precomputed.
+    levels: Vec<Vec<usize>>,
+}
+
+impl BfsWorkload {
+    /// Builds a BFS workload over a synthetic power-law graph, rooted at
+    /// vertex 0.
+    #[must_use]
+    pub fn new(vertices: usize, avg_degree: usize, seed: u64) -> Self {
+        let graph = Graph::power_law(vertices, avg_degree, seed);
+        let root = 0;
+        let levels = Self::reference_levels(&graph, root);
+        BfsWorkload {
+            graph,
+            root,
+            bitmap: ArrayLayout::new(regions::BITMAP, 8),
+            edges_layout: ArrayLayout::new(regions::INPUT, 8),
+            levels,
+        }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertices(&self) -> usize {
+        self.graph.vertices
+    }
+
+    /// Number of BFS levels explored.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn reference_levels(graph: &Graph, root: usize) -> Vec<Vec<usize>> {
+        let mut levels = Vec::new();
+        let mut visited = vec![false; graph.vertices];
+        visited[root] = true;
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &n in graph.neighbours(u) {
+                    if !visited[n] {
+                        visited[n] = true;
+                        next.push(n);
+                    }
+                }
+            }
+            levels.push(frontier);
+            frontier = next;
+        }
+        levels
+    }
+
+    /// Byte address of the 64-bit bitmap word holding vertex `v`'s bit.
+    fn bit_word_addr(&self, v: usize) -> u64 {
+        self.bitmap.addr(v / 64)
+    }
+
+    /// Bit mask of vertex `v` within its bitmap word.
+    fn bit_mask(v: usize) -> u64 {
+        1u64 << (v % 64)
+    }
+}
+
+impl Workload for BfsWorkload {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn commutative_op(&self) -> CommutativeOp {
+        CommutativeOp::Or64
+    }
+
+    fn init(&self, mem: &mut MemorySystem) {
+        // Mark the root visited before the timed region.
+        mem.poke(self.bit_word_addr(self.root), Self::bit_mask(self.root));
+    }
+
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        (0..threads)
+            .map(|t| {
+                // Per level, this thread expands the frontier vertices whose
+                // position is congruent to t (round-robin partition).
+                let mut tasks: Vec<LevelTasks> = Vec::new();
+                for frontier in &self.levels {
+                    let mut edges = Vec::new();
+                    for (idx, &u) in frontier.iter().enumerate() {
+                        if idx % threads != t {
+                            continue;
+                        }
+                        for (k, &n) in self.graph.neighbours(u).iter().enumerate() {
+                            let edge_index = self.graph.offsets[u] + k;
+                            edges.push(EdgeTask {
+                                edge_addr: self.edges_layout.addr(edge_index),
+                                check_addr: self.bit_word_addr(n),
+                                mask: Self::bit_mask(n),
+                            });
+                        }
+                    }
+                    tasks.push(LevelTasks { edges });
+                }
+                Box::new(BfsProgram::new(tasks)) as BoxedProgram
+            })
+            .collect()
+    }
+
+    fn verify(&self, mem: &MemorySystem, _threads: usize) -> Result<(), String> {
+        let reachable = self.graph.reachable_from(self.root);
+        for v in 0..self.graph.vertices {
+            let word = mem.peek(self.bit_word_addr(v));
+            let set = word & Self::bit_mask(v) != 0;
+            if set != reachable[v] {
+                return Err(format!(
+                    "vertex {v}: visited bit is {set}, reachability says {}",
+                    reachable[v]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One frontier edge to process: stream the edge word, check the destination's
+/// visited bit, and set it if needed.
+#[derive(Debug, Clone, Copy)]
+struct EdgeTask {
+    edge_addr: u64,
+    check_addr: u64,
+    mask: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LevelTasks {
+    edges: Vec<EdgeTask>,
+}
+
+/// Per-thread BFS state machine.
+#[derive(Debug)]
+struct BfsProgram {
+    levels: Vec<LevelTasks>,
+    level: usize,
+    edge: usize,
+    stage: Stage,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Stream the edge-list word for the current edge.
+    LoadEdge,
+    /// Load the bitmap word for the destination's visited bit.
+    CheckBit,
+    /// Decide (based on the loaded word) whether to set the bit.
+    Decide,
+    /// Barrier after finishing this level's edges.
+    EndOfLevel,
+    /// All levels processed.
+    Finished,
+}
+
+impl BfsProgram {
+    fn new(levels: Vec<LevelTasks>) -> Self {
+        BfsProgram { levels, level: 0, edge: 0, stage: Stage::LoadEdge }
+    }
+
+    fn current(&self) -> Option<EdgeTask> {
+        self.levels.get(self.level).and_then(|l| l.edges.get(self.edge)).copied()
+    }
+
+    fn advance_edge(&mut self) {
+        self.edge += 1;
+        if self.current().is_none() {
+            self.stage = Stage::EndOfLevel;
+        } else {
+            self.stage = Stage::LoadEdge;
+        }
+    }
+}
+
+impl ThreadProgram for BfsProgram {
+    fn next(&mut self, last_value: Option<u64>) -> ThreadOp {
+        loop {
+            match self.stage {
+                Stage::LoadEdge => {
+                    let Some(task) = self.current() else {
+                        self.stage = Stage::EndOfLevel;
+                        continue;
+                    };
+                    self.stage = Stage::CheckBit;
+                    return ThreadOp::Load { addr: task.edge_addr };
+                }
+                Stage::CheckBit => {
+                    let task = self.current().expect("task exists in CheckBit");
+                    self.stage = Stage::Decide;
+                    return ThreadOp::Load { addr: task.check_addr };
+                }
+                Stage::Decide => {
+                    let task = self.current().expect("task exists in Decide");
+                    let word = last_value.expect("Decide follows a load");
+                    self.advance_edge();
+                    if word & task.mask == 0 {
+                        // Not visited yet: set the bit (commutative OR) and do
+                        // the frontier bookkeeping (compute).
+                        return ThreadOp::CommutativeUpdate {
+                            addr: task.check_addr,
+                            op: CommutativeOp::Or64,
+                            value: task.mask,
+                        };
+                    }
+                    // Already visited: skip.
+                    return ThreadOp::Compute(1);
+                }
+                Stage::EndOfLevel => {
+                    self.level += 1;
+                    self.edge = 0;
+                    if self.level >= self.levels.len() {
+                        self.stage = Stage::Finished;
+                        return ThreadOp::Done;
+                    }
+                    self.stage = Stage::LoadEdge;
+                    return ThreadOp::Barrier;
+                }
+                Stage::Finished => return ThreadOp::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{compare_protocols, run_workload};
+    use coup_protocol::state::ProtocolKind;
+    use coup_sim::config::SystemConfig;
+
+    #[test]
+    fn bfs_visits_exactly_the_reachable_set_under_both_protocols() {
+        let w = BfsWorkload::new(300, 6, 4);
+        let cfg = SystemConfig::test_system(4, ProtocolKind::Mesi);
+        let (mesi, meusi) = compare_protocols(cfg, &w).expect("verification");
+        assert!(mesi.commutative_updates > 0);
+        assert!(meusi.loads > 0);
+    }
+
+    #[test]
+    fn bfs_single_thread_matches_reference() {
+        let w = BfsWorkload::new(150, 5, 8);
+        let cfg = SystemConfig::test_system(1, ProtocolKind::Meusi);
+        run_workload(cfg, &w).expect("single-threaded BFS must verify");
+    }
+
+    #[test]
+    fn bfs_has_multiple_levels() {
+        let w = BfsWorkload::new(500, 4, 1);
+        assert!(w.depth() >= 2, "power-law graph BFS should have several levels");
+        assert_eq!(w.vertices(), 500);
+        assert_eq!(w.name(), "bfs");
+        assert_eq!(w.commutative_op(), CommutativeOp::Or64);
+    }
+
+    #[test]
+    fn uneven_thread_counts_still_verify() {
+        let w = BfsWorkload::new(200, 5, 3);
+        for threads in [2usize, 3, 5] {
+            let cfg = SystemConfig::test_system(threads, ProtocolKind::Meusi);
+            run_workload(cfg, &w).expect("BFS must verify for odd thread counts");
+        }
+    }
+}

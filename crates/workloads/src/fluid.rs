@@ -1,0 +1,185 @@
+//! Structured-grid neighbour updates (`fluidanimate`-like kernel, Table 2).
+//!
+//! The PARSEC fluidanimate benchmark is a regular iterative algorithm: threads
+//! own contiguous blocks of grid cells and accumulate contributions (density,
+//! forces) into their own cells and into neighbouring cells. Only cells on
+//! block boundaries are updated by more than one thread, and each sees a
+//! handful of remote updates per iteration — which is why the paper reports a
+//! small (4%) speedup for COUP on this workload.
+//!
+//! The kernel here models one "density accumulation" phase per iteration: for
+//! every cell, the owning thread adds a contribution to the cell itself and to
+//! its vertical neighbours (the ones that may belong to another thread).
+
+use coup_protocol::ops::{lanes, CommutativeOp};
+use coup_sim::memsys::MemorySystem;
+use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
+
+use crate::layout::{regions, ArrayLayout};
+use crate::runner::Workload;
+use crate::synth::Grid;
+
+/// The fluidanimate-like grid workload.
+#[derive(Debug, Clone)]
+pub struct FluidWorkload {
+    grid: Grid,
+    iterations: usize,
+    cells: ArrayLayout,
+}
+
+impl FluidWorkload {
+    /// Builds a grid workload of `rows × cols` cells running `iterations`
+    /// accumulation phases.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, iterations: usize) -> Self {
+        FluidWorkload {
+            grid: Grid::new(rows, cols),
+            iterations: iterations.max(1),
+            // 32-bit FP accumulators, as in the paper (32b FP add).
+            cells: ArrayLayout::new(regions::SHARED_OUTPUT, 4),
+        }
+    }
+
+    /// Number of grid cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.grid.cells()
+    }
+
+    /// Contribution a cell receives from the update centred on `(row, col)`.
+    fn contribution(row: usize, col: usize) -> f32 {
+        ((row * 31 + col * 7) % 13) as f32 * 0.125 + 0.25
+    }
+
+    /// The expected accumulated value of every cell after all iterations.
+    fn expected(&self) -> Vec<f32> {
+        let mut acc = vec![0f32; self.grid.cells()];
+        for _ in 0..self.iterations {
+            for row in 0..self.grid.rows {
+                for col in 0..self.grid.cols {
+                    let c = Self::contribution(row, col);
+                    acc[self.grid.index(row, col)] += c;
+                    if row > 0 {
+                        acc[self.grid.index(row - 1, col)] += c * 0.5;
+                    }
+                    if row + 1 < self.grid.rows {
+                        acc[self.grid.index(row + 1, col)] += c * 0.5;
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl Workload for FluidWorkload {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn commutative_op(&self) -> CommutativeOp {
+        CommutativeOp::AddF32
+    }
+
+    fn init(&self, _mem: &mut MemorySystem) {
+        // Accumulators start at zero (memory default).
+    }
+
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        let op = self.commutative_op();
+        (0..threads)
+            .map(|t| {
+                let rows = self.grid.rows_for_thread(t, threads);
+                let mut ops = Vec::new();
+                for _iter in 0..self.iterations {
+                    for row in rows.clone() {
+                        for col in 0..self.grid.cols {
+                            let c = Self::contribution(row, col);
+                            ops.push(ThreadOp::Compute(6));
+                            // Own cell.
+                            ops.push(ThreadOp::CommutativeUpdate {
+                                addr: self.cells.addr(self.grid.index(row, col)),
+                                op,
+                                value: lanes::f32_to_lane(c),
+                            });
+                            // Vertical neighbours (possibly owned by another thread).
+                            if row > 0 {
+                                ops.push(ThreadOp::CommutativeUpdate {
+                                    addr: self.cells.addr(self.grid.index(row - 1, col)),
+                                    op,
+                                    value: lanes::f32_to_lane(c * 0.5),
+                                });
+                            }
+                            if row + 1 < self.grid.rows {
+                                ops.push(ThreadOp::CommutativeUpdate {
+                                    addr: self.cells.addr(self.grid.index(row + 1, col)),
+                                    op,
+                                    value: lanes::f32_to_lane(c * 0.5),
+                                });
+                            }
+                        }
+                    }
+                    ops.push(ThreadOp::Barrier);
+                }
+                ops.push(ThreadOp::Done);
+                Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+            })
+            .collect()
+    }
+
+    fn verify(&self, mem: &MemorySystem, _threads: usize) -> Result<(), String> {
+        let expect = self.expected();
+        for (i, &want) in expect.iter().enumerate() {
+            let word = mem.peek(self.cells.word_addr(i));
+            let got = lanes::lane_to_f32(self.cells.extract(i, word));
+            let tolerance = 1e-3_f32.max(want.abs() * 1e-4);
+            if (got - want).abs() > tolerance {
+                return Err(format!("cell {i}: got {got}, expected {want}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{compare_protocols, run_workload};
+    use coup_protocol::state::ProtocolKind;
+    use coup_sim::config::SystemConfig;
+
+    #[test]
+    fn grid_accumulation_is_correct_under_both_protocols() {
+        let w = FluidWorkload::new(16, 8, 2);
+        let cfg = SystemConfig::test_system(4, ProtocolKind::Mesi);
+        let (mesi, meusi) = compare_protocols(cfg, &w).expect("verification");
+        assert!(mesi.commutative_updates > 0);
+        assert!(meusi.cycles <= mesi.cycles);
+    }
+
+    #[test]
+    fn single_thread_grid_is_correct() {
+        let w = FluidWorkload::new(8, 4, 3);
+        let cfg = SystemConfig::test_system(1, ProtocolKind::Meusi);
+        run_workload(cfg, &w).expect("single-threaded grid must verify");
+    }
+
+    #[test]
+    fn only_boundary_rows_are_shared() {
+        // With 2 threads and 8 rows, only rows 3 and 4 receive cross-thread
+        // updates, so the COUP speedup should be small (the paper's point).
+        let w = FluidWorkload::new(8, 16, 2);
+        let cfg = SystemConfig::test_system(2, ProtocolKind::Mesi);
+        let (mesi, meusi) = compare_protocols(cfg, &w).expect("verification");
+        let speedup = meusi.speedup_over(&mesi);
+        assert!(speedup >= 0.95, "COUP should not hurt fluidanimate ({speedup})");
+    }
+
+    #[test]
+    fn metadata() {
+        let w = FluidWorkload::new(4, 4, 1);
+        assert_eq!(w.name(), "fluidanimate");
+        assert_eq!(w.commutative_op(), CommutativeOp::AddF32);
+        assert_eq!(w.cells(), 16);
+    }
+}

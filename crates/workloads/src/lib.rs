@@ -1,0 +1,42 @@
+//! # coup-workloads
+//!
+//! The workloads of the COUP paper's evaluation (§4–5), implemented as
+//! [`runner::Workload`]s for the `coup-sim` machine:
+//!
+//! * [`hist`] — parallel histogram (shared/atomic, core-level privatized,
+//!   socket-level privatized): Table 2, Fig. 2, Fig. 12.
+//! * [`spmv`] — CSC sparse matrix–vector multiplication with scattered
+//!   floating-point adds: Table 2.
+//! * [`pgrank`] — PageRank scatter iterations over a power-law graph: Table 2.
+//! * [`bfs`] — breadth-first search with a shared visited bitmap: Table 2, §4.2.
+//! * [`fluid`] — fluidanimate-like structured-grid accumulation: Table 2.
+//! * [`refcount`] — the reference-counting microbenchmarks of §5.4 (XADD,
+//!   COUP, SNZI, Refcache): Fig. 13.
+//!
+//! Inputs are synthesised by [`synth`] with the structural properties of the
+//! paper's (unavailable) input sets; every workload verifies its parallel
+//! result against a sequential reference, under both MESI and MEUSI.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bfs;
+pub mod characteristics;
+pub mod fluid;
+pub mod hist;
+pub mod layout;
+pub mod pgrank;
+pub mod refcount;
+pub mod runner;
+pub mod spmv;
+pub mod synth;
+
+pub use bfs::BfsWorkload;
+pub use characteristics::{table2, BenchmarkCharacteristics};
+pub use fluid::FluidWorkload;
+pub use hist::{HistScheme, HistWorkload};
+pub use pgrank::PageRankWorkload;
+pub use refcount::{DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme};
+pub use runner::{compare_protocols, run_workload, Workload};
+pub use spmv::SpmvWorkload;

@@ -1,0 +1,576 @@
+//! Reference-counting microbenchmarks (§5.4, Fig. 13).
+//!
+//! Two microbenchmarks compare COUP against software reference-counting
+//! schemes:
+//!
+//! * **Immediate deallocation** (Fig. 13a/b): each thread performs a fixed
+//!   number of increment and decrement-and-read operations over a set of
+//!   shared counters, using either atomic fetch-and-add (`XADD`), COUP
+//!   commutative adds plus a load for the zero check (`Coup`), or a simplified
+//!   SNZI tree with one leaf per thread (`Snzi`). The *low count* variant keeps
+//!   at most one reference per thread and object; the *high count* variant
+//!   keeps up to five, which decontends the SNZI tree.
+//! * **Delayed deallocation** (Fig. 13c): threads perform increments and
+//!   decrements in epochs. The COUP implementation updates shared counters
+//!   with commutative adds and marks them in a shared bitmap with commutative
+//!   ORs; between epochs threads scan the marked counters and check for zero.
+//!   The Refcache-like implementation buffers per-thread deltas in a private
+//!   software cache and flushes them with atomics at the end of each epoch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use coup_protocol::ops::CommutativeOp;
+use coup_sim::memsys::MemorySystem;
+use coup_sim::op::{BoxedProgram, ThreadOp, ThreadProgram};
+
+use crate::layout::{regions, ArrayLayout};
+use crate::runner::Workload;
+
+const ADD: CommutativeOp = CommutativeOp::AddU64;
+const OR: CommutativeOp = CommutativeOp::Or64;
+/// Maximum references a thread keeps per object in high-count mode.
+const HIGH_COUNT_MAX: usize = 5;
+/// Increment probabilities indexed by currently-held references (high count).
+const HIGH_COUNT_INC_PROB: [f64; 6] = [1.0, 0.7, 0.5, 0.5, 0.3, 0.0];
+
+/// Which reference-counting implementation the immediate-deallocation
+/// microbenchmark simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefcountScheme {
+    /// Atomic fetch-and-add, the conventional baseline.
+    Xadd,
+    /// COUP commutative adds; decrement-and-read issues an add then a load.
+    Coup,
+    /// Scalable Non-Zero Indicator: a per-object binary tree with one leaf per
+    /// thread; updates propagate toward the root only on 0↔1 transitions.
+    Snzi,
+}
+
+/// The immediate-deallocation microbenchmark.
+#[derive(Debug, Clone)]
+pub struct ImmediateRefcount {
+    counters: usize,
+    updates_per_thread: usize,
+    high_count: bool,
+    scheme: RefcountScheme,
+    seed: u64,
+    counter_layout: ArrayLayout,
+    snzi_layout: ArrayLayout,
+}
+
+impl ImmediateRefcount {
+    /// Builds the microbenchmark. The paper uses 1024 shared counters and one
+    /// million updates per thread; tests and benches scale these down.
+    #[must_use]
+    pub fn new(
+        counters: usize,
+        updates_per_thread: usize,
+        high_count: bool,
+        scheme: RefcountScheme,
+        seed: u64,
+    ) -> Self {
+        ImmediateRefcount {
+            counters: counters.max(1),
+            updates_per_thread,
+            high_count,
+            scheme,
+            seed,
+            counter_layout: ArrayLayout::new(regions::COUNTERS, 8),
+            snzi_layout: ArrayLayout::new(regions::SHARED_OUTPUT, 8),
+        }
+    }
+
+    /// The scheme being simulated.
+    #[must_use]
+    pub fn scheme(&self) -> RefcountScheme {
+        self.scheme
+    }
+
+    /// Replays thread `t`'s decision sequence: which counter it touches and
+    /// whether it increments, for every operation. Decisions depend only on
+    /// the thread's RNG and its locally-held reference counts, so they can be
+    /// replayed on the host for verification.
+    fn decisions(&self, thread: usize, threads: usize) -> Vec<(usize, bool)> {
+        let _ = threads;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9));
+        let mut held = vec![0usize; self.counters];
+        let max_held = if self.high_count { HIGH_COUNT_MAX } else { 1 };
+        let mut out = Vec::with_capacity(self.updates_per_thread);
+        for _ in 0..self.updates_per_thread {
+            let c = rng.gen_range(0..self.counters);
+            let inc = if self.high_count {
+                rng.gen_bool(HIGH_COUNT_INC_PROB[held[c].min(HIGH_COUNT_MAX)])
+            } else {
+                held[c] == 0
+            };
+            if inc && held[c] < max_held {
+                held[c] += 1;
+                out.push((c, true));
+            } else if held[c] > 0 {
+                held[c] -= 1;
+                out.push((c, false));
+            } else {
+                out.push((c, true));
+                held[c] += 1;
+            }
+        }
+        out
+    }
+
+    /// Expected final value of every counter (sum of references still held by
+    /// all threads).
+    fn expected_counts(&self, threads: usize) -> Vec<i64> {
+        let mut totals = vec![0i64; self.counters];
+        for t in 0..threads {
+            for (c, inc) in self.decisions(t, threads) {
+                totals[c] += if inc { 1 } else { -1 };
+            }
+        }
+        totals
+    }
+
+    /// SNZI tree geometry: a heap-ordered binary tree with `leaves` leaves.
+    fn snzi_nodes(leaves: usize) -> usize {
+        2 * leaves.next_power_of_two() - 1
+    }
+
+    /// Address of node `node` of counter `c`'s SNZI tree.
+    fn snzi_node_addr(&self, c: usize, node: usize, threads: usize) -> u64 {
+        let nodes = Self::snzi_nodes(threads);
+        self.snzi_layout.addr(c * nodes + node)
+    }
+
+    /// Leaf node index for a thread in a tree with `threads` leaves.
+    fn snzi_leaf_node(thread: usize, threads: usize) -> usize {
+        threads.next_power_of_two() - 1 + thread
+    }
+}
+
+impl Workload for ImmediateRefcount {
+    fn name(&self) -> &'static str {
+        "refcount-immediate"
+    }
+
+    fn commutative_op(&self) -> CommutativeOp {
+        ADD
+    }
+
+    fn init(&self, _mem: &mut MemorySystem) {
+        // Counters and SNZI nodes start at zero.
+    }
+
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        (0..threads)
+            .map(|t| {
+                let decisions = self.decisions(t, threads);
+                Box::new(ImmediateProgram {
+                    scheme: self.scheme,
+                    decisions,
+                    next: 0,
+                    pending: Vec::new(),
+                    counter_layout: self.counter_layout,
+                    snzi: SnziGeometry {
+                        layout: self.snzi_layout,
+                        threads,
+                        leaf: Self::snzi_leaf_node(t, threads),
+                        nodes: Self::snzi_nodes(threads),
+                    },
+                }) as BoxedProgram
+            })
+            .collect()
+    }
+
+    fn verify(&self, mem: &MemorySystem, threads: usize) -> Result<(), String> {
+        let expect = self.expected_counts(threads);
+        for (c, &want) in expect.iter().enumerate() {
+            let got = match self.scheme {
+                RefcountScheme::Xadd | RefcountScheme::Coup => {
+                    mem.peek(self.counter_layout.addr(c)) as i64
+                }
+                RefcountScheme::Snzi => {
+                    // The true count is the sum of the leaves.
+                    let mut sum = 0i64;
+                    for t in 0..threads {
+                        let leaf = Self::snzi_leaf_node(t, threads);
+                        sum += mem.peek(self.snzi_node_addr(c, leaf, threads)) as i64;
+                    }
+                    sum
+                }
+            };
+            if got != want {
+                return Err(format!("counter {c}: got {got}, expected {want}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SnziGeometry {
+    layout: ArrayLayout,
+    threads: usize,
+    leaf: usize,
+    nodes: usize,
+}
+
+impl SnziGeometry {
+    fn node_addr(&self, counter: usize, node: usize) -> u64 {
+        let _ = self.threads;
+        self.layout.addr(counter * self.nodes + node)
+    }
+}
+
+/// Per-thread state machine for the immediate-deallocation microbenchmark.
+#[derive(Debug)]
+struct ImmediateProgram {
+    scheme: RefcountScheme,
+    decisions: Vec<(usize, bool)>,
+    next: usize,
+    /// Operations queued by the previous step (e.g. SNZI propagation decided
+    /// after seeing an RMW's return value, or a COUP zero-check load).
+    pending: Vec<PendingOp>,
+    counter_layout: ArrayLayout,
+    snzi: SnziGeometry,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingOp {
+    /// Emit this operation unconditionally.
+    Emit(ThreadOp),
+    /// SNZI: if the previous RMW's old value was `trigger`, propagate `delta`
+    /// to the parent node of `node` for `counter` (and keep propagating).
+    SnziPropagate { counter: usize, node: usize, delta: i64, trigger: u64 },
+}
+
+impl ImmediateProgram {
+    fn emit_update(&mut self, counter: usize, inc: bool) -> ThreadOp {
+        let delta_bits = if inc { 1u64 } else { (-1i64) as u64 };
+        match self.scheme {
+            RefcountScheme::Xadd => {
+                // Decrements also read the returned value (the zero check is
+                // free with fetch-and-add); both are a single RMW.
+                ThreadOp::AtomicRmw { addr: self.counter_layout.addr(counter), op: ADD, value: delta_bits }
+            }
+            RefcountScheme::Coup => {
+                if !inc {
+                    // Decrement-and-read: the commutative add is followed by a
+                    // load to check for zero.
+                    self.pending.push(PendingOp::Emit(ThreadOp::Load {
+                        addr: self.counter_layout.addr(counter),
+                    }));
+                }
+                ThreadOp::CommutativeUpdate {
+                    addr: self.counter_layout.addr(counter),
+                    op: ADD,
+                    value: delta_bits,
+                }
+            }
+            RefcountScheme::Snzi => {
+                let node = self.snzi.leaf;
+                let delta = if inc { 1i64 } else { -1i64 };
+                // After the leaf RMW we may need to propagate: an increment
+                // whose old value was 0, or a decrement whose old value was 1.
+                let trigger = if inc { 0 } else { 1 };
+                self.pending.push(PendingOp::SnziPropagate { counter, node, delta, trigger });
+                if !inc {
+                    // Readers check the root for zero.
+                    self.pending.push(PendingOp::Emit(ThreadOp::Load {
+                        addr: self.snzi.node_addr(counter, 0),
+                    }));
+                }
+                ThreadOp::AtomicRmw {
+                    addr: self.snzi.node_addr(counter, node),
+                    op: ADD,
+                    value: delta_bits,
+                }
+            }
+        }
+    }
+}
+
+impl ThreadProgram for ImmediateProgram {
+    fn next(&mut self, last_value: Option<u64>) -> ThreadOp {
+        // Handle queued operations first (propagation, zero checks).
+        while let Some(p) = self.pending.first().copied() {
+            match p {
+                PendingOp::Emit(op) => {
+                    self.pending.remove(0);
+                    return op;
+                }
+                PendingOp::SnziPropagate { counter, node, delta, trigger } => {
+                    self.pending.remove(0);
+                    let old = last_value.unwrap_or(u64::MAX);
+                    if old == trigger && node != 0 {
+                        let parent = (node - 1) / 2;
+                        // Propagate to the parent and possibly further up.
+                        self.pending.insert(
+                            0,
+                            PendingOp::SnziPropagate { counter, node: parent, delta, trigger },
+                        );
+                        return ThreadOp::AtomicRmw {
+                            addr: self.snzi.node_addr(counter, parent),
+                            op: ADD,
+                            value: delta as u64,
+                        };
+                    }
+                    // No propagation needed; fall through to the next decision.
+                }
+            }
+        }
+        let Some(&(counter, inc)) = self.decisions.get(self.next) else {
+            return ThreadOp::Done;
+        };
+        self.next += 1;
+        self.emit_update(counter, inc)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delayed deallocation (Fig. 13c)
+// ---------------------------------------------------------------------------
+
+/// Which delayed-deallocation implementation to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayedScheme {
+    /// COUP: commutative adds to shared counters plus a commutative-OR
+    /// "modified" bitmap; epochs end with a scan of the marked counters.
+    CoupBitmap,
+    /// Refcache: per-thread software cache of deltas flushed with atomics at
+    /// the end of each epoch.
+    Refcache,
+}
+
+/// The delayed-deallocation microbenchmark.
+#[derive(Debug, Clone)]
+pub struct DelayedRefcount {
+    counters: usize,
+    epochs: usize,
+    updates_per_epoch: usize,
+    scheme: DelayedScheme,
+    seed: u64,
+    counter_layout: ArrayLayout,
+    bitmap: ArrayLayout,
+}
+
+impl DelayedRefcount {
+    /// Builds the microbenchmark. The paper uses 100,000 counters, 128 threads
+    /// and 1–1000 updates per epoch per thread.
+    #[must_use]
+    pub fn new(
+        counters: usize,
+        epochs: usize,
+        updates_per_epoch: usize,
+        scheme: DelayedScheme,
+        seed: u64,
+    ) -> Self {
+        DelayedRefcount {
+            counters: counters.max(1),
+            epochs: epochs.max(1),
+            updates_per_epoch: updates_per_epoch.max(1),
+            scheme,
+            seed,
+            counter_layout: ArrayLayout::new(regions::COUNTERS, 8),
+            bitmap: ArrayLayout::new(regions::BITMAP, 8),
+        }
+    }
+
+    /// The scheme being simulated.
+    #[must_use]
+    pub fn scheme(&self) -> DelayedScheme {
+        self.scheme
+    }
+
+    /// Replays thread `t`'s (counter, delta) decisions for every epoch.
+    fn decisions(&self, thread: usize) -> Vec<Vec<(usize, i64)>> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (thread as u64).wrapping_mul(0x51_7C_C1));
+        (0..self.epochs)
+            .map(|_| {
+                (0..self.updates_per_epoch)
+                    .map(|_| {
+                        let c = rng.gen_range(0..self.counters);
+                        let delta = if rng.gen_bool(0.5) { 1 } else { -1 };
+                        (c, delta)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn expected_counts(&self, threads: usize) -> Vec<i64> {
+        let mut totals = vec![0i64; self.counters];
+        for t in 0..threads {
+            for epoch in self.decisions(t) {
+                for (c, d) in epoch {
+                    totals[c] += d;
+                }
+            }
+        }
+        totals
+    }
+}
+
+impl Workload for DelayedRefcount {
+    fn name(&self) -> &'static str {
+        "refcount-delayed"
+    }
+
+    fn commutative_op(&self) -> CommutativeOp {
+        ADD
+    }
+
+    fn init(&self, _mem: &mut MemorySystem) {}
+
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        (0..threads)
+            .map(|t| {
+                let mut ops = Vec::new();
+                for epoch in self.decisions(t) {
+                    match self.scheme {
+                        DelayedScheme::CoupBitmap => {
+                            let mut marked = Vec::new();
+                            for (c, d) in &epoch {
+                                ops.push(ThreadOp::CommutativeUpdate {
+                                    addr: self.counter_layout.addr(*c),
+                                    op: ADD,
+                                    value: *d as u64,
+                                });
+                                ops.push(ThreadOp::CommutativeUpdate {
+                                    addr: self.bitmap.addr(c / 64),
+                                    op: OR,
+                                    value: 1u64 << (c % 64),
+                                });
+                                marked.push(*c);
+                            }
+                            // End of epoch: check the counters this thread marked.
+                            ops.push(ThreadOp::Barrier);
+                            marked.sort_unstable();
+                            marked.dedup();
+                            for c in marked {
+                                ops.push(ThreadOp::Load { addr: self.counter_layout.addr(c) });
+                                ops.push(ThreadOp::Compute(2));
+                            }
+                            ops.push(ThreadOp::Barrier);
+                        }
+                        DelayedScheme::Refcache => {
+                            // Per-thread software cache: a private delta table.
+                            let cache = self.counter_layout.private_copy_for_thread(t);
+                            let mut touched = Vec::new();
+                            for (c, d) in &epoch {
+                                // Hash lookup + delta update in the private cache.
+                                ops.push(ThreadOp::Compute(4));
+                                ops.push(ThreadOp::Load { addr: cache.addr(*c) });
+                                ops.push(ThreadOp::Store { addr: cache.addr(*c), value: *d as u64 });
+                                touched.push((*c, *d));
+                            }
+                            // Flush: one atomic per distinct counter, then check.
+                            ops.push(ThreadOp::Barrier);
+                            touched.sort_unstable_by_key(|&(c, _)| c);
+                            let mut i = 0;
+                            while i < touched.len() {
+                                let c = touched[i].0;
+                                let mut delta = 0i64;
+                                while i < touched.len() && touched[i].0 == c {
+                                    delta += touched[i].1;
+                                    i += 1;
+                                }
+                                ops.push(ThreadOp::AtomicRmw {
+                                    addr: self.counter_layout.addr(c),
+                                    op: ADD,
+                                    value: delta as u64,
+                                });
+                                ops.push(ThreadOp::Compute(2));
+                            }
+                            ops.push(ThreadOp::Barrier);
+                        }
+                    }
+                }
+                ops.push(ThreadOp::Done);
+                Box::new(coup_sim::op::ScriptedProgram::new(ops)) as BoxedProgram
+            })
+            .collect()
+    }
+
+    fn verify(&self, mem: &MemorySystem, threads: usize) -> Result<(), String> {
+        let expect = self.expected_counts(threads);
+        for (c, &want) in expect.iter().enumerate() {
+            let got = mem.peek(self.counter_layout.addr(c)) as i64;
+            if got != want {
+                return Err(format!("counter {c}: got {got}, expected {want}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_workload;
+    use coup_protocol::state::ProtocolKind;
+    use coup_sim::config::SystemConfig;
+
+    #[test]
+    fn xadd_and_coup_schemes_verify() {
+        for (scheme, protocol) in [
+            (RefcountScheme::Xadd, ProtocolKind::Mesi),
+            (RefcountScheme::Coup, ProtocolKind::Meusi),
+        ] {
+            let w = ImmediateRefcount::new(16, 200, false, scheme, 7);
+            let cfg = SystemConfig::test_system(4, protocol);
+            run_workload(cfg, &w).unwrap_or_else(|e| panic!("{scheme:?} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn snzi_scheme_verifies_low_and_high_count() {
+        for high in [false, true] {
+            let w = ImmediateRefcount::new(8, 150, high, RefcountScheme::Snzi, 11);
+            let cfg = SystemConfig::test_system(4, ProtocolKind::Mesi);
+            run_workload(cfg, &w)
+                .unwrap_or_else(|e| panic!("SNZI (high_count={high}) failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn coup_beats_xadd_on_contended_counters() {
+        // Few counters + many threads = heavy contention, where COUP wins.
+        let cfg = SystemConfig::test_system(8, ProtocolKind::Meusi);
+        let coup = run_workload(cfg, &ImmediateRefcount::new(4, 150, false, RefcountScheme::Coup, 3))
+            .expect("coup");
+        let xadd = run_workload(
+            cfg.with_protocol(ProtocolKind::Mesi),
+            &ImmediateRefcount::new(4, 150, false, RefcountScheme::Xadd, 3),
+        )
+        .expect("xadd");
+        assert!(
+            coup.cycles < xadd.cycles,
+            "COUP ({}) should beat XADD ({}) under contention",
+            coup.cycles,
+            xadd.cycles
+        );
+    }
+
+    #[test]
+    fn delayed_schemes_verify() {
+        for (scheme, protocol) in [
+            (DelayedScheme::CoupBitmap, ProtocolKind::Meusi),
+            (DelayedScheme::Refcache, ProtocolKind::Mesi),
+        ] {
+            let w = DelayedRefcount::new(64, 2, 50, scheme, 9);
+            let cfg = SystemConfig::test_system(4, protocol);
+            run_workload(cfg, &w).unwrap_or_else(|e| panic!("{scheme:?} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let w = ImmediateRefcount::new(8, 50, true, RefcountScheme::Coup, 42);
+        assert_eq!(w.decisions(1, 4), w.decisions(1, 4));
+        assert_ne!(w.decisions(1, 4), w.decisions(2, 4));
+        assert_eq!(w.scheme(), RefcountScheme::Coup);
+        let d = DelayedRefcount::new(16, 2, 10, DelayedScheme::Refcache, 1);
+        assert_eq!(d.decisions(0), d.decisions(0));
+        assert_eq!(d.scheme(), DelayedScheme::Refcache);
+    }
+}

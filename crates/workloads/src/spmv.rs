@@ -1,0 +1,154 @@
+//! Sparse matrix–vector multiplication with a CSC matrix (`spmv`, Table 2).
+//!
+//! With the matrix stored column-major, each thread processes a block of
+//! columns and scatters `value * x[col]` additions into the shared output
+//! vector `y`. Rows touched from multiple columns are updated by multiple
+//! threads concurrently — 64-bit floating-point commutative additions.
+
+use coup_protocol::ops::{lanes, CommutativeOp};
+use coup_sim::memsys::MemorySystem;
+use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
+
+use crate::layout::{regions, ArrayLayout};
+use crate::runner::Workload;
+use crate::synth::CscMatrix;
+
+/// The SpMV workload.
+#[derive(Debug, Clone)]
+pub struct SpmvWorkload {
+    matrix: CscMatrix,
+    x: Vec<f64>,
+    y: ArrayLayout,
+    x_layout: ArrayLayout,
+    values_layout: ArrayLayout,
+}
+
+impl SpmvWorkload {
+    /// Builds an SpMV workload over a synthetic `n × n` matrix with roughly
+    /// `nnz_per_col` non-zeros per column.
+    #[must_use]
+    pub fn new(n: usize, nnz_per_col: usize, seed: u64) -> Self {
+        let matrix = CscMatrix::synthetic(n, nnz_per_col, seed);
+        let x = (0..n).map(|i| (i % 17) as f64 * 0.25 + 0.5).collect();
+        SpmvWorkload {
+            matrix,
+            x,
+            y: ArrayLayout::new(regions::SHARED_OUTPUT, 8),
+            x_layout: ArrayLayout::new(regions::INPUT, 8),
+            values_layout: ArrayLayout::new(regions::INPUT_AUX, 8),
+        }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.matrix.rows
+    }
+
+    /// Number of non-zeros (the amount of scattered update work).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn columns_for(&self, thread: usize, threads: usize) -> std::ops::Range<usize> {
+        let n = self.matrix.cols;
+        let per = n.div_ceil(threads.max(1));
+        (thread * per).min(n)..((thread + 1) * per).min(n)
+    }
+}
+
+impl Workload for SpmvWorkload {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn commutative_op(&self) -> CommutativeOp {
+        CommutativeOp::AddF64
+    }
+
+    fn init(&self, mem: &mut MemorySystem) {
+        for (i, &xi) in self.x.iter().enumerate() {
+            mem.poke(self.x_layout.addr(i), lanes::f64_to_lane(xi));
+        }
+        for (k, &v) in self.matrix.values.iter().enumerate() {
+            mem.poke(self.values_layout.addr(k), lanes::f64_to_lane(v));
+        }
+        // y starts at zero (memory default).
+    }
+
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        let op = self.commutative_op();
+        (0..threads)
+            .map(|t| {
+                let mut ops = Vec::new();
+                for col in self.columns_for(t, threads) {
+                    // Load x[col] once per column.
+                    ops.push(ThreadOp::Load { addr: self.x_layout.addr(col) });
+                    ops.push(ThreadOp::Compute(1));
+                    for k in self.matrix.col_ptr[col]..self.matrix.col_ptr[col + 1] {
+                        let row = self.matrix.row_idx[k];
+                        let contribution = self.matrix.values[k] * self.x[col];
+                        // Load the matrix value (streaming) and scatter-add the
+                        // contribution into y[row].
+                        ops.push(ThreadOp::Load { addr: self.values_layout.addr(k) });
+                        ops.push(ThreadOp::Compute(3));
+                        ops.push(ThreadOp::CommutativeUpdate {
+                            addr: self.y.addr(row),
+                            op,
+                            value: lanes::f64_to_lane(contribution),
+                        });
+                    }
+                }
+                ops.push(ThreadOp::Done);
+                Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+            })
+            .collect()
+    }
+
+    fn verify(&self, mem: &MemorySystem, _threads: usize) -> Result<(), String> {
+        let reference = self.matrix.spmv_reference(&self.x);
+        for (row, &want) in reference.iter().enumerate() {
+            let got = lanes::lane_to_f64(mem.peek(self.y.addr(row)));
+            let tolerance = 1e-9_f64.max(want.abs() * 1e-9);
+            if (got - want).abs() > tolerance {
+                return Err(format!("y[{row}] = {got}, expected {want}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{compare_protocols, run_workload};
+    use coup_protocol::state::ProtocolKind;
+    use coup_sim::config::SystemConfig;
+
+    #[test]
+    fn spmv_is_correct_under_both_protocols() {
+        let w = SpmvWorkload::new(120, 6, 3);
+        let cfg = SystemConfig::test_system(4, ProtocolKind::Mesi);
+        let (mesi, meusi) = compare_protocols(cfg, &w).expect("verification");
+        assert_eq!(mesi.commutative_updates, meusi.commutative_updates);
+        assert_eq!(mesi.commutative_updates as usize, w.nnz());
+        assert!(meusi.cycles <= mesi.cycles);
+    }
+
+    #[test]
+    fn spmv_single_thread_matches_reference() {
+        let w = SpmvWorkload::new(60, 4, 7);
+        let cfg = SystemConfig::test_system(1, ProtocolKind::Meusi);
+        run_workload(cfg, &w).expect("single-threaded SpMV must verify");
+    }
+
+    #[test]
+    fn metadata() {
+        let w = SpmvWorkload::new(10, 2, 0);
+        assert_eq!(w.name(), "spmv");
+        assert_eq!(w.commutative_op(), CommutativeOp::AddF64);
+        assert_eq!(w.dimension(), 10);
+        assert!(w.nnz() >= 10);
+    }
+}

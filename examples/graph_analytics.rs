@@ -1,0 +1,50 @@
+//! Graph-analytics case study: PageRank and BFS (§4.1–4.2, Fig. 10 d–c).
+//!
+//! Both kernels scatter commutative updates into shared structures: PageRank
+//! adds rank contributions to its neighbours' accumulators, BFS sets bits in a
+//! shared visited bitmap while also reading them to decide whether a vertex
+//! still needs visiting. Partitioning irregular graphs to avoid this sharing
+//! is expensive, so COUP's ability to keep lines in update-only mode across
+//! many scattered updates pays off directly.
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use coup_protocol::state::ProtocolKind;
+use coup_sim::config::SystemConfig;
+use coup_workloads::bfs::BfsWorkload;
+use coup_workloads::pgrank::PageRankWorkload;
+use coup_workloads::runner::{compare_protocols, Workload};
+
+fn report(name: &str, workload: &dyn Workload, cores: usize) {
+    let cfg = SystemConfig::test_system(cores, ProtocolKind::Mesi);
+    let (mesi, meusi) = compare_protocols(cfg, workload).expect("workload must verify");
+    println!("{name} on {cores} cores ({}):", workload.commutative_op());
+    println!("  MESI : {:>12} cycles, {:>10} off-chip bytes", mesi.cycles, mesi.traffic.offchip_bytes);
+    println!("  MEUSI: {:>12} cycles, {:>10} off-chip bytes", meusi.cycles, meusi.traffic.offchip_bytes);
+    println!(
+        "  speedup {:.2}x, commutative updates {:.2}% of instructions\n",
+        meusi.speedup_over(&mesi),
+        100.0 * meusi.commutative_fraction()
+    );
+}
+
+fn main() {
+    println!("Graph analytics under COUP vs MESI (synthetic power-law graphs)\n");
+
+    let pgrank = PageRankWorkload::new(3_000, 8, 1, 42);
+    println!(
+        "PageRank graph: {} vertices, {} edges",
+        pgrank.vertices(),
+        pgrank.edges()
+    );
+    report("pgrank", &pgrank, 16);
+
+    let bfs = BfsWorkload::new(4_000, 8, 43);
+    println!("BFS graph: {} vertices, {} levels", bfs.vertices(), bfs.depth());
+    report("bfs", &bfs, 16);
+
+    println!("PageRank spends long phases only updating the rank accumulators, so COUP");
+    println!("keeps those lines in update-only mode; BFS interleaves reads and updates of");
+    println!("the visited bitmap, so lines switch between read-only and update-only modes");
+    println!("and the benefit is smaller — the same trend the paper reports.");
+}

@@ -1,0 +1,56 @@
+//! Protocol verification (the paper's §3.4 / Fig. 8).
+//!
+//! Exhaustively explores the reachable states of the MESI and MEUSI
+//! message-level protocols for a small system (the same methodology as the
+//! paper's Murphi study) and reports how the cost grows with the number of
+//! commutative-update types.
+//!
+//! Run with: `cargo run --release --example protocol_verification`
+
+use coup_protocol::state::ProtocolKind;
+use coup_verify::checker::{explore, Limits};
+use coup_verify::model::ModelConfig;
+
+fn main() {
+    let cores = 2;
+    let limits = Limits { max_states: 1_000_000, max_millis: 60_000 };
+
+    println!("Exhaustive verification of the two-level protocols, {cores} cores\n");
+    println!(
+        "{:>10} | {:>9} | {:>12} | {:>10} | {:>12} | {:>8}",
+        "comm ops", "protocol", "states", "edges", "outcome", "ms"
+    );
+
+    for ops in [1u8, 2, 3, 4] {
+        for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
+            let cfg = ModelConfig::two_level(cores, protocol, ops);
+            let result = explore(cfg, limits);
+            println!(
+                "{:>10} | {:>9} | {:>12} | {:>10} | {:>12} | {:>8}",
+                ops,
+                protocol.to_string(),
+                result.states,
+                result.transitions,
+                format!("{:?}", result.outcome),
+                result.elapsed.as_millis()
+            );
+        }
+    }
+
+    println!();
+    println!("MESI's state space does not depend on the number of commutative-update");
+    println!("types (updates are just stores to it); MEUSI's grows with each added type,");
+    println!("but far more slowly than it grows with cores or cache levels — the paper's");
+    println!("argument that COUP adds modest verification cost.");
+
+    // Also demonstrate the value-conservation check: with stores disabled, the
+    // checker proves no commutative update is ever lost or duplicated.
+    let conserving = explore(
+        ModelConfig::two_level(cores, ProtocolKind::Meusi, 2).without_stores(),
+        limits,
+    );
+    println!(
+        "\nValue-conservation check (no stores): {:?} over {} states",
+        conserving.outcome, conserving.states
+    );
+}

@@ -1,0 +1,158 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! commutativity and identity of every update operation, equivalence of any
+//! interleaving of commutative updates with the sequential sum, and agreement
+//! of the simulated memory system with a simple reference model under random
+//! operation streams.
+
+use proptest::prelude::*;
+
+use coup_protocol::access::AccessType;
+use coup_protocol::line::LineData;
+use coup_protocol::ops::CommutativeOp;
+use coup_protocol::state::ProtocolKind;
+use coup_sim::config::SystemConfig;
+use coup_sim::memsys::MemorySystem;
+
+fn any_op() -> impl Strategy<Value = CommutativeOp> {
+    prop::sample::select(CommutativeOp::PAPER_SET.to_vec())
+}
+
+fn integer_op() -> impl Strategy<Value = CommutativeOp> {
+    prop::sample::select(vec![
+        CommutativeOp::AddU16,
+        CommutativeOp::AddU32,
+        CommutativeOp::AddU64,
+        CommutativeOp::And64,
+        CommutativeOp::Or64,
+        CommutativeOp::Xor64,
+    ])
+}
+
+proptest! {
+    /// Every supported operation is commutative and associative on raw words,
+    /// and its identity element is neutral — the algebraic property COUP's
+    /// correctness argument (§3.3) rests on.
+    #[test]
+    fn operations_form_commutative_monoids(op in any_op(), a: u64, b: u64, c: u64) {
+        // Skip exact-equality checks for floating point associativity: the
+        // paper accepts FP non-determinism; we only require commutativity there.
+        prop_assert_eq!(op.apply_word(a, b), op.apply_word(b, a));
+        prop_assert_eq!(op.apply_word(a, op.identity_word()), a);
+        prop_assert_eq!(op.apply_word(op.identity_word(), a), a);
+        if !op.is_float() {
+            prop_assert_eq!(
+                op.apply_word(op.apply_word(a, b), c),
+                op.apply_word(a, op.apply_word(b, c))
+            );
+        }
+    }
+
+    /// Reducing partial updates accumulated in any order and grouping produces
+    /// the same final line as applying every update sequentially.
+    #[test]
+    fn any_partition_of_updates_reduces_to_the_sequential_result(
+        op in integer_op(),
+        updates in prop::collection::vec((0usize..8, any::<u64>()), 0..40),
+        split_points in prop::collection::vec(0usize..4, 0..40),
+    ) {
+        // Sequential reference: apply every update to one line.
+        let mut reference = LineData::zeroed();
+        for &(word, value) in &updates {
+            let offset = word * 8;
+            reference.apply_update(op, offset, value);
+        }
+
+        // Partition the updates across four "private caches", apply each
+        // bucket to its own partial-update buffer, then reduce.
+        let mut partials = [LineData::identity(op); 4];
+        for (i, &(word, value)) in updates.iter().enumerate() {
+            let bucket = split_points.get(i).copied().unwrap_or(0);
+            partials[bucket].apply_update(op, word * 8, value);
+        }
+        let mut reduced = LineData::zeroed();
+        for partial in &partials {
+            reduced.reduce_from(op, partial);
+        }
+        prop_assert_eq!(reduced, reference);
+    }
+
+    /// The full memory system never loses or duplicates commutative updates:
+    /// a random stream of updates and reads from a handful of cores always
+    /// leaves every word equal to the sequential sum of its updates, under
+    /// both MESI and MEUSI.
+    #[test]
+    fn memory_system_preserves_every_update(
+        ops in prop::collection::vec(
+            (0usize..4, 0u64..6, 1u64..5, any::<bool>()),
+            1..120
+        ),
+    ) {
+        for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
+            let mut mem = MemorySystem::new(SystemConfig::test_system(4, protocol));
+            let mut expected = [0u64; 6];
+            let mut clocks = [0u64; 4];
+            for &(core, slot, value, is_read) in &ops {
+                let addr = 0x8000 + slot * 64;
+                if is_read {
+                    let r = mem.access(core, clocks[core], AccessType::Read, addr, 0);
+                    clocks[core] = r.completes_at;
+                    prop_assert_eq!(
+                        r.value, expected[slot as usize],
+                        "stale read under {} at slot {}", protocol, slot
+                    );
+                } else {
+                    let r = mem.access(
+                        core,
+                        clocks[core],
+                        AccessType::CommutativeUpdate(CommutativeOp::AddU64),
+                        addr,
+                        value,
+                    );
+                    clocks[core] = r.completes_at;
+                    expected[slot as usize] += value;
+                }
+            }
+            for (slot, &want) in expected.iter().enumerate() {
+                prop_assert_eq!(
+                    mem.peek(0x8000 + slot as u64 * 64), want,
+                    "lost updates under {} at slot {}", protocol, slot
+                );
+            }
+        }
+    }
+
+    /// Sharer-set operations behave like a set of small integers.
+    #[test]
+    fn sharer_set_behaves_like_a_set(members in prop::collection::btree_set(0usize..128, 0..40)) {
+        let set: coup_protocol::directory::SharerSet = members.iter().copied().collect();
+        prop_assert_eq!(set.len(), members.len());
+        for &m in &members {
+            prop_assert!(set.contains(m));
+        }
+        let collected: Vec<usize> = set.iter().collect();
+        let expected: Vec<usize> = members.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+    }
+}
+
+/// Reads interleaved with updates always observe a value that accounts for
+/// every update issued *before* the last reduction point — checked with a
+/// deterministic interleaving so the assertion is exact.
+#[test]
+fn interleaved_reads_observe_all_prior_updates() {
+    let mut mem = MemorySystem::new(SystemConfig::test_system(4, ProtocolKind::Meusi));
+    let addr = 0xA000;
+    let add = AccessType::CommutativeUpdate(CommutativeOp::AddU64);
+    let mut issued = 0u64;
+    let mut clock = 0;
+    for round in 1..=20u64 {
+        for core in 0..4usize {
+            let r = mem.access(core, clock, add, addr, round);
+            clock = r.completes_at;
+            issued += round;
+        }
+        let r = mem.access((round % 4) as usize, clock, AccessType::Read, addr, 0);
+        clock = r.completes_at;
+        assert_eq!(r.value, issued, "read missed updates at round {round}");
+    }
+}
