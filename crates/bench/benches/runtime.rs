@@ -1,0 +1,90 @@
+//! Criterion benches for the real-hardware runtime: atomic baseline versus
+//! software COUP as thread count and update/read mix vary, plus the workload
+//! kernels through the backend-neutral `ExecutionBackend`.
+//!
+//! The interesting output is the *ratio* between the `atomic/...` and
+//! `coup/...` lines of each group: the wall-clock advantage of privatizing
+//! commutative updates on the machine actually running this bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use coup_protocol::ops::CommutativeOp;
+use coup_runtime::{run_contended, AtomicBackend, ContendedSpec, CoupBackend};
+use coup_workloads::hist::{HistScheme, HistWorkload};
+use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind};
+use coup_workloads::refcount::{ImmediateRefcount, RefcountScheme};
+
+const UPDATES_PER_THREAD: usize = 100_000;
+
+fn bench_contended_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_contended_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(2);
+        group.bench_function(format!("atomic/{threads}t"), |b| {
+            b.iter(|| {
+                let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
+                run_contended(&backend, threads, &spec)
+            });
+        });
+        group.bench_function(format!("coup/{threads}t"), |b| {
+            b.iter(|| {
+                let backend = CoupBackend::new(CommutativeOp::AddU64, spec.lanes, threads);
+                run_contended(&backend, threads, &spec)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_read_mix_8t");
+    group.sample_size(10);
+    let threads = 8;
+    for reads_per_1000 in [0u32, 10, 100, 300] {
+        let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(reads_per_1000);
+        group.bench_function(format!("atomic/r{reads_per_1000}"), |b| {
+            b.iter(|| {
+                let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
+                run_contended(&backend, threads, &spec)
+            });
+        });
+        group.bench_function(format!("coup/r{reads_per_1000}"), |b| {
+            b.iter(|| {
+                let backend = CoupBackend::new(CommutativeOp::AddU64, spec.lanes, threads);
+                run_contended(&backend, threads, &spec)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_workload_kernels_8t");
+    group.sample_size(10);
+    let threads = 8;
+    let hist = HistWorkload::new(200_000, 256, HistScheme::Shared, 7);
+    let refcount = ImmediateRefcount::new(64, 50_000, false, RefcountScheme::Coup, 7);
+    for (kind, label) in [(RuntimeKind::Atomic, "atomic"), (RuntimeKind::Coup, "coup")] {
+        let backend = RuntimeBackend::new(kind, threads);
+        group.bench_function(format!("{label}/hist"), |b| {
+            b.iter(|| backend.execute(&hist.kernel()).expect("hist verifies"));
+        });
+        group.bench_function(format!("{label}/refcount"), |b| {
+            b.iter(|| {
+                backend
+                    .execute(&refcount.kernel())
+                    .expect("refcount verifies")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    runtime,
+    bench_contended_threads,
+    bench_read_mix,
+    bench_workload_kernels
+);
+criterion_main!(runtime);

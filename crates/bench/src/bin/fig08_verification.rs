@@ -22,10 +22,18 @@ fn print_table(title: &str, rows: &[(u8, coup_verify::Exploration, coup_verify::
             ops,
             mesi.states,
             mesi.elapsed.as_millis(),
-            if mesi.outcome.is_clean() { "ok" } else { "VIOLATION" },
+            if mesi.outcome.is_clean() {
+                "ok"
+            } else {
+                "VIOLATION"
+            },
             meusi.states,
             meusi.elapsed.as_millis(),
-            if meusi.outcome.is_clean() { "ok" } else { "VIOLATION" },
+            if meusi.outcome.is_clean() {
+                "ok"
+            } else {
+                "VIOLATION"
+            },
         );
     }
     println!();
@@ -37,7 +45,10 @@ fn main() {
     let two = fig8_verification(scale, false);
     print_table("Two-level protocols:", &two);
     let three = fig8_verification(scale, true);
-    print_table("Three-level protocols (external upper-level traffic injected):", &three);
+    print_table(
+        "Three-level protocols (external upper-level traffic injected):",
+        &three,
+    );
     println!("Expected shape (paper): MESI's cost is flat in the number of commutative");
     println!("operations; MEUSI's grows with it, but much more slowly than the cost grows");
     println!("with cores or with an extra cache level.");

@@ -32,7 +32,11 @@ fn main() {
 
     for (name, _) in paper_workloads(scale) {
         let points = fig11_amat(scale, name);
-        let norm = points.first().map(|p| p.meusi.amat()).unwrap_or(1.0).max(1e-9);
+        let norm = points
+            .first()
+            .map(|p| p.meusi.amat())
+            .unwrap_or(1.0)
+            .max(1e-9);
         println!("{name}:");
         for p in &points {
             println!(" {} cores:", p.x);

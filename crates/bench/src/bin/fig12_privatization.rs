@@ -12,8 +12,14 @@ use coup_bench::scale_from_args;
 fn main() {
     let scale = scale_from_args();
     let bin_configs: Vec<(u32, &str)> = match scale {
-        Scale::Small => vec![(128, "small bin count (128)"), (2_048, "large bin count (2K)")],
-        Scale::Paper => vec![(512, "small bin count (512)"), (16_384, "large bin count (16K)")],
+        Scale::Small => vec![
+            (128, "small bin count (128)"),
+            (2_048, "large bin count (2K)"),
+        ],
+        Scale::Paper => vec![
+            (512, "small bin count (512)"),
+            (16_384, "large bin count (16K)"),
+        ],
     };
 
     println!("Fig. 12: histogram as a reduction variable — COUP vs software privatization\n");
@@ -24,9 +30,7 @@ fn main() {
             "cores", "COUP (cycles)", "core-level private", "socket-level private"
         );
         for (cores, coup, core_priv, socket_priv) in fig12_privatization(scale, bins) {
-            println!(
-                "{cores:>7} | {coup:>14.0} | {core_priv:>20.0} | {socket_priv:>22.0}"
-            );
+            println!("{cores:>7} | {coup:>14.0} | {core_priv:>20.0} | {socket_priv:>22.0}");
         }
         println!();
     }

@@ -19,20 +19,31 @@ fn main() {
     println!("Table 2: benchmark characteristics (reproduction)\n");
     println!(
         "{:<14} {:<32} {:<34} {:<14} {:>14} {:>16}",
-        "benchmark", "paper input", "reproduction input", "comm op", "paper seq (Mcyc)", "repro seq (cyc)"
+        "benchmark",
+        "paper input",
+        "reproduction input",
+        "comm op",
+        "paper seq (Mcyc)",
+        "repro seq (cyc)"
     );
 
     let rows = table2();
     let workloads = paper_workloads(scale);
     for row in &rows {
-        let repro_name = if row.name == "fldanim" { "fluidanimate" } else { row.name };
+        let repro_name = if row.name == "fldanim" {
+            "fluidanimate"
+        } else {
+            row.name
+        };
         let workload = workloads.iter().find(|(n, _)| *n == repro_name);
         let measured = workload.map(|(_, w)| {
             let cfg = match scale {
                 Scale::Small => SystemConfig::test_system(1, ProtocolKind::Mesi),
                 Scale::Paper => SystemConfig::paper_system(1, ProtocolKind::Mesi),
             };
-            run_workload(cfg, w.as_ref()).expect("workload verifies").cycles
+            run_workload(cfg, w.as_ref())
+                .expect("workload verifies")
+                .cycles
         });
         println!(
             "{:<14} {:<32} {:<34} {:<14} {:>14} {:>16}",

@@ -152,7 +152,9 @@ impl<T> CacheArray<T> {
             Some((set_idx, way_idx)) => {
                 self.hits += 1;
                 self.sets[set_idx].repl.touch(way_idx as u32);
-                self.sets[set_idx].ways[way_idx].as_ref().map(|w| &w.payload)
+                self.sets[set_idx].ways[way_idx]
+                    .as_ref()
+                    .map(|w| &w.payload)
             }
             None => {
                 self.misses += 1;
@@ -168,7 +170,9 @@ impl<T> CacheArray<T> {
             Some((set_idx, way_idx)) => {
                 self.hits += 1;
                 self.sets[set_idx].repl.touch(way_idx as u32);
-                self.sets[set_idx].ways[way_idx].as_mut().map(|w| &mut w.payload)
+                self.sets[set_idx].ways[way_idx]
+                    .as_mut()
+                    .map(|w| &mut w.payload)
             }
             None => {
                 self.misses += 1;
@@ -210,7 +214,9 @@ impl<T> CacheArray<T> {
         let set_idx = self.geometry.set_of(addr) as usize;
         // Already present: replace the payload.
         if let Some((_, way_idx)) = self.locate(addr) {
-            let slot = self.sets[set_idx].ways[way_idx].as_mut().expect("located way is occupied");
+            let slot = self.sets[set_idx].ways[way_idx]
+                .as_mut()
+                .expect("located way is occupied");
             let old = std::mem::replace(&mut slot.payload, payload);
             self.sets[set_idx].repl.touch(way_idx as u32);
             return InsertOutcome::Replaced(old);
@@ -231,7 +237,10 @@ impl<T> CacheArray<T> {
         self.resident.remove(&victim.addr);
         self.resident.insert(addr, set_idx as u64);
         self.evictions += 1;
-        InsertOutcome::Evicted { addr: victim.addr, payload: victim.payload }
+        InsertOutcome::Evicted {
+            addr: victim.addr,
+            payload: victim.payload,
+        }
     }
 
     /// Removes a line, returning its payload if it was resident.

@@ -38,11 +38,14 @@ impl CacheGeometry {
         assert!(size_bytes > 0, "capacity must be positive");
         let way_bytes = u64::from(ways) * LINE_BYTES as u64;
         assert!(
-            size_bytes % way_bytes == 0,
+            size_bytes.is_multiple_of(way_bytes),
             "capacity {size_bytes} is not a multiple of ways*line size {way_bytes}"
         );
         let sets = size_bytes / way_bytes;
-        assert!(sets.is_power_of_two(), "number of sets {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets {sets} must be a power of two"
+        );
         CacheGeometry { size_bytes, ways }
     }
 
@@ -54,7 +57,10 @@ impl CacheGeometry {
     #[must_use]
     pub fn fully_associative(lines: u32) -> Self {
         assert!(lines > 0);
-        CacheGeometry { size_bytes: u64::from(lines) * LINE_BYTES as u64, ways: lines }
+        CacheGeometry {
+            size_bytes: u64::from(lines) * LINE_BYTES as u64,
+            ways: lines,
+        }
     }
 
     /// Total capacity in bytes.
@@ -193,6 +199,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(CacheGeometry::new(32 * 1024, 8).to_string(), "32KB 8-way (64 sets)");
+        assert_eq!(
+            CacheGeometry::new(32 * 1024, 8).to_string(),
+            "32KB 8-way (64 sets)"
+        );
     }
 }

@@ -47,11 +47,14 @@ impl SetReplacementState {
     pub fn new(policy: ReplacementPolicy, ways: u32) -> Self {
         assert!(ways > 0, "a set must have at least one way");
         match policy {
-            ReplacementPolicy::Lru => {
-                SetReplacementState::Lru { order: (0..ways).collect() }
-            }
+            ReplacementPolicy::Lru => SetReplacementState::Lru {
+                order: (0..ways).collect(),
+            },
             ReplacementPolicy::TreePlru => {
-                assert!(ways.is_power_of_two(), "tree PLRU requires power-of-two ways");
+                assert!(
+                    ways.is_power_of_two(),
+                    "tree PLRU requires power-of-two ways"
+                );
                 SetReplacementState::TreePlru {
                     bits: vec![false; (ways - 1) as usize],
                     ways,
@@ -178,7 +181,10 @@ mod tests {
             seen[v as usize] = true;
             s.touch(v);
         }
-        assert!(seen.iter().all(|&x| x), "PLRU never evicted some way: {seen:?}");
+        assert!(
+            seen.iter().all(|&x| x),
+            "PLRU never evicted some way: {seen:?}"
+        );
     }
 
     #[test]

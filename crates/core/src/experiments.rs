@@ -18,9 +18,7 @@ use coup_workloads::bfs::BfsWorkload;
 use coup_workloads::fluid::FluidWorkload;
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::pgrank::PageRankWorkload;
-use coup_workloads::refcount::{
-    DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme,
-};
+use coup_workloads::refcount::{DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme};
 use coup_workloads::runner::{run_workload, Workload};
 use coup_workloads::spmv::SpmvWorkload;
 
@@ -90,14 +88,20 @@ fn compare_at(cfg: SystemConfig, workload: &dyn Workload) -> (RunStats, RunStats
 pub fn paper_workloads(scale: Scale) -> Vec<(&'static str, Box<dyn Workload>)> {
     match scale {
         Scale::Small => vec![
-            ("hist", Box::new(HistWorkload::new(4_000, 512, HistScheme::Shared, 11))),
+            (
+                "hist",
+                Box::new(HistWorkload::new(4_000, 512, HistScheme::Shared, 11)),
+            ),
             ("spmv", Box::new(SpmvWorkload::new(400, 6, 12))),
             ("pgrank", Box::new(PageRankWorkload::new(600, 6, 1, 13))),
             ("bfs", Box::new(BfsWorkload::new(800, 6, 14))),
             ("fluidanimate", Box::new(FluidWorkload::new(96, 16, 1))),
         ],
         Scale::Paper => vec![
-            ("hist", Box::new(HistWorkload::new(200_000, 512, HistScheme::Shared, 11))),
+            (
+                "hist",
+                Box::new(HistWorkload::new(200_000, 512, HistScheme::Shared, 11)),
+            ),
             ("spmv", Box::new(SpmvWorkload::new(4_000, 10, 12))),
             ("pgrank", Box::new(PageRankWorkload::new(10_000, 12, 1, 13))),
             ("bfs", Box::new(BfsWorkload::new(20_000, 10, 14))),
@@ -120,8 +124,11 @@ pub fn fig2_histogram_bins(scale: Scale, cores: usize) -> Vec<(usize, f64, f64, 
     let mut reference_cycles: Option<f64> = None;
     for bins in bins_sweep {
         let cfg = scale.system(cores, ProtocolKind::Meusi);
-        let coup =
-            run_workload(cfg, &HistWorkload::new(pixels, bins, HistScheme::Shared, 21)).unwrap();
+        let coup = run_workload(
+            cfg,
+            &HistWorkload::new(pixels, bins, HistScheme::Shared, 21),
+        )
+        .unwrap();
         let atomics = run_workload(
             cfg.with_protocol(ProtocolKind::Mesi),
             &HistWorkload::new(pixels, bins, HistScheme::Shared, 21),
@@ -149,10 +156,22 @@ pub fn fig2_histogram_bins(scale: Scale, cores: usize) -> Vec<(usize, f64, f64, 
 #[must_use]
 pub fn fig8_verification(scale: Scale, three_level: bool) -> Vec<(u8, Exploration, Exploration)> {
     let (cores, op_counts, limits) = match scale {
-        Scale::Small => (2usize, vec![1u8, 2, 3], Limits { max_states: 300_000, max_millis: 30_000 }),
-        Scale::Paper => {
-            (3usize, vec![2u8, 6, 10, 14, 20], Limits { max_states: 4_000_000, max_millis: 240_000 })
-        }
+        Scale::Small => (
+            2usize,
+            vec![1u8, 2, 3],
+            Limits {
+                max_states: 300_000,
+                max_millis: 30_000,
+            },
+        ),
+        Scale::Paper => (
+            3usize,
+            vec![2u8, 6, 10, 14, 20],
+            Limits {
+                max_states: 4_000_000,
+                max_millis: 240_000,
+            },
+        ),
     };
     op_counts
         .into_iter()
@@ -176,15 +195,21 @@ pub fn fig8_verification(scale: Scale, three_level: bool) -> Vec<(u8, Exploratio
 #[must_use]
 pub fn fig10_speedups(scale: Scale, app: &str) -> Vec<ScalingPoint> {
     let workloads = paper_workloads(scale);
-    let (_, workload) =
-        workloads.into_iter().find(|(name, _)| *name == app).expect("unknown application");
+    let (_, workload) = workloads
+        .into_iter()
+        .find(|(name, _)| *name == app)
+        .expect("unknown application");
     scale
         .core_counts()
         .into_iter()
         .map(|cores| {
             let cfg = scale.system(cores, ProtocolKind::Mesi);
             let (mesi, meusi) = compare_at(cfg, workload.as_ref());
-            ScalingPoint { x: cores, mesi, meusi }
+            ScalingPoint {
+                x: cores,
+                mesi,
+                meusi,
+            }
         })
         .collect()
 }
@@ -197,14 +222,20 @@ pub fn fig11_amat(scale: Scale, app: &str) -> Vec<ScalingPoint> {
         Scale::Paper => vec![8, 32, 128],
     };
     let workloads = paper_workloads(scale);
-    let (_, workload) =
-        workloads.into_iter().find(|(name, _)| *name == app).expect("unknown application");
+    let (_, workload) = workloads
+        .into_iter()
+        .find(|(name, _)| *name == app)
+        .expect("unknown application");
     core_counts
         .into_iter()
         .map(|cores| {
             let cfg = scale.system(cores, ProtocolKind::Mesi);
             let (mesi, meusi) = compare_at(cfg, workload.as_ref());
-            ScalingPoint { x: cores, mesi, meusi }
+            ScalingPoint {
+                x: cores,
+                mesi,
+                meusi,
+            }
         })
         .collect()
 }
@@ -219,8 +250,11 @@ pub fn fig12_privatization(scale: Scale, bins: u32) -> Vec<(usize, f64, f64, f64
         .into_iter()
         .map(|cores| {
             let cfg = scale.system(cores, ProtocolKind::Meusi);
-            let coup = run_workload(cfg, &HistWorkload::new(pixels, bins, HistScheme::Shared, 33))
-                .unwrap();
+            let coup = run_workload(
+                cfg,
+                &HistWorkload::new(pixels, bins, HistScheme::Shared, 33),
+            )
+            .unwrap();
             let core_priv = run_workload(
                 cfg.with_protocol(ProtocolKind::Mesi),
                 &HistWorkload::new(pixels, bins, HistScheme::CoreLevelPrivate, 33),
@@ -231,7 +265,12 @@ pub fn fig12_privatization(scale: Scale, bins: u32) -> Vec<(usize, f64, f64, f64
                 &HistWorkload::new(pixels, bins, HistScheme::SocketLevelPrivate, 33),
             )
             .unwrap();
-            (cores, coup.cycles as f64, core_priv.cycles as f64, socket_priv.cycles as f64)
+            (
+                cores,
+                coup.cycles as f64,
+                core_priv.cycles as f64,
+                socket_priv.cycles as f64,
+            )
         })
         .collect()
 }
@@ -283,12 +322,24 @@ pub fn fig13_delayed(scale: Scale, cores: usize) -> Vec<(usize, u64, u64)> {
             let cfg = scale.system(cores, ProtocolKind::Meusi);
             let coup = run_workload(
                 cfg,
-                &DelayedRefcount::new(counters, epochs, updates_per_epoch, DelayedScheme::CoupBitmap, 6),
+                &DelayedRefcount::new(
+                    counters,
+                    epochs,
+                    updates_per_epoch,
+                    DelayedScheme::CoupBitmap,
+                    6,
+                ),
             )
             .unwrap();
             let refcache = run_workload(
                 cfg.with_protocol(ProtocolKind::Mesi),
-                &DelayedRefcount::new(counters, epochs, updates_per_epoch, DelayedScheme::Refcache, 6),
+                &DelayedRefcount::new(
+                    counters,
+                    epochs,
+                    updates_per_epoch,
+                    DelayedScheme::Refcache,
+                    6,
+                ),
             )
             .unwrap();
             (updates_per_epoch, coup.cycles, refcache.cycles)
@@ -334,7 +385,10 @@ mod tests {
         // At the largest bin count COUP must beat core-level privatization
         // (the crossover the paper highlights).
         let (_, coup, _atomics, privatized) = rows.last().copied().unwrap();
-        assert!(coup > privatized, "COUP {coup} vs privatization {privatized}");
+        assert!(
+            coup > privatized,
+            "COUP {coup} vs privatization {privatized}"
+        );
     }
 
     #[test]
@@ -342,10 +396,17 @@ mod tests {
         let points = fig10_speedups(Scale::Small, "hist");
         assert_eq!(points.len(), 5);
         let last = points.last().unwrap();
-        assert!(last.speedup() >= 1.0, "COUP should not lose at scale: {}", last.speedup());
+        assert!(
+            last.speedup() >= 1.0,
+            "COUP should not lose at scale: {}",
+            last.speedup()
+        );
         // Speedups are relative comparisons within a point; both runs did the
         // same number of commutative updates.
-        assert_eq!(last.mesi.commutative_updates, last.meusi.commutative_updates);
+        assert_eq!(
+            last.mesi.commutative_updates,
+            last.meusi.commutative_updates
+        );
     }
 
     #[test]
@@ -374,7 +435,10 @@ mod tests {
     fn fig13_delayed_favours_coup() {
         let rows = fig13_delayed(Scale::Small, 8);
         for (_, coup, refcache) in rows {
-            assert!(coup <= refcache, "COUP ({coup}) should beat Refcache ({refcache})");
+            assert!(
+                coup <= refcache,
+                "COUP ({coup}) should beat Refcache ({refcache})"
+            );
         }
     }
 

@@ -68,7 +68,8 @@ impl CoupSystemBuilder {
         };
         cfg = cfg.with_seed(self.seed);
         if self.slow_reduction_unit {
-            cfg = cfg.with_reduction_unit(coup_protocol::reduction::ReductionUnitConfig::slow_64bit());
+            cfg = cfg
+                .with_reduction_unit(coup_protocol::reduction::ReductionUnitConfig::slow_64bit());
         }
         CoupSystem { cfg }
     }
@@ -76,7 +77,12 @@ impl CoupSystemBuilder {
 
 impl Default for CoupSystemBuilder {
     fn default() -> Self {
-        CoupSystemBuilder { cores: 16, paper_scale: true, seed: 0, slow_reduction_unit: false }
+        CoupSystemBuilder {
+            cores: 16,
+            paper_scale: true,
+            seed: 0,
+            slow_reduction_unit: false,
+        }
     }
 }
 
@@ -181,7 +187,11 @@ impl CoupSystem {
                 .map(|core| {
                     let mut ops = Vec::new();
                     for _ in 0..updates_per_core {
-                        ops.push(ThreadOp::CommutativeUpdate { addr: counter_addr, op, value: 1 });
+                        ops.push(ThreadOp::CommutativeUpdate {
+                            addr: counter_addr,
+                            op,
+                            value: 1,
+                        });
                         ops.push(ThreadOp::Compute(2));
                     }
                     if core == 0 {
@@ -205,7 +215,10 @@ impl CoupSystem {
             assert_eq!(got, expected, "lost updates under {protocol}");
             stats
         };
-        ComparisonReport { mesi: run(ProtocolKind::Mesi), meusi: run(ProtocolKind::Meusi) }
+        ComparisonReport {
+            mesi: run(ProtocolKind::Mesi),
+            meusi: run(ProtocolKind::Meusi),
+        }
     }
 }
 
@@ -219,7 +232,11 @@ mod tests {
         let sys = CoupSystem::builder().cores(4).test_scale().seed(3).build();
         assert_eq!(sys.config().cores, 4);
         assert_eq!(sys.config().perturbation_seed, 3);
-        let slow = CoupSystem::builder().cores(2).test_scale().slow_reduction_unit().build();
+        let slow = CoupSystem::builder()
+            .cores(2)
+            .test_scale()
+            .slow_reduction_unit()
+            .build();
         assert_eq!(
             slow.config().reduction_unit,
             coup_protocol::reduction::ReductionUnitConfig::slow_64bit()

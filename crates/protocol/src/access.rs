@@ -126,7 +126,10 @@ mod tests {
     fn access_letters_match_paper() {
         assert_eq!(AccessType::Read.letter(), 'R');
         assert_eq!(AccessType::Write.letter(), 'W');
-        assert_eq!(AccessType::CommutativeUpdate(CommutativeOp::AddU32).letter(), 'C');
+        assert_eq!(
+            AccessType::CommutativeUpdate(CommutativeOp::AddU32).letter(),
+            'C'
+        );
     }
 
     #[test]
@@ -181,7 +184,9 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(OpClass::ReadOnly.to_string(), "read-only");
-        assert!(OpClass::Update(CommutativeOp::Xor64).to_string().contains("XOR"));
+        assert!(OpClass::Update(CommutativeOp::Xor64)
+            .to_string()
+            .contains("XOR"));
         assert!(AccessType::CommutativeUpdate(CommutativeOp::AddF64)
             .to_string()
             .starts_with("C["));

@@ -163,7 +163,10 @@ impl L1State {
             self,
             L1State::N(Class::Update(_))
                 | L1State::NI(Class::Update(_))
-                | L1State::NN { held: Class::Update(_), .. }
+                | L1State::NN {
+                    held: Class::Update(_),
+                    ..
+                }
         )
     }
 }
@@ -255,7 +258,10 @@ impl L1Line {
     /// An invalid line.
     #[must_use]
     pub const fn invalid() -> Self {
-        L1Line { state: L1State::I, value: Value::ZERO }
+        L1Line {
+            state: L1State::I,
+            value: Value::ZERO,
+        }
     }
 }
 
@@ -286,29 +292,57 @@ pub fn l1_core_request(kind: ProtocolKind, line: L1Line, op: CoreOp) -> StepResu
     match (line.state, op) {
         // ---- Hits ----
         (L1State::M, CoreOp::Load | CoreOp::Store) => Some((line, vec![])),
-        (L1State::M, CoreOp::Update(_)) => {
-            Some((L1Line { state: L1State::M, value: line.value.bump() }, vec![]))
-        }
+        (L1State::M, CoreOp::Update(_)) => Some((
+            L1Line {
+                state: L1State::M,
+                value: line.value.bump(),
+            },
+            vec![],
+        )),
         (L1State::E, CoreOp::Load) => Some((line, vec![])),
-        (L1State::E, CoreOp::Store) => Some((L1Line { state: L1State::M, ..line }, vec![])),
-        (L1State::E, CoreOp::Update(_)) => {
-            Some((L1Line { state: L1State::M, value: line.value.bump() }, vec![]))
-        }
+        (L1State::E, CoreOp::Store) => Some((
+            L1Line {
+                state: L1State::M,
+                ..line
+            },
+            vec![],
+        )),
+        (L1State::E, CoreOp::Update(_)) => Some((
+            L1Line {
+                state: L1State::M,
+                value: line.value.bump(),
+            },
+            vec![],
+        )),
         (L1State::N(Class::ReadOnly), CoreOp::Load) => Some((line, vec![])),
-        (L1State::N(Class::Update(held)), CoreOp::Update(req)) if held == req => {
-            Some((L1Line { state: line.state, value: line.value.bump() }, vec![]))
-        }
+        (L1State::N(Class::Update(held)), CoreOp::Update(req)) if held == req => Some((
+            L1Line {
+                state: line.state,
+                value: line.value.bump(),
+            },
+            vec![],
+        )),
 
         // ---- Misses from I ----
         (L1State::I, CoreOp::Load) => Some((
-            L1Line { state: L1State::IN(Class::ReadOnly), value: Value::ZERO },
+            L1Line {
+                state: L1State::IN(Class::ReadOnly),
+                value: Value::ZERO,
+            },
             vec![ToDirMsg::GetN(Class::ReadOnly)],
         )),
-        (L1State::I, CoreOp::Store) => {
-            Some((L1Line { state: L1State::IM, value: Value::ZERO }, vec![ToDirMsg::GetM]))
-        }
+        (L1State::I, CoreOp::Store) => Some((
+            L1Line {
+                state: L1State::IM,
+                value: Value::ZERO,
+            },
+            vec![ToDirMsg::GetM],
+        )),
         (L1State::I, CoreOp::Update(op)) => Some((
-            L1Line { state: L1State::IN(Class::Update(op)), value: Value::ZERO },
+            L1Line {
+                state: L1State::IN(Class::Update(op)),
+                value: Value::ZERO,
+            },
             vec![ToDirMsg::GetN(Class::Update(op))],
         )),
 
@@ -324,12 +358,24 @@ pub fn l1_core_request(kind: ProtocolKind, line: L1Line, op: CoreOp) -> StepResu
             // copy (and its partial) until the directory collects it.
             debug_assert!(held != Class::Update(op));
             Some((
-                L1Line { state: L1State::NN { held, want: Class::Update(op) }, value: line.value },
+                L1Line {
+                    state: L1State::NN {
+                        held,
+                        want: Class::Update(op),
+                    },
+                    value: line.value,
+                },
                 vec![ToDirMsg::GetN(Class::Update(op))],
             ))
         }
         (L1State::N(held @ Class::Update(_)), CoreOp::Load) => Some((
-            L1Line { state: L1State::NN { held, want: Class::ReadOnly }, value: line.value },
+            L1Line {
+                state: L1State::NN {
+                    held,
+                    want: Class::ReadOnly,
+                },
+                value: line.value,
+            },
             vec![ToDirMsg::GetN(Class::ReadOnly)],
         )),
 
@@ -345,14 +391,24 @@ pub fn l1_core_request(kind: ProtocolKind, line: L1Line, op: CoreOp) -> StepResu
 pub fn l1_evict(line: L1Line) -> StepResult {
     match line.state {
         L1State::M => Some((
-            L1Line { state: L1State::WB, value: line.value },
+            L1Line {
+                state: L1State::WB,
+                value: line.value,
+            },
             vec![ToDirMsg::PutM(line.value)],
         )),
-        L1State::E => {
-            Some((L1Line { state: L1State::WB, value: line.value }, vec![ToDirMsg::PutE]))
-        }
+        L1State::E => Some((
+            L1Line {
+                state: L1State::WB,
+                value: line.value,
+            },
+            vec![ToDirMsg::PutE],
+        )),
         L1State::N(class) => Some((
-            L1Line { state: L1State::NI(class), value: line.value },
+            L1Line {
+                state: L1State::NI(class),
+                value: line.value,
+            },
             vec![ToDirMsg::PutN(class, line.value)],
         )),
         _ => None,
@@ -375,7 +431,13 @@ pub fn l1_from_dir(line: L1Line, msg: ToL1Msg) -> StepResult {
                 Class::ReadOnly => value,
                 Class::Update(_) => Value::ZERO,
             };
-            Some((L1Line { state: L1State::N(class), value }, vec![ToDirMsg::GrantAck]))
+            Some((
+                L1Line {
+                    state: L1State::N(class),
+                    value,
+                },
+                vec![ToDirMsg::GrantAck],
+            ))
         }
         (L1State::NN { want, .. }, ToL1Msg::GrantN(class, value)) => {
             if want != class {
@@ -385,7 +447,13 @@ pub fn l1_from_dir(line: L1Line, msg: ToL1Msg) -> StepResult {
                 Class::ReadOnly => value,
                 Class::Update(_) => Value::ZERO,
             };
-            Some((L1Line { state: L1State::N(class), value }, vec![ToDirMsg::GrantAck]))
+            Some((
+                L1Line {
+                    state: L1State::N(class),
+                    value,
+                },
+                vec![ToDirMsg::GrantAck],
+            ))
         }
         (
             L1State::IN(_) | L1State::NN { .. } | L1State::IM | L1State::NM,
@@ -398,35 +466,61 @@ pub fn l1_from_dir(line: L1Line, msg: ToL1Msg) -> StepResult {
         }
 
         // ---- Invalidations, downgrades, reductions: answered exactly once ----
-        (L1State::N(Class::ReadOnly), ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_)) => {
-            Some((L1Line::invalid(), vec![ToDirMsg::InvAck]))
-        }
-        (L1State::N(Class::Update(op)), ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_)) => {
-            Some((L1Line::invalid(), vec![ToDirMsg::ReduceAck(op, line.value)]))
-        }
-        (L1State::E | L1State::M, ToL1Msg::Inv | ToL1Msg::Reduce(_)) => {
-            Some((L1Line::invalid(), vec![ToDirMsg::OwnerRelinquish(line.value)]))
-        }
+        (
+            L1State::N(Class::ReadOnly),
+            ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_),
+        ) => Some((L1Line::invalid(), vec![ToDirMsg::InvAck])),
+        (
+            L1State::N(Class::Update(op)),
+            ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_),
+        ) => Some((L1Line::invalid(), vec![ToDirMsg::ReduceAck(op, line.value)])),
+        (L1State::E | L1State::M, ToL1Msg::Inv | ToL1Msg::Reduce(_)) => Some((
+            L1Line::invalid(),
+            vec![ToDirMsg::OwnerRelinquish(line.value)],
+        )),
         (L1State::M | L1State::E, ToL1Msg::Downgrade(class)) => {
             let next = match class {
-                Class::ReadOnly => L1Line { state: L1State::N(class), value: line.value },
+                Class::ReadOnly => L1Line {
+                    state: L1State::N(class),
+                    value: line.value,
+                },
                 // Keep update-only permission but restart from the identity;
                 // the data value travels back to the directory (Fig. 5b).
-                Class::Update(_) => L1Line { state: L1State::N(class), value: Value::ZERO },
+                Class::Update(_) => L1Line {
+                    state: L1State::N(class),
+                    value: Value::ZERO,
+                },
             };
             Some((next, vec![ToDirMsg::DowngradeAck(class, line.value)]))
         }
         // A collection reached us while we were switching operation types: give
         // up the held copy, keep waiting for the new-class grant.
-        (L1State::NN { held: Class::ReadOnly, want }, ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_)) => {
-            Some((L1Line { state: L1State::IN(want), value: Value::ZERO }, vec![ToDirMsg::InvAck]))
-        }
-        (L1State::NN { held: Class::Update(op), want }, ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_)) => {
-            Some((
-                L1Line { state: L1State::IN(want), value: Value::ZERO },
-                vec![ToDirMsg::ReduceAck(op, line.value)],
-            ))
-        }
+        (
+            L1State::NN {
+                held: Class::ReadOnly,
+                want,
+            },
+            ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_),
+        ) => Some((
+            L1Line {
+                state: L1State::IN(want),
+                value: Value::ZERO,
+            },
+            vec![ToDirMsg::InvAck],
+        )),
+        (
+            L1State::NN {
+                held: Class::Update(op),
+                want,
+            },
+            ToL1Msg::Inv | ToL1Msg::Reduce(_) | ToL1Msg::Downgrade(_),
+        ) => Some((
+            L1Line {
+                state: L1State::IN(want),
+                value: Value::ZERO,
+            },
+            vec![ToDirMsg::ReduceAck(op, line.value)],
+        )),
         // The message targets a copy we no longer have: we gave it up through a
         // completed eviction (I, or I followed by a new request in IN/IM).
         // Acknowledge with no payload — the directory's copy is already
@@ -445,9 +539,10 @@ pub fn l1_from_dir(line: L1Line, msg: ToL1Msg) -> StepResult {
             ToL1Msg::Inv | ToL1Msg::Downgrade(_) | ToL1Msg::Reduce(_),
         ) => Some((line, vec![ToDirMsg::EvictionPending])),
         // A clean non-exclusive copy being evicted carries no payload at all.
-        (L1State::NI(Class::ReadOnly), ToL1Msg::Inv | ToL1Msg::Downgrade(_) | ToL1Msg::Reduce(_)) => {
-            Some((line, vec![ToDirMsg::InvAck]))
-        }
+        (
+            L1State::NI(Class::ReadOnly),
+            ToL1Msg::Inv | ToL1Msg::Downgrade(_) | ToL1Msg::Reduce(_),
+        ) => Some((line, vec![ToDirMsg::InvAck])),
 
         // ---- Eviction completions ----
         (L1State::WB, ToL1Msg::PutAck) => Some((L1Line::invalid(), vec![])),
@@ -466,7 +561,10 @@ mod tests {
     const OP1: OpId = OpId(1);
 
     fn n(class: Class, v: u8) -> L1Line {
-        L1Line { state: L1State::N(class), value: Value(v) }
+        L1Line {
+            state: L1State::N(class),
+            value: Value(v),
+        }
     }
 
     #[test]
@@ -506,7 +604,10 @@ mod tests {
         assert_eq!(next.value, Value(2));
         assert_eq!(next.state, line.state);
 
-        let m = L1Line { state: L1State::M, value: Value(2) };
+        let m = L1Line {
+            state: L1State::M,
+            value: Value(2),
+        };
         let (next, msgs) = l1_core_request(K, m, CoreOp::Update(OP1)).unwrap();
         assert!(msgs.is_empty());
         assert_eq!(next.state, L1State::M);
@@ -515,7 +616,10 @@ mod tests {
 
     #[test]
     fn exclusive_upgrades_silently() {
-        let e = L1Line { state: L1State::E, value: Value(2) };
+        let e = L1Line {
+            state: L1State::E,
+            value: Value(2),
+        };
         let (next, msgs) = l1_core_request(K, e, CoreOp::Store).unwrap();
         assert!(msgs.is_empty());
         assert_eq!(next.state, L1State::M);
@@ -529,17 +633,35 @@ mod tests {
     fn type_switch_goes_through_nn_and_keeps_the_old_copy() {
         // read-only -> update
         let (next, msgs) = l1_core_request(K, n(Class::ReadOnly, 2), CoreOp::Update(OP1)).unwrap();
-        assert_eq!(next.state, L1State::NN { held: Class::ReadOnly, want: Class::Update(OP1) });
+        assert_eq!(
+            next.state,
+            L1State::NN {
+                held: Class::ReadOnly,
+                want: Class::Update(OP1)
+            }
+        );
         assert_eq!(next.value, Value(2));
         assert_eq!(msgs, vec![ToDirMsg::GetN(Class::Update(OP1))]);
         // update -> read-only keeps the partial update until collected
         let (next, msgs) = l1_core_request(K, n(Class::Update(OP0), 3), CoreOp::Load).unwrap();
-        assert_eq!(next.state, L1State::NN { held: Class::Update(OP0), want: Class::ReadOnly });
+        assert_eq!(
+            next.state,
+            L1State::NN {
+                held: Class::Update(OP0),
+                want: Class::ReadOnly
+            }
+        );
         assert_eq!(next.value, Value(3));
         assert_eq!(msgs, vec![ToDirMsg::GetN(Class::ReadOnly)]);
         // update -> different update
         let (next, _) = l1_core_request(K, n(Class::Update(OP0), 1), CoreOp::Update(OP1)).unwrap();
-        assert_eq!(next.state, L1State::NN { held: Class::Update(OP0), want: Class::Update(OP1) });
+        assert_eq!(
+            next.state,
+            L1State::NN {
+                held: Class::Update(OP0),
+                want: Class::Update(OP1)
+            }
+        );
     }
 
     #[test]
@@ -547,57 +669,108 @@ mod tests {
         for state in [
             L1State::IN(Class::ReadOnly),
             L1State::IM,
-            L1State::NN { held: Class::ReadOnly, want: Class::Update(OP0) },
+            L1State::NN {
+                held: Class::ReadOnly,
+                want: Class::Update(OP0),
+            },
             L1State::WB,
             L1State::NI(Class::ReadOnly),
         ] {
-            let line = L1Line { state, value: Value::ZERO };
-            assert!(l1_core_request(K, line, CoreOp::Load).is_none(), "{state} should stall");
+            let line = L1Line {
+                state,
+                value: Value::ZERO,
+            };
+            assert!(
+                l1_core_request(K, line, CoreOp::Load).is_none(),
+                "{state} should stall"
+            );
         }
     }
 
     #[test]
     fn grants_complete_requests_and_are_acknowledged() {
-        let pending = L1Line { state: L1State::IN(Class::ReadOnly), value: Value::ZERO };
+        let pending = L1Line {
+            state: L1State::IN(Class::ReadOnly),
+            value: Value::ZERO,
+        };
         let (next, msgs) =
             l1_from_dir(pending, ToL1Msg::GrantN(Class::ReadOnly, Value(2))).unwrap();
         assert_eq!(msgs, vec![ToDirMsg::GrantAck]);
         assert_eq!(next, n(Class::ReadOnly, 2));
 
-        let pending = L1Line { state: L1State::IN(Class::Update(OP0)), value: Value::ZERO };
+        let pending = L1Line {
+            state: L1State::IN(Class::Update(OP0)),
+            value: Value::ZERO,
+        };
         let (next, msgs) =
             l1_from_dir(pending, ToL1Msg::GrantN(Class::Update(OP0), Value(3))).unwrap();
         // Update grants initialise to the identity regardless of the payload.
         assert_eq!(next, n(Class::Update(OP0), 0));
         assert_eq!(msgs, vec![ToDirMsg::GrantAck]);
 
-        let pending = L1Line { state: L1State::IM, value: Value::ZERO };
-        let (next, msgs) =
-            l1_from_dir(pending, ToL1Msg::GrantM { value: Value(1), clean: false }).unwrap();
+        let pending = L1Line {
+            state: L1State::IM,
+            value: Value::ZERO,
+        };
+        let (next, msgs) = l1_from_dir(
+            pending,
+            ToL1Msg::GrantM {
+                value: Value(1),
+                clean: false,
+            },
+        )
+        .unwrap();
         assert_eq!(next.state, L1State::M);
         assert_eq!(msgs, vec![ToDirMsg::GrantAck]);
-        let (next, _) =
-            l1_from_dir(pending, ToL1Msg::GrantM { value: Value(1), clean: true }).unwrap();
+        let (next, _) = l1_from_dir(
+            pending,
+            ToL1Msg::GrantM {
+                value: Value(1),
+                clean: true,
+            },
+        )
+        .unwrap();
         assert_eq!(next.state, L1State::E);
     }
 
     #[test]
     fn exclusive_grants_complete_non_exclusive_requests() {
-        let pending = L1Line { state: L1State::IN(Class::ReadOnly), value: Value::ZERO };
-        let (next, msgs) =
-            l1_from_dir(pending, ToL1Msg::GrantM { value: Value(2), clean: true }).unwrap();
+        let pending = L1Line {
+            state: L1State::IN(Class::ReadOnly),
+            value: Value::ZERO,
+        };
+        let (next, msgs) = l1_from_dir(
+            pending,
+            ToL1Msg::GrantM {
+                value: Value(2),
+                clean: true,
+            },
+        )
+        .unwrap();
         assert_eq!(msgs, vec![ToDirMsg::GrantAck]);
         assert_eq!(next.state, L1State::E);
         assert_eq!(next.value, Value(2));
-        let pending = L1Line { state: L1State::IN(Class::Update(OP0)), value: Value::ZERO };
-        let (next, _) =
-            l1_from_dir(pending, ToL1Msg::GrantM { value: Value(3), clean: false }).unwrap();
+        let pending = L1Line {
+            state: L1State::IN(Class::Update(OP0)),
+            value: Value::ZERO,
+        };
+        let (next, _) = l1_from_dir(
+            pending,
+            ToL1Msg::GrantM {
+                value: Value(3),
+                clean: false,
+            },
+        )
+        .unwrap();
         assert_eq!(next.state, L1State::M);
     }
 
     #[test]
     fn mismatched_grant_stalls() {
-        let pending = L1Line { state: L1State::IN(Class::ReadOnly), value: Value::ZERO };
+        let pending = L1Line {
+            state: L1State::IN(Class::ReadOnly),
+            value: Value::ZERO,
+        };
         assert!(l1_from_dir(pending, ToL1Msg::GrantN(Class::Update(OP0), Value(0))).is_none());
     }
 
@@ -615,7 +788,10 @@ mod tests {
 
     #[test]
     fn invalidation_of_exclusive_owner_relinquishes_with_data() {
-        let m = L1Line { state: L1State::M, value: Value(2) };
+        let m = L1Line {
+            state: L1State::M,
+            value: Value(2),
+        };
         let (next, msgs) = l1_from_dir(m, ToL1Msg::Inv).unwrap();
         assert_eq!(next, L1Line::invalid());
         assert_eq!(msgs, vec![ToDirMsg::OwnerRelinquish(Value(2))]);
@@ -623,24 +799,43 @@ mod tests {
 
     #[test]
     fn downgrade_of_modified_owner_to_update_only() {
-        let m = L1Line { state: L1State::M, value: Value(2) };
+        let m = L1Line {
+            state: L1State::M,
+            value: Value(2),
+        };
         let (next, msgs) = l1_from_dir(m, ToL1Msg::Downgrade(Class::Update(OP1))).unwrap();
         assert_eq!(next.state, L1State::N(Class::Update(OP1)));
-        assert_eq!(next.value, Value::ZERO, "partial update restarts at identity");
-        assert_eq!(msgs, vec![ToDirMsg::DowngradeAck(Class::Update(OP1), Value(2))]);
+        assert_eq!(
+            next.value,
+            Value::ZERO,
+            "partial update restarts at identity"
+        );
+        assert_eq!(
+            msgs,
+            vec![ToDirMsg::DowngradeAck(Class::Update(OP1), Value(2))]
+        );
     }
 
     #[test]
     fn downgrade_of_modified_owner_to_shared_keeps_value() {
-        let m = L1Line { state: L1State::M, value: Value(2) };
+        let m = L1Line {
+            state: L1State::M,
+            value: Value(2),
+        };
         let (next, msgs) = l1_from_dir(m, ToL1Msg::Downgrade(Class::ReadOnly)).unwrap();
         assert_eq!(next, n(Class::ReadOnly, 2));
-        assert_eq!(msgs, vec![ToDirMsg::DowngradeAck(Class::ReadOnly, Value(2))]);
+        assert_eq!(
+            msgs,
+            vec![ToDirMsg::DowngradeAck(Class::ReadOnly, Value(2))]
+        );
     }
 
     #[test]
     fn evictions_and_acks() {
-        let m = L1Line { state: L1State::M, value: Value(3) };
+        let m = L1Line {
+            state: L1State::M,
+            value: Value(3),
+        };
         let (next, msgs) = l1_evict(m).unwrap();
         assert_eq!(next.state, L1State::WB);
         assert_eq!(msgs, vec![ToDirMsg::PutM(Value(3))]);
@@ -657,13 +852,20 @@ mod tests {
 
         // Cannot evict invalid or transient lines.
         assert!(l1_evict(L1Line::invalid()).is_none());
-        assert!(l1_evict(L1Line { state: L1State::IM, value: Value::ZERO }).is_none());
+        assert!(l1_evict(L1Line {
+            state: L1State::IM,
+            value: Value::ZERO
+        })
+        .is_none());
     }
 
     #[test]
     fn collection_during_type_switch_gives_up_the_old_copy() {
         let nn = L1Line {
-            state: L1State::NN { held: Class::Update(OP0), want: Class::ReadOnly },
+            state: L1State::NN {
+                held: Class::Update(OP0),
+                want: Class::ReadOnly,
+            },
             value: Value(3),
         };
         let (next, msgs) = l1_from_dir(nn, ToL1Msg::Reduce(OP0)).unwrap();
@@ -672,7 +874,10 @@ mod tests {
         assert_eq!(msgs, vec![ToDirMsg::ReduceAck(OP0, Value(3))]);
 
         let nn = L1Line {
-            state: L1State::NN { held: Class::ReadOnly, want: Class::Update(OP1) },
+            state: L1State::NN {
+                held: Class::ReadOnly,
+                want: Class::Update(OP1),
+            },
             value: Value(1),
         };
         let (next, msgs) = l1_from_dir(nn, ToL1Msg::Inv).unwrap();
@@ -685,15 +890,25 @@ mod tests {
         // The copy was given up through a completed eviction: the directory's
         // value is already current, so a bare acknowledgement suffices.
         for state in [L1State::I, L1State::IN(Class::ReadOnly), L1State::IM] {
-            let line = L1Line { state, value: Value(2) };
-            for msg in [ToL1Msg::Inv, ToL1Msg::Downgrade(Class::ReadOnly), ToL1Msg::Reduce(OP0)] {
+            let line = L1Line {
+                state,
+                value: Value(2),
+            };
+            for msg in [
+                ToL1Msg::Inv,
+                ToL1Msg::Downgrade(Class::ReadOnly),
+                ToL1Msg::Reduce(OP0),
+            ] {
                 let (next, msgs) = l1_from_dir(line, msg).unwrap();
                 assert_eq!(next.state, state, "state must not change for {msg:?}");
                 assert_eq!(msgs, vec![ToDirMsg::InvAck]);
             }
         }
         // A clean non-exclusive eviction in progress also has nothing to add.
-        let ni = L1Line { state: L1State::NI(Class::ReadOnly), value: Value::ZERO };
+        let ni = L1Line {
+            state: L1State::NI(Class::ReadOnly),
+            value: Value::ZERO,
+        };
         let (_, msgs) = l1_from_dir(ni, ToL1Msg::Inv).unwrap();
         assert_eq!(msgs, vec![ToDirMsg::InvAck]);
     }
@@ -703,15 +918,25 @@ mod tests {
         // The payload (dirty data or a partial update) travels in the Put*
         // already in flight; the answer tells the directory to wait for it.
         for state in [L1State::WB, L1State::NI(Class::Update(OP0))] {
-            let line = L1Line { state, value: Value(2) };
-            for msg in [ToL1Msg::Inv, ToL1Msg::Downgrade(Class::ReadOnly), ToL1Msg::Reduce(OP0)] {
+            let line = L1Line {
+                state,
+                value: Value(2),
+            };
+            for msg in [
+                ToL1Msg::Inv,
+                ToL1Msg::Downgrade(Class::ReadOnly),
+                ToL1Msg::Reduce(OP0),
+            ] {
                 let (next, msgs) = l1_from_dir(line, msg).unwrap();
                 assert_eq!(next.state, state, "state must not change for {msg:?}");
                 assert_eq!(msgs, vec![ToDirMsg::EvictionPending]);
             }
         }
         // The eviction then completes normally.
-        let wb = L1Line { state: L1State::WB, value: Value(2) };
+        let wb = L1Line {
+            state: L1State::WB,
+            value: Value(2),
+        };
         let (done, msgs) = l1_from_dir(wb, ToL1Msg::PutAck).unwrap();
         assert_eq!(done, L1Line::invalid());
         assert!(msgs.is_empty());
@@ -722,18 +947,30 @@ mod tests {
         assert!(L1State::I.is_stable());
         assert!(L1State::N(Class::ReadOnly).is_stable());
         assert!(!L1State::IM.is_stable());
-        assert!(!L1State::NN { held: Class::ReadOnly, want: Class::ReadOnly }.is_stable());
+        assert!(!L1State::NN {
+            held: Class::ReadOnly,
+            want: Class::ReadOnly
+        }
+        .is_stable());
         assert!(L1State::M.readable());
         assert!(!L1State::N(Class::Update(OP0)).readable());
         assert!(L1State::N(Class::Update(OP0)).holds_partial());
         assert!(!L1State::N(Class::ReadOnly).holds_partial());
-        assert!(L1State::NN { held: Class::Update(OP0), want: Class::ReadOnly }.holds_partial());
+        assert!(L1State::NN {
+            held: Class::Update(OP0),
+            want: Class::ReadOnly
+        }
+        .holds_partial());
     }
 
     #[test]
     fn display_impls() {
         assert_eq!(
-            L1State::NN { held: Class::ReadOnly, want: Class::Update(OP1) }.to_string(),
+            L1State::NN {
+                held: Class::ReadOnly,
+                want: Class::Update(OP1)
+            }
+            .to_string(),
             "NN[RO->U1]"
         );
         assert_eq!(Class::ReadOnly.to_string(), "RO");

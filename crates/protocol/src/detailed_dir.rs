@@ -32,7 +32,9 @@ use crate::state::ProtocolKind;
 pub const MAX_MODEL_CORES: usize = 10;
 
 /// A set of children, as a bitmask over `MAX_MODEL_CORES`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct ChildMask(pub u16);
 
 impl ChildMask {
@@ -335,7 +337,16 @@ fn grant_m(mut dir: DirLine, requester: usize, clean: bool) -> (DirLine, Vec<Out
     dir.mode = DirStable::Exclusive;
     dir.sharers = ChildMask::single(requester);
     dir.pending = DirPending::WaitGrantAck { grantee: requester };
-    (dir, vec![(requester, ToL1Msg::GrantM { value: dir.value, clean })])
+    (
+        dir,
+        vec![(
+            requester,
+            ToL1Msg::GrantM {
+                value: dir.value,
+                clean,
+            },
+        )],
+    )
 }
 
 fn dir_get_n(kind: ProtocolKind, dir: DirLine, src: usize, class: Class) -> DirStepResult {
@@ -390,8 +401,12 @@ fn dir_get_n(kind: ProtocolKind, dir: DirLine, src: usize, class: Class) -> DirS
                 return Some(grant_m(dir, src, false));
             }
             let mut next = dir;
-            next.pending =
-                DirPending::OwnerDowngrade { requester: src, class, owner, awaiting_put: false };
+            next.pending = DirPending::OwnerDowngrade {
+                requester: src,
+                class,
+                owner,
+                awaiting_put: false,
+            };
             Some((next, vec![(owner, ToL1Msg::Downgrade(class))]))
         }
     }
@@ -429,8 +444,11 @@ fn dir_get_m(dir: DirLine, src: usize) -> DirStepResult {
                 return Some(grant_m(dir, src, false));
             }
             let mut next = dir;
-            next.pending =
-                DirPending::OwnerInvalidate { requester: src, owner, awaiting_put: false };
+            next.pending = DirPending::OwnerInvalidate {
+                requester: src,
+                owner,
+                awaiting_put: false,
+            };
             Some((next, vec![(owner, ToL1Msg::Inv)]))
         }
     }
@@ -476,27 +494,35 @@ fn dir_put(dir: DirLine, src: usize, payload: Option<Value>, exclusive: bool) ->
     let ack = vec![(src, ToL1Msg::PutAck)];
 
     match next.pending {
-        DirPending::OwnerDowngrade { requester, class, owner, awaiting_put }
-            if owner == src && awaiting_put =>
-        {
+        DirPending::OwnerDowngrade {
+            requester,
+            class,
+            owner,
+            awaiting_put,
+        } if owner == src && awaiting_put => {
             next.pending = DirPending::Idle;
             next.fold_deferred();
             let (granted, mut msgs) = grant_n(next, requester, class);
             msgs.extend(ack);
             Some((granted, msgs))
         }
-        DirPending::OwnerInvalidate { requester, owner, awaiting_put }
-            if owner == src && awaiting_put =>
-        {
+        DirPending::OwnerInvalidate {
+            requester,
+            owner,
+            awaiting_put,
+        } if owner == src && awaiting_put => {
             next.pending = DirPending::Idle;
             next.fold_deferred();
             let (granted, mut msgs) = grant_m(next, requester, false);
             msgs.extend(ack);
             Some((granted, msgs))
         }
-        DirPending::CollectForGrantN { requester, class, waiting, mut pending_puts }
-            if pending_puts.contains(src) =>
-        {
+        DirPending::CollectForGrantN {
+            requester,
+            class,
+            waiting,
+            mut pending_puts,
+        } if pending_puts.contains(src) => {
             pending_puts.remove(src);
             if waiting.is_empty() && pending_puts.is_empty() {
                 next.pending = DirPending::Idle;
@@ -504,13 +530,19 @@ fn dir_put(dir: DirLine, src: usize, payload: Option<Value>, exclusive: bool) ->
                 msgs.extend(ack);
                 return Some((granted, msgs));
             }
-            next.pending =
-                DirPending::CollectForGrantN { requester, class, waiting, pending_puts };
+            next.pending = DirPending::CollectForGrantN {
+                requester,
+                class,
+                waiting,
+                pending_puts,
+            };
             Some((next, ack))
         }
-        DirPending::CollectForGrantM { requester, waiting, mut pending_puts }
-            if pending_puts.contains(src) =>
-        {
+        DirPending::CollectForGrantM {
+            requester,
+            waiting,
+            mut pending_puts,
+        } if pending_puts.contains(src) => {
             pending_puts.remove(src);
             if waiting.is_empty() && pending_puts.is_empty() {
                 next.pending = DirPending::Idle;
@@ -518,7 +550,11 @@ fn dir_put(dir: DirLine, src: usize, payload: Option<Value>, exclusive: bool) ->
                 msgs.extend(ack);
                 return Some((granted, msgs));
             }
-            next.pending = DirPending::CollectForGrantM { requester, waiting, pending_puts };
+            next.pending = DirPending::CollectForGrantM {
+                requester,
+                waiting,
+                pending_puts,
+            };
             Some((next, ack))
         }
         _ => Some((next.normalized(), ack)),
@@ -530,8 +566,7 @@ fn dir_answer(dir: DirLine, src: usize, answer: Answer) -> DirStepResult {
     // "My payload is in my eviction" only defers completion if that eviction
     // has not been processed yet; once a child's Put* is handled the child is
     // no longer a sharer, so its deferred answer is effectively a plain ack.
-    let payload_in_put =
-        matches!(answer, Answer::PayloadInPut) && dir.sharers.contains(src);
+    let payload_in_put = matches!(answer, Answer::PayloadInPut) && dir.sharers.contains(src);
     match answer {
         Answer::NoPayload | Answer::PayloadInPut => {}
         Answer::Partial(v) => {
@@ -555,7 +590,12 @@ fn dir_answer(dir: DirLine, src: usize, answer: Answer) -> DirStepResult {
         next.sharers.remove(src);
     }
     match next.pending {
-        DirPending::CollectForGrantN { requester, class, mut waiting, mut pending_puts } => {
+        DirPending::CollectForGrantN {
+            requester,
+            class,
+            mut waiting,
+            mut pending_puts,
+        } => {
             waiting.remove(src);
             if payload_in_put {
                 pending_puts.insert(src);
@@ -564,11 +604,19 @@ fn dir_answer(dir: DirLine, src: usize, answer: Answer) -> DirStepResult {
                 next.pending = DirPending::Idle;
                 return Some(grant_n(next, requester, class));
             }
-            next.pending =
-                DirPending::CollectForGrantN { requester, class, waiting, pending_puts };
+            next.pending = DirPending::CollectForGrantN {
+                requester,
+                class,
+                waiting,
+                pending_puts,
+            };
             Some((next, vec![]))
         }
-        DirPending::CollectForGrantM { requester, mut waiting, mut pending_puts } => {
+        DirPending::CollectForGrantM {
+            requester,
+            mut waiting,
+            mut pending_puts,
+        } => {
             waiting.remove(src);
             if payload_in_put {
                 pending_puts.insert(src);
@@ -577,14 +625,27 @@ fn dir_answer(dir: DirLine, src: usize, answer: Answer) -> DirStepResult {
                 next.pending = DirPending::Idle;
                 return Some(grant_m(next, requester, false));
             }
-            next.pending = DirPending::CollectForGrantM { requester, waiting, pending_puts };
+            next.pending = DirPending::CollectForGrantM {
+                requester,
+                waiting,
+                pending_puts,
+            };
             Some((next, vec![]))
         }
-        DirPending::OwnerDowngrade { requester, class, owner, .. } if owner == src => {
+        DirPending::OwnerDowngrade {
+            requester,
+            class,
+            owner,
+            ..
+        } if owner == src => {
             if payload_in_put {
                 // The owner's data travels in its eviction; keep waiting.
-                next.pending =
-                    DirPending::OwnerDowngrade { requester, class, owner, awaiting_put: true };
+                next.pending = DirPending::OwnerDowngrade {
+                    requester,
+                    class,
+                    owner,
+                    awaiting_put: true,
+                };
                 return Some((next, vec![]));
             }
             // The owner's answer ends the owner-data wait: fold any deferred
@@ -593,10 +654,15 @@ fn dir_answer(dir: DirLine, src: usize, answer: Answer) -> DirStepResult {
             next.fold_deferred();
             Some(grant_n(next, requester, class))
         }
-        DirPending::OwnerInvalidate { requester, owner, .. } if owner == src => {
+        DirPending::OwnerInvalidate {
+            requester, owner, ..
+        } if owner == src => {
             if payload_in_put {
-                next.pending =
-                    DirPending::OwnerInvalidate { requester, owner, awaiting_put: true };
+                next.pending = DirPending::OwnerInvalidate {
+                    requester,
+                    owner,
+                    awaiting_put: true,
+                };
                 return Some((next, vec![]));
             }
             next.pending = DirPending::Idle;
@@ -613,7 +679,12 @@ fn dir_answer(dir: DirLine, src: usize, answer: Answer) -> DirStepResult {
 fn dir_downgrade_ack(dir: DirLine, src: usize, class: Class, value: Value) -> DirStepResult {
     let mut next = dir;
     match next.pending {
-        DirPending::OwnerDowngrade { requester, class: want, owner, .. } if owner == src => {
+        DirPending::OwnerDowngrade {
+            requester,
+            class: want,
+            owner,
+            ..
+        } if owner == src => {
             // The owner's data replaces the directory's stale copy; partial
             // updates that raced ahead were deferred and are folded on top.
             next.value = value;
@@ -630,7 +701,9 @@ fn dir_downgrade_ack(dir: DirLine, src: usize, class: Class, value: Value) -> Di
             }
             Some(grant_n(next, requester, want))
         }
-        DirPending::OwnerInvalidate { requester, owner, .. } if owner == src => {
+        DirPending::OwnerInvalidate {
+            requester, owner, ..
+        } if owner == src => {
             // The owner answered a plain Inv with a downgrade-style ack (kept a
             // copy); treat the retained copy as relinquished for exclusivity.
             next.value = value;
@@ -683,14 +756,32 @@ mod tests {
         let (next, msgs) = dir_step(K, dir, 0, ToDirMsg::GetN(RO)).unwrap();
         assert_eq!(next.mode, DirStable::Exclusive);
         assert_eq!(next.pending, DirPending::WaitGrantAck { grantee: 0 });
-        assert_eq!(msgs, vec![(0, ToL1Msg::GrantM { value: Value(2), clean: true })]);
+        assert_eq!(
+            msgs,
+            vec![(
+                0,
+                ToL1Msg::GrantM {
+                    value: Value(2),
+                    clean: true
+                }
+            )]
+        );
         let settled = ack_grant(next, 0);
         assert!(settled.pending.is_idle());
 
         // Update requests get M (dirty) directly.
         let (next, msgs) = dir_step(K, dir, 1, ToDirMsg::GetN(U0)).unwrap();
         assert_eq!(next.mode, DirStable::Exclusive);
-        assert_eq!(msgs, vec![(1, ToL1Msg::GrantM { value: Value(2), clean: false })]);
+        assert_eq!(
+            msgs,
+            vec![(
+                1,
+                ToL1Msg::GrantM {
+                    value: Value(2),
+                    clean: false
+                }
+            )]
+        );
     }
 
     #[test]
@@ -722,7 +813,9 @@ mod tests {
         let (next, msgs) = dir_step(K, dir, 2, ToDirMsg::GetN(RO)).unwrap();
         assert!(matches!(next.pending, DirPending::CollectForGrantN { .. }));
         assert_eq!(msgs.len(), 2);
-        assert!(msgs.iter().all(|(_, m)| matches!(m, ToL1Msg::Reduce(op) if *op == OP0)));
+        assert!(msgs
+            .iter()
+            .all(|(_, m)| matches!(m, ToL1Msg::Reduce(op) if *op == OP0)));
 
         // Partial updates arrive: 2 and then 3 (mod 4).
         let (next, msgs) = dir_step(K, next, 0, ToDirMsg::ReduceAck(OP0, Value(2))).unwrap();
@@ -776,7 +869,16 @@ mod tests {
         let (next, msgs) = dir_step(K, next, 2, ToDirMsg::InvAck).unwrap();
         assert_eq!(next.mode, DirStable::Exclusive);
         assert_eq!(next.sharers.sole(), Some(1));
-        assert_eq!(msgs, vec![(1, ToL1Msg::GrantM { value: Value(2), clean: false })]);
+        assert_eq!(
+            msgs,
+            vec![(
+                1,
+                ToL1Msg::GrantM {
+                    value: Value(2),
+                    clean: false
+                }
+            )]
+        );
     }
 
     #[test]
@@ -866,7 +968,10 @@ mod tests {
         // The owner (now invalid) answers the downgrade with a bare ack; the
         // grant completes from the directory's (current) value.
         let (next, msgs) = dir_step(K, next, 1, ToDirMsg::InvAck).unwrap();
-        assert!(matches!(next.pending, DirPending::WaitGrantAck { grantee: 0 }));
+        assert!(matches!(
+            next.pending,
+            DirPending::WaitGrantAck { grantee: 0 }
+        ));
         assert_eq!(msgs, vec![(0, ToL1Msg::GrantN(RO, Value(3)))]);
     }
 
@@ -881,11 +986,17 @@ mod tests {
         assert!(msgs.is_empty());
         assert!(matches!(
             next.pending,
-            DirPending::OwnerDowngrade { awaiting_put: true, .. }
+            DirPending::OwnerDowngrade {
+                awaiting_put: true,
+                ..
+            }
         ));
         // ...and its PutM then both delivers the data and completes the grant.
         let (next, msgs) = dir_step(K, next, 1, ToDirMsg::PutM(Value(2))).unwrap();
-        assert!(matches!(next.pending, DirPending::WaitGrantAck { grantee: 0 }));
+        assert!(matches!(
+            next.pending,
+            DirPending::WaitGrantAck { grantee: 0 }
+        ));
         assert_eq!(next.value, Value(2));
         assert!(msgs.contains(&(1, ToL1Msg::PutAck)));
         assert!(msgs.contains(&(0, ToL1Msg::GrantN(RO, Value(2)))));
@@ -930,7 +1041,11 @@ mod tests {
         assert_eq!(next.value, Value(0));
         // The downgrade answer (data value 0 at downgrade time) arrives last.
         let (next, msgs) = dir_step(K, next, 0, ToDirMsg::DowngradeAck(U0, Value(0))).unwrap();
-        assert_eq!(next.value, Value(1), "the deferred partial must be preserved");
+        assert_eq!(
+            next.value,
+            Value(1),
+            "the deferred partial must be preserved"
+        );
         assert_eq!(next.deferred, Value::ZERO);
         assert_eq!(msgs, vec![(1, ToL1Msg::GrantN(U0, Value::ZERO))]);
     }

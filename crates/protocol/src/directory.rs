@@ -58,6 +58,10 @@ impl SharerSet {
     /// # Panics
     ///
     /// Panics if any child is `>= MAX_CHILDREN`.
+    // The `FromIterator` impl below delegates here; the inherent method
+    // exists so `SharerSet::from_iter([...])` resolves without a `use` and
+    // carries the panic documentation.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn from_iter<I: IntoIterator<Item = ChildId>>(children: I) -> Self {
         let mut s = SharerSet::empty();
@@ -73,7 +77,10 @@ impl SharerSet {
     ///
     /// Panics if `child >= MAX_CHILDREN`.
     pub fn insert(&mut self, child: ChildId) -> bool {
-        assert!(child < MAX_CHILDREN, "child id {child} exceeds MAX_CHILDREN");
+        assert!(
+            child < MAX_CHILDREN,
+            "child id {child} exceeds MAX_CHILDREN"
+        );
         let mask = 1u128 << child;
         let newly = self.bits & mask == 0;
         self.bits |= mask;
@@ -187,7 +194,10 @@ impl DirectoryEntry {
     /// A directory entry for a line no private cache holds.
     #[must_use]
     pub const fn uncached() -> Self {
-        DirectoryEntry { mode: DirMode::Uncached, sharers: SharerSet::empty() }
+        DirectoryEntry {
+            mode: DirMode::Uncached,
+            sharers: SharerSet::empty(),
+        }
     }
 
     /// Builds an entry from parts.
@@ -408,6 +418,9 @@ mod tests {
             SharerSet::from_iter([1, 2]),
         );
         let s = e.to_string();
-        assert!(s.contains("ShU") && s.contains("{1,2}"), "unexpected display: {s}");
+        assert!(
+            s.contains("ShU") && s.contains("{1,2}"),
+            "unexpected display: {s}"
+        );
     }
 }

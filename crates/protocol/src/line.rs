@@ -30,7 +30,9 @@ impl LineData {
     /// A line with every word set to zero.
     #[must_use]
     pub const fn zeroed() -> Self {
-        LineData { words: [0; WORDS_PER_LINE] }
+        LineData {
+            words: [0; WORDS_PER_LINE],
+        }
     }
 
     /// A line with every word set to the identity element of `op`.
@@ -39,7 +41,9 @@ impl LineData {
     /// update-only state (§3.1.2, "Entering the U state").
     #[must_use]
     pub fn identity(op: CommutativeOp) -> Self {
-        LineData { words: [op.identity_word(); WORDS_PER_LINE] }
+        LineData {
+            words: [op.identity_word(); WORDS_PER_LINE],
+        }
     }
 
     /// Builds a line from explicit words.
@@ -82,11 +86,22 @@ impl LineData {
     #[must_use]
     pub fn lane(&self, op: CommutativeOp, byte_offset: usize) -> u64 {
         let width = op.width().bytes();
-        assert!(byte_offset < LINE_BYTES, "byte offset {byte_offset} out of line");
-        assert_eq!(byte_offset % width, 0, "unaligned lane access at offset {byte_offset}");
+        assert!(
+            byte_offset < LINE_BYTES,
+            "byte offset {byte_offset} out of line"
+        );
+        assert_eq!(
+            byte_offset % width,
+            0,
+            "unaligned lane access at offset {byte_offset}"
+        );
         let word = self.words[byte_offset / 8];
         let shift = (byte_offset % 8) * 8;
-        let mask = if width == 8 { u64::MAX } else { (1u64 << (width * 8)) - 1 };
+        let mask = if width == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (width * 8)) - 1
+        };
         (word >> shift) & mask
     }
 
@@ -97,11 +112,22 @@ impl LineData {
     /// Panics on out-of-range or unaligned offsets, like [`LineData::lane`].
     pub fn set_lane(&mut self, op: CommutativeOp, byte_offset: usize, value: u64) {
         let width = op.width().bytes();
-        assert!(byte_offset < LINE_BYTES, "byte offset {byte_offset} out of line");
-        assert_eq!(byte_offset % width, 0, "unaligned lane access at offset {byte_offset}");
+        assert!(
+            byte_offset < LINE_BYTES,
+            "byte offset {byte_offset} out of line"
+        );
+        assert_eq!(
+            byte_offset % width,
+            0,
+            "unaligned lane access at offset {byte_offset}"
+        );
         let word_idx = byte_offset / 8;
         let shift = (byte_offset % 8) * 8;
-        let mask = if width == 8 { u64::MAX } else { ((1u64 << (width * 8)) - 1) << shift };
+        let mask = if width == 8 {
+            u64::MAX
+        } else {
+            ((1u64 << (width * 8)) - 1) << shift
+        };
         let word = self.words[word_idx];
         self.words[word_idx] = (word & !mask) | ((value << shift) & mask);
     }
@@ -216,7 +242,10 @@ mod tests {
     fn identity_line_matches_op_identity() {
         for op in CommutativeOp::ALL {
             let line = LineData::identity(op);
-            assert!(line.is_identity(op), "identity line not recognised for {op:?}");
+            assert!(
+                line.is_identity(op),
+                "identity line not recognised for {op:?}"
+            );
             assert!(line.words().iter().all(|&w| w == op.identity_word()));
         }
     }

@@ -365,12 +365,18 @@ mod tests {
         for v in [0.0f64, 1.5, -3.25, 1e100, -1e-100] {
             let op = CommutativeOp::AddF64;
             let word = lanes::f64_to_lane(v);
-            assert_eq!(lanes::lane_to_f64(op.apply_lane(word, op.identity_lane())), v);
+            assert_eq!(
+                lanes::lane_to_f64(op.apply_lane(word, op.identity_lane())),
+                v
+            );
         }
         for v in [0.0f32, 2.5, -7.125] {
             let op = CommutativeOp::AddF32;
             let word = lanes::f32_to_lane(v);
-            assert_eq!(lanes::lane_to_f32(op.apply_lane(word, op.identity_lane())), v);
+            assert_eq!(
+                lanes::lane_to_f32(op.apply_lane(word, op.identity_lane())),
+                v
+            );
         }
     }
 

@@ -29,13 +29,21 @@ impl ReductionUnitConfig {
     /// one 64-byte line every 2 cycles, 3-cycle latency per line.
     #[must_use]
     pub const fn paper_default() -> Self {
-        ReductionUnitConfig { width_bits: 256, pipelined: true, extra_latency: 1 }
+        ReductionUnitConfig {
+            width_bits: 256,
+            pipelined: true,
+            extra_latency: 1,
+        }
     }
 
     /// The slow alternative of §5.5: unpipelined 64-bit ALU, one line per 16 cycles.
     #[must_use]
     pub const fn slow_64bit() -> Self {
-        ReductionUnitConfig { width_bits: 64, pipelined: false, extra_latency: 0 }
+        ReductionUnitConfig {
+            width_bits: 64,
+            pipelined: false,
+            extra_latency: 0,
+        }
     }
 
     /// Cycles of occupancy to process one 64-byte line.
@@ -94,7 +102,11 @@ impl ReductionUnit {
     /// Creates a reduction unit with the given configuration.
     #[must_use]
     pub fn new(config: ReductionUnitConfig) -> Self {
-        ReductionUnit { config, lines_reduced: 0, busy_cycles: 0 }
+        ReductionUnit {
+            config,
+            lines_reduced: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// The unit's configuration.
@@ -228,13 +240,23 @@ mod tests {
 
     #[test]
     fn default_config_is_paper_default() {
-        assert_eq!(ReductionUnitConfig::default(), ReductionUnitConfig::paper_default());
-        assert_eq!(ReductionUnit::default().config(), ReductionUnitConfig::paper_default());
+        assert_eq!(
+            ReductionUnitConfig::default(),
+            ReductionUnitConfig::paper_default()
+        );
+        assert_eq!(
+            ReductionUnit::default().config(),
+            ReductionUnitConfig::paper_default()
+        );
     }
 
     #[test]
     fn degenerate_width_does_not_divide_by_zero() {
-        let cfg = ReductionUnitConfig { width_bits: 0, pipelined: false, extra_latency: 0 };
+        let cfg = ReductionUnitConfig {
+            width_bits: 0,
+            pipelined: false,
+            extra_latency: 0,
+        };
         assert!(cfg.cycles_per_line() >= 512);
     }
 }

@@ -142,7 +142,9 @@ pub fn serve_request(
     requester: ChildId,
     access: AccessType,
 ) -> RequestPlan {
-    entry.check_invariants().expect("directory entry invariant violated");
+    entry
+        .check_invariants()
+        .expect("directory entry invariant violated");
 
     // Baseline protocols treat commutative updates as plain writes.
     let access = match access {
@@ -167,8 +169,11 @@ fn serve_read(kind: ProtocolKind, entry: &DirectoryEntry, requester: ChildId) ->
             } else {
                 PrivateState::Shared
             };
-            let mode =
-                if kind.has_exclusive_state() { DirMode::Exclusive } else { DirMode::ReadOnly };
+            let mode = if kind.has_exclusive_state() {
+                DirMode::Exclusive
+            } else {
+                DirMode::ReadOnly
+            };
             RequestPlan {
                 grant,
                 next_entry: DirectoryEntry::new(mode, SharerSet::single(requester)),
@@ -195,7 +200,9 @@ fn serve_read(kind: ProtocolKind, entry: &DirectoryEntry, requester: ChildId) ->
             }
         }
         DirMode::Exclusive => {
-            let owner = sharers.sole_member().expect("exclusive entry has one sharer");
+            let owner = sharers
+                .sole_member()
+                .expect("exclusive entry has one sharer");
             if owner == requester {
                 // The requester already has sufficient permission; nothing to do.
                 return RequestPlan {
@@ -265,7 +272,9 @@ fn serve_write(entry: &DirectoryEntry, requester: ChildId) -> RequestPlan {
             silent: false,
         },
         DirMode::Exclusive => {
-            let owner = sharers.sole_member().expect("exclusive entry has one sharer");
+            let owner = sharers
+                .sole_member()
+                .expect("exclusive entry has one sharer");
             if owner == requester {
                 return RequestPlan {
                     grant: PrivateState::Modified,
@@ -364,7 +373,9 @@ fn serve_update(
             }
         }
         DirMode::Exclusive => {
-            let owner = sharers.sole_member().expect("exclusive entry has one sharer");
+            let owner = sharers
+                .sole_member()
+                .expect("exclusive entry has one sharer");
             if owner == requester {
                 return RequestPlan {
                     grant: PrivateState::Modified,
@@ -527,7 +538,10 @@ mod tests {
     const C_OR: AccessType = AccessType::CommutativeUpdate(OR);
 
     fn ro(sharers: &[ChildId]) -> DirectoryEntry {
-        DirectoryEntry::new(DirMode::ReadOnly, SharerSet::from_iter(sharers.iter().copied()))
+        DirectoryEntry::new(
+            DirMode::ReadOnly,
+            SharerSet::from_iter(sharers.iter().copied()),
+        )
     }
     fn ex(owner: ChildId) -> DirectoryEntry {
         DirectoryEntry::new(DirMode::Exclusive, SharerSet::single(owner))
@@ -543,8 +557,12 @@ mod tests {
 
     #[test]
     fn mesi_read_of_uncached_line_grants_exclusive() {
-        let plan =
-            serve_request(ProtocolKind::Mesi, &DirectoryEntry::uncached(), 2, AccessType::Read);
+        let plan = serve_request(
+            ProtocolKind::Mesi,
+            &DirectoryEntry::uncached(),
+            2,
+            AccessType::Read,
+        );
         assert_eq!(plan.grant, PrivateState::Exclusive);
         assert_eq!(plan.next_entry.mode(), DirMode::Exclusive);
         assert!(plan.silent);
@@ -553,8 +571,12 @@ mod tests {
 
     #[test]
     fn msi_read_of_uncached_line_grants_shared() {
-        let plan =
-            serve_request(ProtocolKind::Msi, &DirectoryEntry::uncached(), 2, AccessType::Read);
+        let plan = serve_request(
+            ProtocolKind::Msi,
+            &DirectoryEntry::uncached(),
+            2,
+            AccessType::Read,
+        );
         assert_eq!(plan.grant, PrivateState::Shared);
         assert_eq!(plan.next_entry.mode(), DirMode::ReadOnly);
     }
@@ -584,7 +606,12 @@ mod tests {
     fn read_triggers_full_reduction_of_update_only_line() {
         // Fig. 5d: three updaters, a fourth core reads. All partial updates are
         // collected; the reader ends up the sole read-only sharer.
-        let plan = serve_request(ProtocolKind::Meusi, &uo(ADD, &[1, 2, 3]), 0, AccessType::Read);
+        let plan = serve_request(
+            ProtocolKind::Meusi,
+            &uo(ADD, &[1, 2, 3]),
+            0,
+            AccessType::Read,
+        );
         assert_eq!(plan.grant, PrivateState::Shared);
         assert_eq!(plan.reduce_from, SharerSet::from_iter([1, 2, 3]));
         assert_eq!(plan.data_source, DataSource::Reduction);
@@ -606,8 +633,12 @@ mod tests {
 
     #[test]
     fn write_to_uncached_line_grants_modified() {
-        let plan =
-            serve_request(ProtocolKind::Mesi, &DirectoryEntry::uncached(), 3, AccessType::Write);
+        let plan = serve_request(
+            ProtocolKind::Mesi,
+            &DirectoryEntry::uncached(),
+            3,
+            AccessType::Write,
+        );
         assert_eq!(plan.grant, PrivateState::Modified);
         assert_eq!(plan.next_entry.mode(), DirMode::Exclusive);
     }
@@ -624,7 +655,10 @@ mod tests {
     #[test]
     fn write_steals_line_from_owner() {
         let plan = serve_request(ProtocolKind::Mesi, &ex(4), 9, AccessType::Write);
-        assert_eq!(plan.owner_action, Some((4, OwnerAction::InvalidateWithData)));
+        assert_eq!(
+            plan.owner_action,
+            Some((4, OwnerAction::InvalidateWithData))
+        );
         assert_eq!(plan.grant, PrivateState::Modified);
         assert_eq!(plan.next_entry.sharers().sole_member(), Some(9));
     }
@@ -675,7 +709,10 @@ mod tests {
         // Fig. 5b: owner in M writes its value back and keeps U; requester joins.
         let plan = serve_request(ProtocolKind::Meusi, &ex(1), 0, C_ADD);
         assert_eq!(plan.grant, PrivateState::UpdateOnly(ADD));
-        assert_eq!(plan.owner_action, Some((1, OwnerAction::DowngradeToUpdateOnly(ADD))));
+        assert_eq!(
+            plan.owner_action,
+            Some((1, OwnerAction::DowngradeToUpdateOnly(ADD)))
+        );
         assert_eq!(plan.next_entry.mode(), DirMode::UpdateOnly(ADD));
         assert!(plan.next_entry.sharers().contains(0));
         assert!(plan.next_entry.sharers().contains(1));
@@ -709,7 +746,10 @@ mod tests {
         assert_eq!(plan.invalidate_readers, SharerSet::from_iter([1, 2]));
         assert_eq!(plan.next_entry.mode(), DirMode::Exclusive);
         let plan2 = serve_request(ProtocolKind::Msi, &ex(5), 0, C_ADD);
-        assert_eq!(plan2.owner_action, Some((5, OwnerAction::InvalidateWithData)));
+        assert_eq!(
+            plan2.owner_action,
+            Some((5, OwnerAction::InvalidateWithData))
+        );
     }
 
     #[test]
@@ -753,7 +793,10 @@ mod tests {
     #[test]
     fn eviction_of_clean_copies_drops() {
         let mut entry = ro(&[0, 1]);
-        assert_eq!(serve_eviction(&mut entry, 1, PrivateState::Shared), EvictionPlan::DropClean);
+        assert_eq!(
+            serve_eviction(&mut entry, 1, PrivateState::Shared),
+            EvictionPlan::DropClean
+        );
         assert_eq!(entry.sharers().sole_member(), Some(0));
         let mut entry = ex(3);
         assert_eq!(
@@ -805,7 +848,10 @@ mod tests {
             local_hit_transition(PrivateState::Exclusive, AccessType::Write),
             PrivateState::Modified
         );
-        assert_eq!(local_hit_transition(PrivateState::Exclusive, C_ADD), PrivateState::Modified);
+        assert_eq!(
+            local_hit_transition(PrivateState::Exclusive, C_ADD),
+            PrivateState::Modified
+        );
         assert_eq!(
             local_hit_transition(PrivateState::Exclusive, AccessType::Read),
             PrivateState::Exclusive
@@ -849,8 +895,12 @@ mod tests {
             uo(OR, &[0, 1, 2, 3]),
         ];
         let accesses = [AccessType::Read, AccessType::Write, C_ADD, C_OR];
-        for kind in [ProtocolKind::Msi, ProtocolKind::Mesi, ProtocolKind::Musi, ProtocolKind::Meusi]
-        {
+        for kind in [
+            ProtocolKind::Msi,
+            ProtocolKind::Mesi,
+            ProtocolKind::Musi,
+            ProtocolKind::Meusi,
+        ] {
             for entry in &entries {
                 for &access in &accesses {
                     for requester in 0..4 {
@@ -861,9 +911,7 @@ mod tests {
                         // The requester must be able to satisfy its access
                         // after the grant (or the grant is a no-op re-grant).
                         let effective = match access {
-                            AccessType::CommutativeUpdate(_)
-                                if !kind.supports_update_only() =>
-                            {
+                            AccessType::CommutativeUpdate(_) if !kind.supports_update_only() => {
                                 AccessType::Write
                             }
                             a => a,

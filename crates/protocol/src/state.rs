@@ -93,7 +93,10 @@ impl PrivateState {
     /// a partial update or nothing).
     #[must_use]
     pub const fn has_data_value(self) -> bool {
-        matches!(self, PrivateState::Shared | PrivateState::Exclusive | PrivateState::Modified)
+        matches!(
+            self,
+            PrivateState::Shared | PrivateState::Exclusive | PrivateState::Modified
+        )
     }
 
     /// Whether the state carries any payload that must be conveyed to the
@@ -286,10 +289,16 @@ mod tests {
     #[test]
     fn op_class_of_states() {
         assert_eq!(PrivateState::Shared.op_class(), Some(OpClass::ReadOnly));
-        assert_eq!(PrivateState::UpdateOnly(OR).op_class(), Some(OpClass::Update(OR)));
+        assert_eq!(
+            PrivateState::UpdateOnly(OR).op_class(),
+            Some(OpClass::Update(OR))
+        );
         assert_eq!(PrivateState::Modified.op_class(), None);
         assert_eq!(DirMode::ReadOnly.op_class(), Some(OpClass::ReadOnly));
-        assert_eq!(DirMode::UpdateOnly(ADD).op_class(), Some(OpClass::Update(ADD)));
+        assert_eq!(
+            DirMode::UpdateOnly(ADD).op_class(),
+            Some(OpClass::Update(ADD))
+        );
         assert_eq!(DirMode::Exclusive.op_class(), None);
         assert_eq!(DirMode::Uncached.op_class(), None);
     }
@@ -311,7 +320,7 @@ mod tests {
         // 2 mode bits + ceil(log2(9)) = 4 type bits = 6 total, a conservative
         // upper bound that is still "a few bits per tag".
         let bits = DirMode::encoding_bits(true, 8);
-        assert!(bits >= 4 && bits <= 8, "unexpected encoding bits: {bits}");
+        assert!((4..=8).contains(&bits), "unexpected encoding bits: {bits}");
         // Single-op MUSI: strictly fewer bits than the 8-op version.
         assert!(DirMode::encoding_bits(true, 1) < bits);
     }

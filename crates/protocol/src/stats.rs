@@ -93,7 +93,11 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates_every_field() {
-        let mut a = ProtocolStats { silent_grants: 1, full_reductions: 2, ..Default::default() };
+        let mut a = ProtocolStats {
+            silent_grants: 1,
+            full_reductions: 2,
+            ..Default::default()
+        };
         let b = ProtocolStats {
             silent_grants: 3,
             partial_reductions: 4,
@@ -112,7 +116,10 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut s = ProtocolStats { writebacks: 7, ..Default::default() };
+        let mut s = ProtocolStats {
+            writebacks: 7,
+            ..Default::default()
+        };
         s.reset();
         assert_eq!(s, ProtocolStats::new());
     }

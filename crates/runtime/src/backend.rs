@@ -1,0 +1,537 @@
+//! The [`UpdateBackend`] trait and its two implementations.
+//!
+//! * [`AtomicBackend`] — the conventional baseline: every update is an atomic
+//!   read-modify-write on the shared store, so a contended lane serialises all
+//!   updaters on one cache line exactly as `lock xadd` does.
+//! * [`CoupBackend`] — software COUP: each worker thread owns a privatized
+//!   mirror of the store, organised in the same cache-line shards, and applies
+//!   its updates there with plain (single-writer) loads and stores. Reads
+//!   trigger an on-demand reduction: the reader combines the global value with
+//!   every thread's buffered partial using the operation's lane arithmetic,
+//!   exactly like a COUP read collecting the U-state copies. A per-line flush
+//!   threshold bounds how much state lives in private buffers.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use coup_protocol::line::{LineData, WORDS_PER_LINE};
+use coup_protocol::ops::CommutativeOp;
+
+use crate::store::{LaneGeometry, PaddedLine, SharedStore};
+
+/// A shared array of lanes supporting commutative updates and coherent-enough
+/// reads, the common interface the workloads and benches program against.
+///
+/// # Consistency contract
+///
+/// Implementations are *quiescently consistent*: a read observes every update
+/// that happened-before it (same thread program order, or cross-thread via a
+/// synchronisation edge such as a barrier or thread join, provided the updater
+/// flushed), and after all updaters have finished and flushed,
+/// [`UpdateBackend::snapshot`] returns exactly the reduction of every update
+/// issued. Updates concurrent with a read may or may not be visible — the
+/// same freedom the COUP protocol's reductions have, and precisely what the
+/// commutativity of the operation makes harmless.
+pub trait UpdateBackend: Send + Sync {
+    /// Short name for reports ("atomic", "coup").
+    fn name(&self) -> &'static str;
+
+    /// The commutative operation this backend applies.
+    fn op(&self) -> CommutativeOp;
+
+    /// Number of lanes.
+    fn len(&self) -> usize;
+
+    /// True if the backend has no lanes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies `op(current, value)` to lane `index` on behalf of worker
+    /// `thread`.
+    fn update(&self, thread: usize, index: usize, value: u64);
+
+    /// Update immediately followed by a read of the same lane (the
+    /// decrement-and-test idiom of reference counting). Backends with a
+    /// fetch-op can serve this in one instruction.
+    ///
+    /// Atomicity of the pair is backend-specific: [`AtomicBackend`]'s
+    /// fetch-op guarantees exactly one of several concurrent decrementers
+    /// observes zero, while [`CoupBackend`]'s update-then-reduce does not
+    /// (two concurrent decrements from 2 can both, or neither, observe 0).
+    /// Hardware COUP serialises such reads at the directory; a destructive
+    /// decision (deallocation) on the software backend needs an external
+    /// tie-break — see the delayed-deallocation scheme of §5.4, which
+    /// defers zero checks to an epoch boundary.
+    fn update_read(&self, thread: usize, index: usize, value: u64) -> u64 {
+        self.update(thread, index, value);
+        self.read(thread, index)
+    }
+
+    /// Reads lane `index` on behalf of worker `thread`, reducing buffered
+    /// partial updates as needed.
+    fn read(&self, thread: usize, index: usize) -> u64;
+
+    /// Publishes any updates worker `thread` still holds privately.
+    ///
+    /// Must be called either *by* worker `thread` itself or at quiescence
+    /// (after the workers have joined): draining another worker's buffer
+    /// while it is mid-update would violate the buffer's single-writer
+    /// discipline and could resurrect an already-published delta.
+    fn flush(&self, thread: usize) {
+        let _ = thread;
+    }
+
+    /// Every lane's value. Exact once all workers have finished and flushed.
+    fn snapshot(&self) -> Vec<u64>;
+}
+
+/// Conventional shared-memory baseline: every update is an atomic RMW on the
+/// sharded global store; reads are plain atomic loads.
+#[derive(Debug)]
+pub struct AtomicBackend {
+    store: SharedStore,
+}
+
+impl AtomicBackend {
+    /// Creates a backend with `len` zeroed lanes of `op`'s width.
+    #[must_use]
+    pub fn new(op: CommutativeOp, len: usize) -> Self {
+        AtomicBackend {
+            store: SharedStore::new(op, len),
+        }
+    }
+
+    /// The backing store (for tests and initialisation).
+    #[must_use]
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+}
+
+impl UpdateBackend for AtomicBackend {
+    fn name(&self) -> &'static str {
+        "atomic"
+    }
+
+    fn op(&self) -> CommutativeOp {
+        self.store.op()
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn update(&self, _thread: usize, index: usize, value: u64) {
+        self.store.rmw_lane(index, value);
+    }
+
+    fn update_read(&self, _thread: usize, index: usize, value: u64) -> u64 {
+        self.store.rmw_lane(index, value)
+    }
+
+    fn read(&self, _thread: usize, index: usize) -> u64 {
+        self.store.load_lane(index)
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.store.snapshot()
+    }
+}
+
+/// One worker's privatized update buffer: a mirror of the store's shard
+/// geometry whose words hold *partial updates* initialised to the identity
+/// element, exactly like a private cache line in the U state.
+///
+/// Single-writer: only the owning worker stores to these words (with plain
+/// atomic stores — no RMW, no lock prefix); readers of other threads load
+/// them during reductions. `pending` counts unflushed updates per line and is
+/// touched only by the owner.
+#[derive(Debug)]
+struct ThreadBuffer {
+    lines: Box<[PaddedLine]>,
+    pending: Box<[AtomicU32]>,
+    /// Per-line flush epoch, seqlock-style: odd while this buffer's owner is
+    /// migrating the line into the store (swap + reduce), bumped to the next
+    /// even value when the migration completes. Single writer (the owner);
+    /// readers use it to detect a migration overlapping their reduction, so
+    /// a delta can never be observed in neither place (see
+    /// [`CoupBackend::read`]).
+    epochs: Box<[AtomicU32]>,
+}
+
+impl ThreadBuffer {
+    fn new(op: CommutativeOp, num_lines: usize) -> Self {
+        let identity = op.identity_word();
+        let lines: Box<[PaddedLine]> = (0..num_lines).map(|_| PaddedLine::default()).collect();
+        for line in &lines {
+            for word in &line.words {
+                word.store(identity, Ordering::Relaxed);
+            }
+        }
+        ThreadBuffer {
+            lines,
+            pending: (0..num_lines).map(|_| AtomicU32::new(0)).collect(),
+            epochs: (0..num_lines).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+}
+
+/// Software COUP: privatized per-thread buffers absorb updates with plain
+/// stores; reads reduce on demand across all buffers; full lines flush into
+/// the sharded store when a per-line update budget is exceeded.
+#[derive(Debug)]
+pub struct CoupBackend {
+    store: SharedStore,
+    buffers: Vec<ThreadBuffer>,
+    geometry: LaneGeometry,
+    flush_threshold: u32,
+}
+
+/// Default per-line update budget before a privatized line is flushed to the
+/// store. Correctness never depends on this (all supported operations are
+/// total on their bit patterns — integer lanes wrap), so it defaults high:
+/// flushing costs a CAS per dirty word, and reads reduce buffered partials
+/// regardless.
+pub const DEFAULT_FLUSH_THRESHOLD: u32 = 4096;
+
+impl CoupBackend {
+    /// Creates a backend with `len` zeroed lanes of `op`'s width and one
+    /// privatized buffer per worker in `0..threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(op: CommutativeOp, len: usize, threads: usize) -> Self {
+        Self::with_flush_threshold(op, len, threads, DEFAULT_FLUSH_THRESHOLD)
+    }
+
+    /// Like [`CoupBackend::new`] with an explicit per-line flush budget
+    /// (minimum 1: every update immediately reduces into the store).
+    #[must_use]
+    pub fn with_flush_threshold(
+        op: CommutativeOp,
+        len: usize,
+        threads: usize,
+        flush_threshold: u32,
+    ) -> Self {
+        assert!(threads > 0, "CoupBackend needs at least one worker");
+        let store = SharedStore::new(op, len);
+        let geometry = store.geometry();
+        let num_lines = store.num_lines();
+        CoupBackend {
+            store,
+            buffers: (0..threads)
+                .map(|_| ThreadBuffer::new(op, num_lines))
+                .collect(),
+            geometry,
+            flush_threshold: flush_threshold.max(1),
+        }
+    }
+
+    /// Number of privatized worker buffers.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The backing store (for tests and initialisation).
+    #[must_use]
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    #[inline]
+    fn buffer_word(&self, thread: usize, line: usize, word: usize) -> &AtomicU64 {
+        &self.buffers[thread].lines[line].words[word]
+    }
+
+    /// Drains one privatized line into the store: swap each word back to the
+    /// identity element, assemble the observed partial into a [`LineData`],
+    /// and reduce it lane-wise. The swap guarantees each buffered delta is
+    /// consumed exactly once even while other threads are reading, and the
+    /// surrounding epoch bumps (odd while migrating) let concurrent readers
+    /// detect that a delta may be mid-flight between buffer and store and
+    /// retry (see [`CoupBackend::read`]).
+    fn flush_line(&self, thread: usize, line: usize) {
+        let epoch = &self.buffers[thread].epochs[line];
+        epoch.store(
+            epoch.load(Ordering::Relaxed).wrapping_add(1),
+            Ordering::Relaxed,
+        );
+        // Order the odd-epoch store before the swaps: a reader that observes
+        // a swapped (identity) word must also observe the migration marker.
+        std::sync::atomic::fence(Ordering::Release);
+        let op = self.store.op();
+        let identity = op.identity_word();
+        let mut partial = LineData::identity(op);
+        let mut dirty = false;
+        for word in 0..WORDS_PER_LINE {
+            let observed = self
+                .buffer_word(thread, line, word)
+                .swap(identity, Ordering::AcqRel);
+            if observed != identity {
+                partial.set_word(word, observed);
+                dirty = true;
+            }
+        }
+        self.buffers[thread].pending[line].store(0, Ordering::Relaxed);
+        if dirty {
+            self.store.reduce_line(line, &partial);
+        }
+        epoch.store(
+            epoch.load(Ordering::Relaxed).wrapping_add(1),
+            Ordering::Release,
+        );
+    }
+
+    /// Sums the flush epochs of `line` across all buffers, or `None` if any
+    /// buffer is mid-migration (odd epoch). Epochs are monotonic, so an
+    /// unchanged sum across a read means no migration started or completed
+    /// inside it.
+    fn epoch_sum(&self, line: usize, ordering: Ordering) -> Option<u32> {
+        let mut sum = 0u32;
+        for buffer in &self.buffers {
+            let epoch = buffer.epochs[line].load(ordering);
+            if epoch & 1 == 1 {
+                return None;
+            }
+            sum = sum.wrapping_add(epoch);
+        }
+        Some(sum)
+    }
+}
+
+impl UpdateBackend for CoupBackend {
+    fn name(&self) -> &'static str {
+        "coup"
+    }
+
+    fn op(&self) -> CommutativeOp {
+        self.store.op()
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn update(&self, thread: usize, index: usize, value: u64) {
+        debug_assert!(index < self.store.len());
+        let op = self.store.op();
+        let slot = self.geometry.slot(index);
+        let word = self.buffer_word(thread, slot.line, slot.word);
+        // Single-writer fast path: plain load + lane combine + plain store.
+        // No lock prefix, no CAS — the whole point of privatization.
+        let current = word.load(Ordering::Relaxed);
+        let lane = (current & slot.mask) >> slot.shift;
+        let new_lane = op.apply_lane(lane, value) & slot.low_mask;
+        word.store(
+            (current & !slot.mask) | (new_lane << slot.shift),
+            Ordering::Release,
+        );
+
+        let pending = &self.buffers[thread].pending[slot.line];
+        let count = pending.load(Ordering::Relaxed) + 1;
+        if count >= self.flush_threshold {
+            self.flush_line(thread, slot.line);
+        } else {
+            pending.store(count, Ordering::Relaxed);
+        }
+    }
+
+    fn read(&self, _thread: usize, index: usize) -> u64 {
+        debug_assert!(index < self.store.len());
+        let op = self.store.op();
+        let slot = self.geometry.slot(index);
+        let identity = op.identity_lane();
+        // On-demand reduction: global value ∘ every thread's buffered partial.
+        // A concurrent threshold flush migrates a delta from a buffer into
+        // the store; reading the store before the reduce and the buffer after
+        // the swap would observe the delta in *neither* place. The seqlock
+        // epochs rule that out: if no line epoch changed (and none was odd)
+        // across the whole reduction, no migration overlapped it.
+        loop {
+            let Some(before) = self.epoch_sum(slot.line, Ordering::Acquire) else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let mut value = self.store.load_lane(index);
+            for buffer in &self.buffers {
+                let word = buffer.lines[slot.line].words[slot.word].load(Ordering::Acquire);
+                let lane = (word & slot.mask) >> slot.shift;
+                if lane != identity {
+                    value = op.apply_lane(value, lane) & slot.low_mask;
+                }
+            }
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.epoch_sum(slot.line, Ordering::Relaxed) == Some(before) {
+                return value;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn flush(&self, thread: usize) {
+        for line in 0..self.buffers[thread].lines.len() {
+            if self.buffers[thread].pending[line].load(Ordering::Relaxed) > 0 {
+                self.flush_line(thread, line);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        // Reduce non-destructively, exactly like `read`, rather than draining
+        // other threads' buffers: a cross-thread drain would break the
+        // single-writer invariant of `update` if a worker were still running
+        // (its plain store could resurrect an already-reduced delta). This
+        // way a mid-run snapshot is merely possibly stale, and a quiescent
+        // one is exact whether or not anyone flushed.
+        (0..self.store.len())
+            .map(|index| self.read(0, index))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends(op: CommutativeOp, len: usize, threads: usize) -> (AtomicBackend, CoupBackend) {
+        (
+            AtomicBackend::new(op, len),
+            CoupBackend::new(op, len, threads),
+        )
+    }
+
+    #[test]
+    fn atomic_backend_counts() {
+        let b = AtomicBackend::new(CommutativeOp::AddU64, 8);
+        b.update(0, 3, 5);
+        b.update(1, 3, 7);
+        assert_eq!(b.read(0, 3), 12);
+        assert_eq!(b.update_read(0, 3, 1), 13);
+        assert_eq!(b.snapshot()[3], 13);
+    }
+
+    #[test]
+    fn coup_read_reduces_unflushed_partials() {
+        let b = CoupBackend::new(CommutativeOp::AddU64, 8, 4);
+        b.update(0, 2, 10);
+        b.update(1, 2, 20);
+        b.update(3, 2, 3);
+        // Nothing flushed yet: the store still holds zero, the read reduces.
+        assert_eq!(b.store().load_lane(2), 0);
+        assert_eq!(b.read(2, 2), 33);
+        assert_eq!(b.update_read(2, 2, 1), 34);
+    }
+
+    #[test]
+    fn coup_flush_threshold_drains_hot_lines() {
+        let b = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 2, 4);
+        for _ in 0..4 {
+            b.update(0, 0, 1);
+        }
+        // The 4th update crossed the threshold: the partial moved to the store.
+        assert_eq!(b.store().load_lane(0), 4);
+        assert_eq!(b.read(1, 0), 4);
+        b.update(0, 0, 1);
+        assert_eq!(b.store().load_lane(0), 4, "below threshold stays private");
+        assert_eq!(b.read(1, 0), 5);
+    }
+
+    #[test]
+    fn explicit_flush_publishes_everything() {
+        let b = CoupBackend::new(CommutativeOp::AddU32, 64, 3);
+        for t in 0..3 {
+            for i in 0..64 {
+                b.update(t, i, (t + 1) as u64);
+            }
+        }
+        for t in 0..3 {
+            b.flush(t);
+        }
+        for i in 0..64 {
+            assert_eq!(b.store().load_lane(i), 6);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_a_sequential_interleaving() {
+        for op in [
+            CommutativeOp::AddU16,
+            CommutativeOp::AddU32,
+            CommutativeOp::Or64,
+        ] {
+            let (atomic, coup) = backends(op, 32, 4);
+            let mut x = 0x1234_5678_u64;
+            for step in 0..2000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let thread = (x >> 16) as usize % 4;
+                let index = (x >> 24) as usize % 32;
+                if step % 7 == 0 {
+                    assert_eq!(
+                        atomic.read(thread, index),
+                        coup.read(thread, index),
+                        "read mismatch for {op:?} at step {step}"
+                    );
+                } else {
+                    let value = x >> 40;
+                    atomic.update(thread, index, value);
+                    coup.update(thread, index, value);
+                }
+            }
+            assert_eq!(
+                atomic.snapshot(),
+                coup.snapshot(),
+                "final state mismatch for {op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_never_lose_migrating_deltas() {
+        // flush_threshold 1 makes every update migrate buffer → store, so
+        // readers constantly race the swap/reduce window. A counter that
+        // only grows must never appear to shrink: a dip means a reader saw
+        // the delta in neither the buffer nor the store (the race the
+        // per-line epoch seqlock closes).
+        let updates = 30_000u64;
+        let coup = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 3, 1);
+        std::thread::scope(|scope| {
+            let coup = &coup;
+            scope.spawn(move || {
+                for _ in 0..updates {
+                    coup.update(0, 0, 1);
+                }
+            });
+            for reader in [1usize, 2] {
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let now = coup.read(reader, 0);
+                        assert!(now >= last, "counter went backwards: {last} -> {now}");
+                        if now == updates {
+                            break;
+                        }
+                        last = now;
+                    }
+                });
+            }
+        });
+        assert_eq!(coup.snapshot()[0], updates);
+    }
+
+    #[test]
+    fn min_backend_tracks_minimum() {
+        let (atomic, coup) = backends(CommutativeOp::Min64, 4, 2);
+        for b in [&atomic as &dyn UpdateBackend, &coup] {
+            // Store starts zeroed, so 0 is already the floor; check identity
+            // behaviour by never letting zero win.
+            assert_eq!(b.read(0, 1), 0);
+            b.update(0, 1, 5);
+            assert_eq!(b.read(1, 1), 0);
+        }
+    }
+}

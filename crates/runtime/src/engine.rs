@@ -1,0 +1,145 @@
+//! The worker engine: scoped threads plus the per-run synchronisation the
+//! workload kernels need (thread index, barrier, backend handle).
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use crate::backend::UpdateBackend;
+
+/// Per-worker context handed to the closure run by [`Engine::run`].
+#[derive(Debug)]
+pub struct WorkerCtx<'a> {
+    /// This worker's index in `0..threads`.
+    pub thread: usize,
+    /// Total number of workers in the run.
+    pub threads: usize,
+    barrier: &'a Barrier,
+}
+
+impl WorkerCtx<'_> {
+    /// Blocks until every worker of the run has reached the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Runs worker closures over real OS threads.
+///
+/// The engine is deliberately small: workers are `std::thread::scope` threads
+/// (so they may borrow the backend and input data), synchronised by one
+/// reusable barrier. Thread `0` runs on the calling thread — spawning N-1
+/// threads for an N-worker run keeps single-worker runs allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine running `threads` workers per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "Engine needs at least one worker");
+        Engine { threads }
+    }
+
+    /// Number of workers per run.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `worker` once per thread and returns the per-thread results in
+    /// thread order. A panic in a worker propagates once the other workers
+    /// finish — but a worker that panics while others are blocked in
+    /// [`WorkerCtx::barrier`] deadlocks the run (`std::sync::Barrier` has no
+    /// poisoning), which is why kernels must give every thread the same
+    /// number of barrier steps.
+    pub fn run<R, F>(&self, worker: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(WorkerCtx<'_>) -> R + Sync,
+    {
+        let barrier = Barrier::new(self.threads);
+        let ctx = |thread: usize| WorkerCtx {
+            thread,
+            threads: self.threads,
+            barrier: &barrier,
+        };
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = (1..self.threads)
+                .map(|thread| scope.spawn(move || worker(ctx(thread))))
+                .collect();
+            let mut results = vec![worker(ctx(0))];
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+            results
+        })
+    }
+
+    /// Like [`Engine::run`], but also runs `backend.flush(thread)` as each
+    /// worker finishes and reports the wall-clock time of the whole run
+    /// (including the flushes, so backends cannot hide work in buffers).
+    pub fn run_on_backend<R, F>(&self, backend: &dyn UpdateBackend, worker: F) -> (Vec<R>, Duration)
+    where
+        R: Send,
+        F: Fn(WorkerCtx<'_>) -> R + Sync,
+    {
+        let start = Instant::now();
+        let results = self.run(|ctx| {
+            let thread = ctx.thread;
+            let result = worker(ctx);
+            backend.flush(thread);
+            result
+        });
+        (results, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CoupBackend, UpdateBackend};
+    use coup_protocol::ops::CommutativeOp;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_returns_results_in_thread_order() {
+        let engine = Engine::new(4);
+        let results = engine.run(|ctx| ctx.thread * 10);
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn barrier_synchronises_phases() {
+        let engine = Engine::new(4);
+        let phase1 = AtomicUsize::new(0);
+        engine.run(|ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every worker must observe all four arrivals.
+            assert_eq!(phase1.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn run_on_backend_flushes_each_worker() {
+        let threads = 3;
+        let engine = Engine::new(threads);
+        let backend = CoupBackend::new(CommutativeOp::AddU64, 4, threads);
+        let (_, elapsed) = engine.run_on_backend(&backend, |ctx| {
+            for _ in 0..100 {
+                backend.update(ctx.thread, 1, 1);
+            }
+        });
+        // Every worker flushed on exit, so the *store* (not just a reducing
+        // read) already holds the full total.
+        assert_eq!(backend.store().load_lane(1), 300);
+        assert!(elapsed > Duration::ZERO);
+    }
+}

@@ -1,0 +1,179 @@
+//! A self-contained contended-update microbenchmark driver.
+//!
+//! Every worker applies a deterministic pseudo-random stream of commutative
+//! updates (with an optional admixture of reads) over a small set of shared
+//! lanes — the access pattern of a contended histogram or reference-count
+//! array. Because each worker's stream depends only on `(seed, thread)`, the
+//! multiset of updates is identical across backends, so for the
+//! non-floating-point operations two backends driven with the same spec must
+//! end in exactly the same state — which [`run_contended`] asserts via
+//! [`UpdateBackend::snapshot`] when asked to.
+
+use std::time::Duration;
+
+use coup_protocol::ops::CommutativeOp;
+
+use crate::backend::UpdateBackend;
+use crate::engine::Engine;
+
+/// Parameters of one contended run.
+#[derive(Debug, Clone, Copy)]
+pub struct ContendedSpec {
+    /// Number of shared lanes (small = high contention).
+    pub lanes: usize,
+    /// Updates issued per worker.
+    pub updates_per_thread: usize,
+    /// Out of every 1000 operations, how many are reads.
+    pub reads_per_1000: u32,
+    /// Stream seed; combined with the thread index.
+    pub seed: u64,
+}
+
+impl ContendedSpec {
+    /// A high-contention histogram-like default: 64 lanes, updates only.
+    #[must_use]
+    pub fn contended(updates_per_thread: usize) -> Self {
+        ContendedSpec {
+            lanes: 64,
+            updates_per_thread,
+            reads_per_1000: 0,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Same, with `reads_per_1000` reads mixed in.
+    #[must_use]
+    pub fn with_reads(mut self, reads_per_1000: u32) -> Self {
+        self.reads_per_1000 = reads_per_1000.min(1000);
+        self
+    }
+}
+
+/// Wall-clock result of one contended run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Worker count.
+    pub threads: usize,
+    /// Total updates applied (all workers).
+    pub updates: u64,
+    /// Total reads served (all workers).
+    pub reads: u64,
+    /// Wall-clock time of the whole run, including final flushes.
+    pub elapsed: Duration,
+}
+
+impl ThroughputReport {
+    /// Millions of operations (updates + reads) per second of wall time.
+    #[must_use]
+    pub fn mops(&self) -> f64 {
+        let ops = (self.updates + self.reads) as f64;
+        ops / self.elapsed.as_secs_f64().max(1e-12) / 1e6
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `spec` on `backend` with `threads` workers and reports throughput.
+///
+/// The per-worker operation stream is deterministic in `(spec.seed, thread)`,
+/// so the same spec on two backends applies the same update multiset.
+pub fn run_contended(
+    backend: &dyn UpdateBackend,
+    threads: usize,
+    spec: &ContendedSpec,
+) -> ThroughputReport {
+    assert!(
+        spec.lanes > 0 && spec.lanes <= backend.len(),
+        "spec wider than backend"
+    );
+    let engine = Engine::new(threads);
+    let (counts, elapsed) = engine.run_on_backend(backend, |ctx| {
+        let mut state = spec.seed ^ (ctx.thread as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut reads = 0u64;
+        let mut checksum = 0u64;
+        for _ in 0..spec.updates_per_thread {
+            let r = splitmix64(&mut state);
+            let lane = (r >> 32) as usize % spec.lanes;
+            if r % 1000 < u64::from(spec.reads_per_1000) {
+                checksum = checksum.wrapping_add(backend.read(ctx.thread, lane));
+                reads += 1;
+            } else {
+                backend.update(ctx.thread, lane, 1);
+            }
+        }
+        (reads, std::hint::black_box(checksum))
+    });
+    let reads: u64 = counts.iter().map(|(r, _)| r).sum();
+    ThroughputReport {
+        threads,
+        updates: threads as u64 * spec.updates_per_thread as u64 - reads,
+        reads,
+        elapsed,
+    }
+}
+
+/// The sequential reference result of `spec`: what every backend must hold at
+/// quiescence for a wrap-around (non-floating-point) add.
+#[must_use]
+pub fn expected_counts(spec: &ContendedSpec, threads: usize, op: CommutativeOp) -> Vec<u64> {
+    let mut lanes = vec![0u64; spec.lanes];
+    for thread in 0..threads {
+        let mut state = spec.seed ^ (thread as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        for _ in 0..spec.updates_per_thread {
+            let r = splitmix64(&mut state);
+            let lane = (r >> 32) as usize % spec.lanes;
+            if r % 1000 >= u64::from(spec.reads_per_1000) {
+                lanes[lane] = op.apply_lane(lanes[lane], 1);
+            }
+        }
+    }
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{AtomicBackend, CoupBackend};
+
+    #[test]
+    fn backends_match_the_sequential_reference() {
+        let op = CommutativeOp::AddU64;
+        let spec = ContendedSpec {
+            lanes: 16,
+            updates_per_thread: 5_000,
+            reads_per_1000: 50,
+            seed: 9,
+        };
+        let threads = 4;
+        let atomic = AtomicBackend::new(op, spec.lanes);
+        let coup = CoupBackend::new(op, spec.lanes, threads);
+        let ra = run_contended(&atomic, threads, &spec);
+        let rc = run_contended(&coup, threads, &spec);
+        let want = expected_counts(&spec, threads, op);
+        assert_eq!(atomic.snapshot(), want);
+        assert_eq!(coup.snapshot(), want);
+        assert_eq!(
+            ra.updates + ra.reads,
+            (threads * spec.updates_per_thread) as u64
+        );
+        assert_eq!(ra.updates, rc.updates, "same streams, same mix");
+        assert!(ra.mops() > 0.0 && rc.mops() > 0.0);
+    }
+
+    #[test]
+    fn sub_word_lanes_match_too() {
+        let op = CommutativeOp::AddU32;
+        let spec = ContendedSpec::contended(3_000).with_reads(20);
+        let threads = 3;
+        let coup = CoupBackend::new(op, spec.lanes, threads);
+        run_contended(&coup, threads, &spec);
+        assert_eq!(coup.snapshot(), expected_counts(&spec, threads, op));
+    }
+}

@@ -33,7 +33,14 @@ impl LatencyConfig {
     /// point-to-point links, 35-cycle L4, and a DDR3-1600-like main memory.
     #[must_use]
     pub const fn paper_default() -> Self {
-        LatencyConfig { l1: 4, l2: 7, l3: 27, network: 40, l4: 35, memory: 120 }
+        LatencyConfig {
+            l1: 4,
+            l2: 7,
+            l3: 27,
+            network: 40,
+            l4: 35,
+            memory: 120,
+        }
     }
 }
 
@@ -207,7 +214,11 @@ impl SystemConfig {
     /// Panics if `core` is out of range.
     #[must_use]
     pub fn chip_of(&self, core: usize) -> usize {
-        assert!(core < self.cores, "core {core} out of range ({} cores)", self.cores);
+        assert!(
+            core < self.cores,
+            "core {core} out of range ({} cores)",
+            self.cores
+        );
         core / self.cores_per_chip
     }
 
@@ -272,11 +283,26 @@ mod tests {
         // "1-core runs use a single processor and L4 chip, 32-core runs use two
         // of each, and so on."
         assert_eq!(SystemConfig::paper_system(1, ProtocolKind::Mesi).chips(), 1);
-        assert_eq!(SystemConfig::paper_system(16, ProtocolKind::Mesi).chips(), 1);
-        assert_eq!(SystemConfig::paper_system(32, ProtocolKind::Mesi).chips(), 2);
-        assert_eq!(SystemConfig::paper_system(64, ProtocolKind::Mesi).chips(), 4);
-        assert_eq!(SystemConfig::paper_system(96, ProtocolKind::Mesi).chips(), 6);
-        assert_eq!(SystemConfig::paper_system(128, ProtocolKind::Mesi).chips(), 8);
+        assert_eq!(
+            SystemConfig::paper_system(16, ProtocolKind::Mesi).chips(),
+            1
+        );
+        assert_eq!(
+            SystemConfig::paper_system(32, ProtocolKind::Mesi).chips(),
+            2
+        );
+        assert_eq!(
+            SystemConfig::paper_system(64, ProtocolKind::Mesi).chips(),
+            4
+        );
+        assert_eq!(
+            SystemConfig::paper_system(96, ProtocolKind::Mesi).chips(),
+            6
+        );
+        assert_eq!(
+            SystemConfig::paper_system(128, ProtocolKind::Mesi).chips(),
+            8
+        );
     }
 
     #[test]

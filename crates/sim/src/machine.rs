@@ -32,7 +32,9 @@ impl Machine {
     /// Builds a machine for the given configuration.
     #[must_use]
     pub fn new(cfg: SystemConfig) -> Self {
-        Machine { memsys: MemorySystem::new(cfg) }
+        Machine {
+            memsys: MemorySystem::new(cfg),
+        }
     }
 
     /// The machine's configuration.
@@ -75,7 +77,10 @@ impl Machine {
         let mut done = vec![false; n];
         let mut at_barrier = vec![false; n];
         let mut last_value: Vec<Option<u64>> = vec![None; n];
-        let mut stats = RunStats { per_core_cycles: vec![0; n], ..Default::default() };
+        let mut stats = RunStats {
+            per_core_cycles: vec![0; n],
+            ..Default::default()
+        };
 
         let mut remaining = n;
         while remaining > 0 {
@@ -117,7 +122,9 @@ impl Machine {
                     remaining -= 1;
                 }
                 ThreadOp::Load { addr } => {
-                    let r = self.memsys.access(core, clocks[core], AccessType::Read, addr, 0);
+                    let r = self
+                        .memsys
+                        .access(core, clocks[core], AccessType::Read, addr, 0);
                     clocks[core] = r.completes_at;
                     last_value[core] = Some(r.value);
                     stats.loads += 1;
@@ -126,7 +133,9 @@ impl Machine {
                     stats.latency_sum += r.latency;
                 }
                 ThreadOp::Store { addr, value } => {
-                    let r = self.memsys.access(core, clocks[core], AccessType::Write, addr, value);
+                    let r = self
+                        .memsys
+                        .access(core, clocks[core], AccessType::Write, addr, value);
                     clocks[core] = r.completes_at;
                     stats.stores += 1;
                     stats.accesses += 1;
@@ -194,10 +203,21 @@ mod tests {
         let mut m = Machine::new(SystemConfig::test_system(1, ProtocolKind::Meusi));
         let stats = m.run(vec![boxed(vec![
             ThreadOp::Compute(10),
-            ThreadOp::Store { addr: 0x40, value: 5 },
+            ThreadOp::Store {
+                addr: 0x40,
+                value: 5,
+            },
             ThreadOp::Load { addr: 0x40 },
-            ThreadOp::CommutativeUpdate { addr: 0x40, op: ADD, value: 3 },
-            ThreadOp::AtomicRmw { addr: 0x80, op: ADD, value: 1 },
+            ThreadOp::CommutativeUpdate {
+                addr: 0x40,
+                op: ADD,
+                value: 3,
+            },
+            ThreadOp::AtomicRmw {
+                addr: 0x80,
+                op: ADD,
+                value: 1,
+            },
             ThreadOp::Done,
         ])]);
         assert_eq!(stats.loads, 1);
@@ -217,13 +237,21 @@ mod tests {
             let mk = |n: u64| {
                 let mut ops = Vec::new();
                 for _ in 0..n {
-                    ops.push(ThreadOp::CommutativeUpdate { addr: 0x1000, op: ADD, value: 1 });
+                    ops.push(ThreadOp::CommutativeUpdate {
+                        addr: 0x1000,
+                        op: ADD,
+                        value: 1,
+                    });
                 }
                 ops.push(ThreadOp::Done);
                 boxed(ops)
             };
             let stats = m.run(vec![mk(25), mk(25), mk(25), mk(25)]);
-            assert_eq!(m.memory().peek(0x1000), 100, "lost updates under {protocol}");
+            assert_eq!(
+                m.memory().peek(0x1000),
+                100,
+                "lost updates under {protocol}"
+            );
             assert_eq!(stats.commutative_updates, 100);
         }
     }
@@ -269,8 +297,10 @@ mod tests {
 
         let mut m = Machine::new(SystemConfig::test_system(1, ProtocolKind::Mesi));
         m.memory().poke(0x300, 42);
-        let stats =
-            m.run(vec![boxed(vec![ThreadOp::Load { addr: 0x300 }, ThreadOp::Done])]);
+        let stats = m.run(vec![boxed(vec![
+            ThreadOp::Load { addr: 0x300 },
+            ThreadOp::Done,
+        ])]);
         assert_eq!(stats.loads, 1);
         // Drive an identical program manually to show the observed value matches
         // what the machine would have fed back.
@@ -290,8 +320,16 @@ mod tests {
             let programs: Vec<BoxedProgram> = (0..4)
                 .map(|_| {
                     boxed(vec![
-                        ThreadOp::CommutativeUpdate { addr: 0x4000, op: ADD, value: 2 },
-                        ThreadOp::CommutativeUpdate { addr: 0x4000, op: ADD, value: 3 },
+                        ThreadOp::CommutativeUpdate {
+                            addr: 0x4000,
+                            op: ADD,
+                            value: 2,
+                        },
+                        ThreadOp::CommutativeUpdate {
+                            addr: 0x4000,
+                            op: ADD,
+                            value: 3,
+                        },
                         ThreadOp::Done,
                     ])
                 })
@@ -314,11 +352,18 @@ mod tests {
         let mut m = Machine::new(SystemConfig::test_system(2, ProtocolKind::Mesi));
         let writer = boxed(vec![
             ThreadOp::Compute(500),
-            ThreadOp::Store { addr: 0x5000, value: 7 },
+            ThreadOp::Store {
+                addr: 0x5000,
+                value: 7,
+            },
             ThreadOp::Barrier,
             ThreadOp::Done,
         ]);
-        let reader = boxed(vec![ThreadOp::Barrier, ThreadOp::Load { addr: 0x5000 }, ThreadOp::Done]);
+        let reader = boxed(vec![
+            ThreadOp::Barrier,
+            ThreadOp::Load { addr: 0x5000 },
+            ThreadOp::Done,
+        ]);
         let stats = m.run(vec![writer, reader]);
         assert_eq!(m.memory().peek(0x5000), 7);
         // The reader's clock must include the writer's 500 compute cycles plus
@@ -332,7 +377,11 @@ mod tests {
         // Thread 2 finishes immediately; threads 0 and 1 still synchronise.
         let stats = m.run(vec![
             boxed(vec![ThreadOp::Barrier, ThreadOp::Done]),
-            boxed(vec![ThreadOp::Compute(50), ThreadOp::Barrier, ThreadOp::Done]),
+            boxed(vec![
+                ThreadOp::Compute(50),
+                ThreadOp::Barrier,
+                ThreadOp::Done,
+            ]),
             boxed(vec![ThreadOp::Done]),
         ]);
         assert!(stats.cycles >= 50);
@@ -342,6 +391,9 @@ mod tests {
     #[should_panic(expected = "programs for")]
     fn too_many_programs_panics() {
         let mut m = Machine::new(SystemConfig::test_system(1, ProtocolKind::Mesi));
-        let _ = m.run(vec![boxed(vec![ThreadOp::Done]), boxed(vec![ThreadOp::Done])]);
+        let _ = m.run(vec![
+            boxed(vec![ThreadOp::Done]),
+            boxed(vec![ThreadOp::Done]),
+        ]);
     }
 }

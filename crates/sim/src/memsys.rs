@@ -112,8 +112,12 @@ impl MemorySystem {
             directory: HashMap::new(),
             memory: HashMap::new(),
             private,
-            l3_resident: (0..chips).map(|_| CacheArray::new(cfg.capacity.l3_geometry())).collect(),
-            l4_resident: (0..chips).map(|_| CacheArray::new(cfg.capacity.l4_geometry())).collect(),
+            l3_resident: (0..chips)
+                .map(|_| CacheArray::new(cfg.capacity.l3_geometry()))
+                .collect(),
+            l4_resident: (0..chips)
+                .map(|_| CacheArray::new(cfg.capacity.l4_geometry()))
+                .collect(),
             line_busy_until: HashMap::new(),
             protocol_stats: ProtocolStats::new(),
             traffic: TrafficStats::default(),
@@ -156,7 +160,10 @@ impl MemorySystem {
         assert_eq!(byte_addr % 8, 0, "poke address must be word-aligned");
         let line = LineAddr::containing(byte_addr);
         let word = (line.offset_of(byte_addr)) / 8;
-        self.memory.entry(line).or_insert_with(LineData::zeroed).set_word(word, value);
+        self.memory
+            .entry(line)
+            .or_insert_with(LineData::zeroed)
+            .set_word(word, value);
     }
 
     /// Reads the *coherent* value of the 64-bit word at `byte_addr`, bypassing
@@ -172,15 +179,20 @@ impl MemorySystem {
         assert_eq!(byte_addr % 8, 0, "peek address must be word-aligned");
         let line = LineAddr::containing(byte_addr);
         let word_idx = line.offset_of(byte_addr) / 8;
-        let entry = self.directory.get(&line).copied().unwrap_or_else(DirectoryEntry::uncached);
-        let base = self.memory.get(&line).copied().unwrap_or_else(LineData::zeroed);
+        let entry = self
+            .directory
+            .get(&line)
+            .copied()
+            .unwrap_or_else(DirectoryEntry::uncached);
+        let base = self
+            .memory
+            .get(&line)
+            .copied()
+            .unwrap_or_else(LineData::zeroed);
         match entry.mode() {
             coup_protocol::state::DirMode::Exclusive => {
                 let owner = entry.sharers().sole_member().expect("exclusive owner");
-                let line_data = self.private[owner]
-                    .l2
-                    .peek(line)
-                    .map_or(base, |p| p.data);
+                let line_data = self.private[owner].l2.peek(line).map_or(base, |p| p.data);
                 line_data.word(word_idx)
             }
             coup_protocol::state::DirMode::UpdateOnly(op) => {
@@ -285,7 +297,10 @@ impl MemorySystem {
         line: LineAddr,
     ) -> AccessResult {
         let lat = self.cfg.latency;
-        let mut breakdown = LatencyBreakdown { l1: lat.l1 as f64, ..Default::default() };
+        let mut breakdown = LatencyBreakdown {
+            l1: lat.l1 as f64,
+            ..Default::default()
+        };
         let in_l1 = self.private[core].l1.contains(line);
         if !in_l1 {
             breakdown.l2 = lat.l2 as f64;
@@ -296,7 +311,10 @@ impl MemorySystem {
             let _ = self.private[core].l1.get(line);
         }
 
-        let p = self.private[core].l2.peek_mut(line).expect("hit line is resident");
+        let p = self.private[core]
+            .l2
+            .peek_mut(line)
+            .expect("hit line is resident");
         let value =
             apply_access_to_line(&mut p.data, p.state, functional, byte_addr, operand, line);
         let next_state = coup_protocol::stable::local_hit_transition(p.state, permission);
@@ -308,7 +326,12 @@ impl MemorySystem {
         let _ = self.private[core].l2.get(line);
 
         let total = breakdown.total() as u64;
-        AccessResult { value, completes_at: now + total, latency: breakdown, private_hit: true }
+        AccessResult {
+            value,
+            completes_at: now + total,
+            latency: breakdown,
+            private_hit: true,
+        }
     }
 
     // ---- miss / coherence path ------------------------------------------
@@ -326,8 +349,11 @@ impl MemorySystem {
     ) -> AccessResult {
         let lat = self.cfg.latency;
         let chip = self.cfg.chip_of(core);
-        let entry =
-            self.directory.get(&line).copied().unwrap_or_else(DirectoryEntry::uncached);
+        let entry = self
+            .directory
+            .get(&line)
+            .copied()
+            .unwrap_or_else(DirectoryEntry::uncached);
         let plan = serve_request(self.protocol, &entry, core, permission);
 
         // ---- timing ----
@@ -431,7 +457,10 @@ impl MemorySystem {
                     partial_lines_at_l4 += 1;
                 }
                 if partial_lines_at_l4 > 0 {
-                    let r = self.cfg.reduction_unit.reduction_latency(partial_lines_at_l4);
+                    let r = self
+                        .cfg
+                        .reduction_unit
+                        .reduction_latency(partial_lines_at_l4);
                     worst_chip += r;
                     self.reduction_cycles += r;
                 }
@@ -490,7 +519,12 @@ impl MemorySystem {
         // ---- functional execution of the plan ----
         let value = self.execute_plan(core, line, &plan, functional, byte_addr, operand);
 
-        AccessResult { value, completes_at, latency: breakdown, private_hit: false }
+        AccessResult {
+            value,
+            completes_at,
+            latency: breakdown,
+            private_hit: false,
+        }
     }
 
     /// Applies the data movement described by `plan` and performs the access.
@@ -573,22 +607,36 @@ impl MemorySystem {
             PrivateState::UpdateOnly(op) => LineData::identity(op),
             _ => {
                 debug_assert!(!matches!(plan.data_source, DataSource::None) || plan.silent);
-                self.memory.get(&line).copied().unwrap_or_else(LineData::zeroed)
+                self.memory
+                    .get(&line)
+                    .copied()
+                    .unwrap_or_else(LineData::zeroed)
             }
         };
-        let mut new_line = PrivateLine { state: plan.grant, data: granted_data };
+        let mut new_line = PrivateLine {
+            state: plan.grant,
+            data: granted_data,
+        };
 
         // Perform the access on the freshly granted copy.
-        let value =
-            apply_access_to_line(&mut new_line.data, new_line.state, access, byte_addr, operand, line);
+        let value = apply_access_to_line(
+            &mut new_line.data,
+            new_line.state,
+            access,
+            byte_addr,
+            operand,
+            line,
+        );
         // A write/atomic on an E grant leaves the copy Modified.
-        if matches!(access, AccessType::Write)
+        if (matches!(access, AccessType::Write)
             || (matches!(access, AccessType::CommutativeUpdate(_))
-                && new_line.state.has_data_value())
+                && new_line.state.has_data_value()))
+            && matches!(
+                new_line.state,
+                PrivateState::Exclusive | PrivateState::Modified
+            )
         {
-            if matches!(new_line.state, PrivateState::Exclusive | PrivateState::Modified) {
-                new_line.state = PrivateState::Modified;
-            }
+            new_line.state = PrivateState::Modified;
         }
 
         // 5. Update the directory, then insert (handling the victim).
@@ -604,7 +652,10 @@ impl MemorySystem {
     fn insert_private_line(&mut self, core: usize, line: LineAddr, payload: PrivateLine) {
         match self.private[core].l2.insert(line, payload) {
             InsertOutcome::Inserted | InsertOutcome::Replaced(_) => {}
-            InsertOutcome::Evicted { addr, payload: victim } => {
+            InsertOutcome::Evicted {
+                addr,
+                payload: victim,
+            } => {
                 let _ = self.private[core].l1.remove(addr);
                 let mut entry = self
                     .directory
@@ -630,8 +681,7 @@ impl MemorySystem {
                         self.traffic.onchip_bytes += DATA_MSG_BYTES;
                         self.protocol_stats.partial_reductions += 1;
                         self.protocol_stats.lines_reduced += 1;
-                        self.reduction_cycles +=
-                            self.cfg.reduction_unit.latency_per_line();
+                        self.reduction_cycles += self.cfg.reduction_unit.latency_per_line();
                     }
                 }
                 self.directory.insert(addr, entry);
@@ -714,7 +764,8 @@ fn apply_access_to_line(
             0
         }
         AccessType::CommutativeUpdate(op) => {
-            let lane_offset = line.offset_of(byte_addr) - line.offset_of(byte_addr) % op.width().bytes();
+            let lane_offset =
+                line.offset_of(byte_addr) - line.offset_of(byte_addr) % op.width().bytes();
             if state.has_data_value() || matches!(state, PrivateState::UpdateOnly(_)) {
                 // Atomic fetch-and-op semantics need the old value; commutative
                 // updates discard it, so returning it unconditionally is
@@ -824,9 +875,9 @@ mod tests {
             let c = AccessType::CommutativeUpdate(ADD);
             let mut clocks = [0u64; 4];
             for round in 0..50 {
-                for core in 0..4 {
-                    let r = m.access(core, clocks[core], c, 0x400, 1);
-                    clocks[core] = r.completes_at;
+                for (core, clock) in clocks.iter_mut().enumerate() {
+                    let r = m.access(core, *clock, c, 0x400, 1);
+                    *clock = r.completes_at;
                 }
                 let _ = round;
             }
@@ -862,7 +913,10 @@ mod tests {
         let _ = m.access(0, 0, AccessType::Write, 0x600, 7);
         let r = m.access(16, 100, AccessType::Read, 0x600, 0);
         assert_eq!(r.value, 7);
-        assert!(r.latency.network > 0.0, "cross-chip access must touch the network");
+        assert!(
+            r.latency.network > 0.0,
+            "cross-chip access must touch the network"
+        );
         assert!(r.latency.l4 > 0.0);
         assert!(m.traffic().offchip_bytes > 0);
     }
@@ -875,7 +929,10 @@ mod tests {
         assert!(r0.latency.network > 0.0);
         let r1 = m.access(1, 0, AccessType::Read, 0x700, 0);
         // Second reader finds the line in the chip's L3: no network traversal.
-        assert!(r1.latency.network == 0.0, "on-chip sharing should not cross the network");
+        assert!(
+            r1.latency.network == 0.0,
+            "on-chip sharing should not cross the network"
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ impl ScriptedProgram {
     /// Creates a program that will emit `ops` in order.
     #[must_use]
     pub fn new(ops: Vec<ThreadOp>) -> Self {
-        ScriptedProgram { ops, next: 0, observed: Vec::new() }
+        ScriptedProgram {
+            ops,
+            next: 0,
+            observed: Vec::new(),
+        }
     }
 }
 
@@ -155,10 +159,18 @@ mod tests {
         assert!(ThreadOp::Store { addr: 0, value: 1 }.is_memory());
         assert!(!ThreadOp::Compute(5).is_memory());
         assert!(!ThreadOp::Done.is_memory());
-        let cu = ThreadOp::CommutativeUpdate { addr: 8, op: CommutativeOp::AddU64, value: 1 };
+        let cu = ThreadOp::CommutativeUpdate {
+            addr: 8,
+            op: CommutativeOp::AddU64,
+            value: 1,
+        };
         assert!(cu.is_memory());
         assert!(cu.is_commutative_update());
-        let rmw = ThreadOp::AtomicRmw { addr: 8, op: CommutativeOp::AddU64, value: 1 };
+        let rmw = ThreadOp::AtomicRmw {
+            addr: 8,
+            op: CommutativeOp::AddU64,
+            value: 1,
+        };
         assert!(!rmw.is_commutative_update());
     }
 
@@ -181,9 +193,13 @@ mod tests {
     fn display_forms() {
         assert_eq!(ThreadOp::Compute(2).to_string(), "compute(2)");
         assert!(ThreadOp::Load { addr: 64 }.to_string().contains("0x40"));
-        assert!(ThreadOp::AtomicRmw { addr: 0, op: CommutativeOp::Or64, value: 1 }
-            .to_string()
-            .starts_with("atomic-"));
+        assert!(ThreadOp::AtomicRmw {
+            addr: 0,
+            op: CommutativeOp::Or64,
+            value: 1
+        }
+        .to_string()
+        .starts_with("atomic-"));
         assert_eq!(ThreadOp::Done.to_string(), "done");
     }
 }

@@ -187,7 +187,11 @@ impl fmt::Display for RunStats {
         writeln!(f, "  commutative:        {}", self.commutative_updates)?;
         writeln!(f, "AMAT:                 {:.2} cycles", self.amat())?;
         writeln!(f, "AMAT breakdown:       {}", self.amat_breakdown())?;
-        writeln!(f, "off-chip traffic:     {} bytes", self.traffic.offchip_bytes)?;
+        writeln!(
+            f,
+            "off-chip traffic:     {} bytes",
+            self.traffic.offchip_bytes
+        )?;
         write!(f, "reduction cycles:     {}", self.reduction_cycles)
     }
 }
@@ -215,16 +219,31 @@ mod tests {
 
     #[test]
     fn breakdown_accumulates() {
-        let mut a = LatencyBreakdown { l1: 1.0, ..Default::default() };
-        a += LatencyBreakdown { l1: 2.0, memory: 5.0, ..Default::default() };
+        let mut a = LatencyBreakdown {
+            l1: 1.0,
+            ..Default::default()
+        };
+        a += LatencyBreakdown {
+            l1: 2.0,
+            memory: 5.0,
+            ..Default::default()
+        };
         assert!((a.l1 - 3.0).abs() < 1e-9);
         assert!((a.memory - 5.0).abs() < 1e-9);
     }
 
     #[test]
     fn traffic_accumulates() {
-        let mut t = TrafficStats { offchip_bytes: 10, onchip_bytes: 5, memory_bytes: 1 };
-        t += TrafficStats { offchip_bytes: 3, onchip_bytes: 0, memory_bytes: 9 };
+        let mut t = TrafficStats {
+            offchip_bytes: 10,
+            onchip_bytes: 5,
+            memory_bytes: 1,
+        };
+        t += TrafficStats {
+            offchip_bytes: 3,
+            onchip_bytes: 0,
+            memory_bytes: 9,
+        };
         assert_eq!(t.offchip_bytes, 13);
         assert_eq!(t.total_bytes(), 28);
     }
@@ -234,7 +253,11 @@ mod tests {
         let mut s = RunStats {
             cycles: 100,
             accesses: 4,
-            latency_sum: LatencyBreakdown { l1: 16.0, l2: 4.0, ..Default::default() },
+            latency_sum: LatencyBreakdown {
+                l1: 16.0,
+                l2: 4.0,
+                ..Default::default()
+            },
             instructions: 200,
             commutative_updates: 2,
             ..Default::default()
@@ -251,15 +274,24 @@ mod tests {
 
     #[test]
     fn speedup_is_baseline_over_self() {
-        let fast = RunStats { cycles: 50, ..Default::default() };
-        let slow = RunStats { cycles: 200, ..Default::default() };
+        let fast = RunStats {
+            cycles: 50,
+            ..Default::default()
+        };
+        let slow = RunStats {
+            cycles: 200,
+            ..Default::default()
+        };
         assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
         assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
     }
 
     #[test]
     fn display_mentions_amat_and_traffic() {
-        let s = RunStats { cycles: 10, ..Default::default() };
+        let s = RunStats {
+            cycles: 10,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("AMAT"));
         assert!(text.contains("off-chip traffic"));

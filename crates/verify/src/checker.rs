@@ -52,7 +52,10 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_states: 2_000_000, max_millis: 60_000 }
+        Limits {
+            max_states: 2_000_000,
+            max_millis: 60_000,
+        }
     }
 }
 
@@ -230,28 +233,47 @@ mod tests {
     use coup_protocol::state::ProtocolKind;
 
     fn small_limits() -> Limits {
-        Limits { max_states: 400_000, max_millis: 30_000 }
+        Limits {
+            max_states: 400_000,
+            max_millis: 30_000,
+        }
     }
 
     #[test]
     fn two_core_mesi_verifies() {
-        let e = explore(ModelConfig::two_level(2, ProtocolKind::Mesi, 0), small_limits());
+        let e = explore(
+            ModelConfig::two_level(2, ProtocolKind::Mesi, 0),
+            small_limits(),
+        );
         assert_eq!(e.outcome, Outcome::Verified, "{:?}", e.outcome);
-        assert!(e.states > 100, "expected a non-trivial state space, got {}", e.states);
+        assert!(
+            e.states > 100,
+            "expected a non-trivial state space, got {}",
+            e.states
+        );
         assert!(e.transitions >= e.states - 1);
         assert!(e.states_per_ms() > 0.0);
     }
 
     #[test]
     fn two_core_meusi_with_one_op_verifies() {
-        let e = explore(ModelConfig::two_level(2, ProtocolKind::Meusi, 1), small_limits());
+        let e = explore(
+            ModelConfig::two_level(2, ProtocolKind::Meusi, 1),
+            small_limits(),
+        );
         assert_eq!(e.outcome, Outcome::Verified, "{:?}", e.outcome);
     }
 
     #[test]
     fn meusi_with_two_ops_verifies_and_is_larger_than_one_op() {
-        let one = explore(ModelConfig::two_level(2, ProtocolKind::Meusi, 1), small_limits());
-        let two = explore(ModelConfig::two_level(2, ProtocolKind::Meusi, 2), small_limits());
+        let one = explore(
+            ModelConfig::two_level(2, ProtocolKind::Meusi, 1),
+            small_limits(),
+        );
+        let two = explore(
+            ModelConfig::two_level(2, ProtocolKind::Meusi, 2),
+            small_limits(),
+        );
         assert_eq!(two.outcome, Outcome::Verified, "{:?}", two.outcome);
         assert!(
             two.states > one.states,
@@ -267,13 +289,24 @@ mod tests {
             ModelConfig::two_level(2, ProtocolKind::Meusi, 1).without_stores(),
             small_limits(),
         );
-        assert_eq!(e.outcome, Outcome::Verified, "updates were lost: {:?}", e.outcome);
+        assert_eq!(
+            e.outcome,
+            Outcome::Verified,
+            "updates were lost: {:?}",
+            e.outcome
+        );
     }
 
     #[test]
     fn three_level_has_more_states_than_two_level() {
-        let two = explore(ModelConfig::two_level(2, ProtocolKind::Mesi, 0), small_limits());
-        let three = explore(ModelConfig::three_level(2, ProtocolKind::Mesi, 0), small_limits());
+        let two = explore(
+            ModelConfig::two_level(2, ProtocolKind::Mesi, 0),
+            small_limits(),
+        );
+        let three = explore(
+            ModelConfig::three_level(2, ProtocolKind::Mesi, 0),
+            small_limits(),
+        );
         assert!(three.states > two.states);
         assert!(three.outcome.is_clean());
     }
@@ -282,7 +315,10 @@ mod tests {
     fn bound_is_respected() {
         let e = explore(
             ModelConfig::two_level(3, ProtocolKind::Meusi, 2),
-            Limits { max_states: 500, max_millis: 10_000 },
+            Limits {
+                max_states: 500,
+                max_millis: 10_000,
+            },
         );
         assert_eq!(e.outcome, Outcome::BoundExceeded);
         assert!(e.states <= 501);
@@ -295,6 +331,9 @@ mod tests {
         let (traced, trace) = explore_with_trace(cfg, small_limits());
         assert_eq!(plain.outcome, traced.outcome);
         assert_eq!(plain.states, traced.states);
-        assert!(trace.is_empty(), "no counterexample expected for a correct protocol");
+        assert!(
+            trace.is_empty(),
+            "no counterexample expected for a correct protocol"
+        );
     }
 }

@@ -37,13 +37,25 @@ impl ModelConfig {
     /// A two-level configuration matching the paper's Murphi models.
     #[must_use]
     pub fn two_level(cores: usize, protocol: ProtocolKind, comm_ops: u8) -> Self {
-        ModelConfig { cores, protocol, comm_ops, three_level: false, enable_stores: true }
+        ModelConfig {
+            cores,
+            protocol,
+            comm_ops,
+            three_level: false,
+            enable_stores: true,
+        }
     }
 
     /// A three-level configuration (external L3 traffic injected).
     #[must_use]
     pub fn three_level(cores: usize, protocol: ProtocolKind, comm_ops: u8) -> Self {
-        ModelConfig { cores, protocol, comm_ops, three_level: true, enable_stores: true }
+        ModelConfig {
+            cores,
+            protocol,
+            comm_ops,
+            three_level: true,
+            enable_stores: true,
+        }
     }
 
     /// The same configuration with stores disabled, for value-conservation
@@ -180,9 +192,7 @@ pub fn successors(cfg: &ModelConfig, state: &GlobalState) -> Vec<(TransitionLabe
 
     // 4. Deliver a message to an L1.
     for (i, &(dst, msg)) in state.to_l1.iter().enumerate() {
-        if let Some((line, replies)) =
-            coup_protocol::detailed::l1_from_dir(state.l1[dst], msg)
-        {
+        if let Some((line, replies)) = coup_protocol::detailed::l1_from_dir(state.l1[dst], msg) {
             let mut next = state.clone();
             next.to_l1.remove(i);
             next.l1[dst] = line;
@@ -204,7 +214,10 @@ pub fn successors(cfg: &ModelConfig, state: &GlobalState) -> Vec<(TransitionLabe
 /// later transition, so counting at issue time would double-count. Only local
 /// applications change the logical total.
 fn update_applied_locally(line: L1Line) -> bool {
-    matches!(line.state, L1State::M | L1State::E | L1State::N(Class::Update(_)))
+    matches!(
+        line.state,
+        L1State::M | L1State::E | L1State::N(Class::Update(_))
+    )
 }
 
 /// The core operations an agent may issue.
@@ -245,7 +258,9 @@ pub fn check_structural(state: &GlobalState) -> Result<(), String> {
         .map(|(i, _)| i)
         .collect();
     if exclusive.len() > 1 {
-        return Err(format!("two caches hold the line exclusively: {exclusive:?}"));
+        return Err(format!(
+            "two caches hold the line exclusively: {exclusive:?}"
+        ));
     }
     if let Some(&owner) = exclusive.first() {
         for (i, l) in state.l1.iter().enumerate() {

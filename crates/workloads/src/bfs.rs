@@ -138,13 +138,12 @@ impl Workload for BfsWorkload {
 
     fn verify(&self, mem: &MemorySystem, _threads: usize) -> Result<(), String> {
         let reachable = self.graph.reachable_from(self.root);
-        for v in 0..self.graph.vertices {
+        for (v, &reach) in reachable.iter().enumerate() {
             let word = mem.peek(self.bit_word_addr(v));
             let set = word & Self::bit_mask(v) != 0;
-            if set != reachable[v] {
+            if set != reach {
                 return Err(format!(
-                    "vertex {v}: visited bit is {set}, reachability says {}",
-                    reachable[v]
+                    "vertex {v}: visited bit is {set}, reachability says {reach}"
                 ));
             }
         }
@@ -191,11 +190,19 @@ enum Stage {
 
 impl BfsProgram {
     fn new(levels: Vec<LevelTasks>) -> Self {
-        BfsProgram { levels, level: 0, edge: 0, stage: Stage::LoadEdge }
+        BfsProgram {
+            levels,
+            level: 0,
+            edge: 0,
+            stage: Stage::LoadEdge,
+        }
     }
 
     fn current(&self) -> Option<EdgeTask> {
-        self.levels.get(self.level).and_then(|l| l.edges.get(self.edge)).copied()
+        self.levels
+            .get(self.level)
+            .and_then(|l| l.edges.get(self.edge))
+            .copied()
     }
 
     fn advance_edge(&mut self) {
@@ -218,12 +225,16 @@ impl ThreadProgram for BfsProgram {
                         continue;
                     };
                     self.stage = Stage::CheckBit;
-                    return ThreadOp::Load { addr: task.edge_addr };
+                    return ThreadOp::Load {
+                        addr: task.edge_addr,
+                    };
                 }
                 Stage::CheckBit => {
                     let task = self.current().expect("task exists in CheckBit");
                     self.stage = Stage::Decide;
-                    return ThreadOp::Load { addr: task.check_addr };
+                    return ThreadOp::Load {
+                        addr: task.check_addr,
+                    };
                 }
                 Stage::Decide => {
                     let task = self.current().expect("task exists in Decide");
@@ -283,7 +294,10 @@ mod tests {
     #[test]
     fn bfs_has_multiple_levels() {
         let w = BfsWorkload::new(500, 4, 1);
-        assert!(w.depth() >= 2, "power-law graph BFS should have several levels");
+        assert!(
+            w.depth() >= 2,
+            "power-law graph BFS should have several levels"
+        );
         assert_eq!(w.vertices(), 500);
         assert_eq!(w.name(), "bfs");
         assert_eq!(w.commutative_op(), CommutativeOp::Or64);

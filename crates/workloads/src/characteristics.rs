@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn every_op_is_in_the_paper_set() {
         for row in table2() {
-            assert!(row.comm_op.in_paper_set(), "{} uses an unsupported op", row.name);
+            assert!(
+                row.comm_op.in_paper_set(),
+                "{} uses an unsupported op",
+                row.name
+            );
         }
     }
 }

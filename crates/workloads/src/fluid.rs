@@ -172,7 +172,10 @@ mod tests {
         let cfg = SystemConfig::test_system(2, ProtocolKind::Mesi);
         let (mesi, meusi) = compare_protocols(cfg, &w).expect("verification");
         let speedup = meusi.speedup_over(&mesi);
-        assert!(speedup >= 0.95, "COUP should not hurt fluidanimate ({speedup})");
+        assert!(
+            speedup >= 0.95,
+            "COUP should not hurt fluidanimate ({speedup})"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use coup_sim::config::CORES_PER_CHIP;
 use coup_sim::memsys::MemorySystem;
 use coup_sim::op::{BoxedProgram, ThreadOp};
 
+use crate::kernel::{sim_programs, KernelStep, UpdateKernel};
 use crate::layout::{regions, ArrayLayout};
 use crate::runner::Workload;
 use crate::synth::Image;
@@ -91,6 +92,58 @@ impl HistWorkload {
         // Reuse the per-thread private region with one slot per socket.
         self.bins.private_copy_for_thread(512 + socket)
     }
+
+    /// The shared-scheme histogram as a backend-neutral [`UpdateKernel`]: the
+    /// definition both the simulator and the real-hardware runtime execute.
+    #[must_use]
+    pub fn kernel(&self) -> HistKernel<'_> {
+        HistKernel { workload: self }
+    }
+}
+
+/// The shared-histogram kernel of a [`HistWorkload`]: one 32-bit add per
+/// pixel into the bin array, with the pixel stream partitioned across
+/// threads.
+#[derive(Debug, Clone, Copy)]
+pub struct HistKernel<'a> {
+    workload: &'a HistWorkload,
+}
+
+impl UpdateKernel for HistKernel<'_> {
+    fn name(&self) -> &'static str {
+        "hist"
+    }
+
+    fn op(&self) -> CommutativeOp {
+        CommutativeOp::AddU32
+    }
+
+    fn slots(&self) -> usize {
+        self.workload.bins()
+    }
+
+    fn input_elem_bytes(&self) -> u64 {
+        // Pixels are u32s, packed two per 64-bit word.
+        4
+    }
+
+    fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep> {
+        let w = self.workload;
+        let mut steps = Vec::new();
+        for i in w.slice_for(thread, threads) {
+            steps.push(KernelStep::LoadInput { index: i });
+            steps.push(KernelStep::Compute(2));
+            steps.push(KernelStep::Update {
+                slot: w.image.pixels[i] as usize,
+                value: 1,
+            });
+        }
+        steps
+    }
+
+    fn expected(&self, _threads: usize) -> Vec<u64> {
+        self.workload.image.reference_histogram()
+    }
 }
 
 impl Workload for HistWorkload {
@@ -115,19 +168,28 @@ impl Workload for HistWorkload {
     }
 
     fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        // The shared scheme *is* the kernel: one definition drives the
+        // simulator (here) and the real-hardware runtime (`kernel::
+        // RuntimeBackend`). The privatized schemes keep their bespoke
+        // reduction-phase programs below.
+        if self.scheme == HistScheme::Shared {
+            return sim_programs(&self.kernel(), threads, false);
+        }
         let op = self.commutative_op();
         (0..threads)
             .map(|t| {
                 let mut ops = Vec::new();
                 let update_layout = match self.scheme {
-                    HistScheme::Shared => self.bins,
+                    HistScheme::Shared => unreachable!("handled by the kernel path above"),
                     HistScheme::CoreLevelPrivate => self.bins.private_copy_for_thread(t),
                     HistScheme::SocketLevelPrivate => self.socket_copy_layout(t / CORES_PER_CHIP),
                 };
                 // Phase 1: bin the pixels this thread owns.
                 for i in self.slice_for(t, threads) {
                     // Load the input word (sequential, cheap) and update a bin.
-                    ops.push(ThreadOp::Load { addr: self.input.word_addr(i) });
+                    ops.push(ThreadOp::Load {
+                        addr: self.input.word_addr(i),
+                    });
                     ops.push(ThreadOp::Compute(2));
                     let bin = self.image.pixels[i] as usize;
                     ops.push(ThreadOp::CommutativeUpdate {
@@ -142,9 +204,9 @@ impl Workload for HistWorkload {
                 if self.scheme != HistScheme::Shared {
                     ops.push(ThreadOp::Barrier);
                     let copies: Vec<ArrayLayout> = match self.scheme {
-                        HistScheme::CoreLevelPrivate => {
-                            (0..threads).map(|u| self.bins.private_copy_for_thread(u)).collect()
-                        }
+                        HistScheme::CoreLevelPrivate => (0..threads)
+                            .map(|u| self.bins.private_copy_for_thread(u))
+                            .collect(),
                         HistScheme::SocketLevelPrivate => {
                             let sockets = threads.div_ceil(CORES_PER_CHIP);
                             (0..sockets).map(|s| self.socket_copy_layout(s)).collect()
@@ -155,7 +217,9 @@ impl Workload for HistWorkload {
                         for copy in &copies {
                             // Element (not word) address: the program wrapper
                             // aligns it and extracts the right lane.
-                            ops.push(ThreadOp::Load { addr: copy.addr(bin) });
+                            ops.push(ThreadOp::Load {
+                                addr: copy.addr(bin),
+                            });
                             ops.push(ThreadOp::Compute(1));
                         }
                         // One combined add of this thread's accumulated total;
@@ -281,7 +345,10 @@ mod tests {
         let cfg = SystemConfig::test_system(4, ProtocolKind::Mesi);
         let (mesi, meusi) = compare_protocols(cfg, &w).expect("verification");
         assert!(mesi.commutative_updates >= 2_000);
-        assert!(meusi.cycles <= mesi.cycles, "COUP should not slow hist down");
+        assert!(
+            meusi.cycles <= mesi.cycles,
+            "COUP should not slow hist down"
+        );
     }
 
     #[test]

@@ -1,0 +1,568 @@
+//! Backend-neutral workload kernels.
+//!
+//! A [`UpdateKernel`] describes a workload's scattered-update phase
+//! abstractly: a per-thread script of [`KernelStep`]s over a logical array of
+//! `slots` lanes, plus the sequential reference result. The *same* kernel
+//! then drives two very different executors through [`ExecutionBackend`]:
+//!
+//! * [`SimBackend`] lowers the steps onto the timing simulator's
+//!   [`ThreadOp`]s (with the workload's historical address layout, so cycle
+//!   numbers are directly comparable with the pre-kernel code), runs them on
+//!   a [`Machine`], and verifies the result in simulated memory.
+//! * [`RuntimeBackend`] executes the steps on real OS threads against a
+//!   `coup-runtime` [`UpdateBackend`] — the conventional atomic baseline or
+//!   the software-COUP privatized buffers — and verifies the backend's final
+//!   snapshot.
+//!
+//! `hist` (shared scheme), `pgrank`, and `refcount` (immediate, XADD/COUP
+//! schemes) define kernels; their legacy [`Workload`] implementations now
+//! lower through [`sim_programs`], so the simulator path and the
+//! real-hardware path execute one definition of each workload.
+
+use coup_protocol::ops::CommutativeOp;
+use coup_runtime::{AtomicBackend, CoupBackend, Engine, UpdateBackend};
+use coup_sim::config::SystemConfig;
+use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
+use coup_sim::stats::RunStats;
+
+use crate::layout::{regions, ArrayLayout};
+use crate::runner::{run_workload, Workload};
+
+/// One abstract operation of a workload kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStep {
+    /// Read element `index` of the workload's input array. In the simulator
+    /// this is a timed load with the workload's input layout; real-memory
+    /// backends skip it, because kernel update values are precomputed.
+    LoadInput {
+        /// Input element index.
+        index: usize,
+    },
+    /// Pure compute delay of the given core cycles (simulator only).
+    Compute(u64),
+    /// Commutative update: `slots[slot] = op(slots[slot], value)`.
+    Update {
+        /// Output lane.
+        slot: usize,
+        /// Operand, as raw lane bits.
+        value: u64,
+    },
+    /// Update immediately followed by a read of the same lane — the
+    /// decrement-and-test idiom. Lowers to a single fetch-op where the
+    /// executor has one; executors without one (the software-COUP backend)
+    /// perform update-then-reduce, which does not guarantee a unique zero
+    /// observer among concurrent decrementers (see
+    /// `UpdateBackend::update_read`).
+    UpdateRead {
+        /// Output lane.
+        slot: usize,
+        /// Operand, as raw lane bits.
+        value: u64,
+    },
+    /// Read lane `slot` of the output array.
+    Read {
+        /// Output lane.
+        slot: usize,
+    },
+    /// Wait for every thread of the run.
+    Barrier,
+}
+
+/// A workload's scattered-update phase, described independently of the
+/// executor.
+///
+/// # Contract
+///
+/// * `steps(t, n)` must be deterministic in `(t, n)`.
+/// * Every thread's script must contain the *same number* of
+///   [`KernelStep::Barrier`]s (real barriers block until all threads arrive).
+/// * `expected(n)` is the per-lane result (raw lane bits) of applying every
+///   update of every thread sequentially to a zeroed array.
+pub trait UpdateKernel {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The commutative operation of the updates; its width is the lane width
+    /// of the output array.
+    fn op(&self) -> CommutativeOp;
+
+    /// Number of output lanes.
+    fn slots(&self) -> usize;
+
+    /// Element width of the input array, in bytes (simulator address layout
+    /// only).
+    fn input_elem_bytes(&self) -> u64 {
+        8
+    }
+
+    /// Base address of the output array in the simulated address space.
+    /// Workloads keep their historical region so timing results stay
+    /// comparable.
+    fn output_region(&self) -> u64 {
+        regions::SHARED_OUTPUT
+    }
+
+    /// Thread `thread`'s script, for a run of `threads` threads.
+    fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep>;
+
+    /// The sequential reference result for a run of `threads` threads.
+    fn expected(&self, threads: usize) -> Vec<u64>;
+}
+
+/// Lowers a kernel onto simulator thread programs.
+///
+/// With `rmw` false, updates become COUP commutative-update instructions
+/// (buffered under MEUSI, exclusive under MESI); with `rmw` true they become
+/// conventional atomic read-modify-writes, which also serve the read half of
+/// [`KernelStep::UpdateRead`] for free — mirroring how `lock xadd` returns
+/// the value.
+#[must_use]
+pub fn sim_programs<K: UpdateKernel + ?Sized>(
+    kernel: &K,
+    threads: usize,
+    rmw: bool,
+) -> Vec<BoxedProgram> {
+    let op = kernel.op();
+    let output = ArrayLayout::new(kernel.output_region(), op.width().bytes() as u64);
+    let input = ArrayLayout::new(regions::INPUT, kernel.input_elem_bytes());
+    (0..threads)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for step in kernel.steps(t, threads) {
+                match step {
+                    KernelStep::LoadInput { index } => {
+                        ops.push(ThreadOp::Load {
+                            addr: input.word_addr(index),
+                        });
+                    }
+                    KernelStep::Compute(cycles) => ops.push(ThreadOp::Compute(cycles)),
+                    KernelStep::Update { slot, value } => {
+                        let addr = output.addr(slot);
+                        if rmw {
+                            ops.push(ThreadOp::AtomicRmw { addr, op, value });
+                        } else {
+                            ops.push(ThreadOp::CommutativeUpdate { addr, op, value });
+                        }
+                    }
+                    KernelStep::UpdateRead { slot, value } => {
+                        let addr = output.addr(slot);
+                        if rmw {
+                            ops.push(ThreadOp::AtomicRmw { addr, op, value });
+                        } else {
+                            ops.push(ThreadOp::CommutativeUpdate { addr, op, value });
+                            ops.push(ThreadOp::Load {
+                                addr: output.word_addr(slot),
+                            });
+                        }
+                    }
+                    KernelStep::Read { slot } => {
+                        ops.push(ThreadOp::Load {
+                            addr: output.word_addr(slot),
+                        });
+                    }
+                    KernelStep::Barrier => ops.push(ThreadOp::Barrier),
+                }
+            }
+            ops.push(ThreadOp::Done);
+            Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+        })
+        .collect()
+}
+
+/// Adapter running any [`UpdateKernel`] as a simulator [`Workload`].
+#[derive(Debug, Clone, Copy)]
+pub struct KernelWorkload<'a, K: UpdateKernel + ?Sized> {
+    kernel: &'a K,
+    rmw: bool,
+}
+
+impl<'a, K: UpdateKernel + ?Sized> KernelWorkload<'a, K> {
+    /// Wraps `kernel`, lowering updates as COUP commutative updates.
+    #[must_use]
+    pub fn new(kernel: &'a K) -> Self {
+        KernelWorkload { kernel, rmw: false }
+    }
+
+    /// Wraps `kernel`, lowering updates as conventional atomic RMWs.
+    #[must_use]
+    pub fn with_rmw(kernel: &'a K) -> Self {
+        KernelWorkload { kernel, rmw: true }
+    }
+}
+
+impl<K: UpdateKernel + ?Sized> Workload for KernelWorkload<'_, K> {
+    fn name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    fn commutative_op(&self) -> CommutativeOp {
+        self.kernel.op()
+    }
+
+    fn init(&self, _mem: &mut coup_sim::memsys::MemorySystem) {
+        // Kernel output arrays start zeroed, which simulated memory already
+        // is; kernel input loads are timing-only (values are precomputed into
+        // the update steps), so there is nothing to poke.
+    }
+
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        sim_programs(self.kernel, threads, self.rmw)
+    }
+
+    fn verify(&self, mem: &coup_sim::memsys::MemorySystem, threads: usize) -> Result<(), String> {
+        let op = self.kernel.op();
+        let output = ArrayLayout::new(self.kernel.output_region(), op.width().bytes() as u64);
+        let expected = self.kernel.expected(threads);
+        if expected.len() != self.kernel.slots() {
+            return Err(format!(
+                "{}: expected() covers {} slots but the kernel declares {}",
+                self.name(),
+                expected.len(),
+                self.kernel.slots()
+            ));
+        }
+        for (slot, &want) in expected.iter().enumerate() {
+            let got = output.extract(slot, mem.peek(output.word_addr(slot)));
+            if got != want {
+                return Err(format!(
+                    "{}: slot {slot} is {got}, expected {want}",
+                    self.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An executor that can run any [`UpdateKernel`] end to end, verification
+/// included.
+pub trait ExecutionBackend {
+    /// What a successful run reports (timing statistics, throughput, …).
+    type Report;
+
+    /// Runs and verifies `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first discrepancy between the executed
+    /// result and `kernel.expected()` — which would indicate a lost or
+    /// duplicated update.
+    fn execute(&self, kernel: &dyn UpdateKernel) -> Result<Self::Report, String>;
+}
+
+/// The timing-simulator executor.
+#[derive(Debug, Clone, Copy)]
+pub struct SimBackend {
+    cfg: SystemConfig,
+    rmw: bool,
+}
+
+impl SimBackend {
+    /// Simulates on `cfg`, lowering updates as COUP commutative updates.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        SimBackend { cfg, rmw: false }
+    }
+
+    /// Simulates on `cfg`, lowering updates as conventional atomic RMWs.
+    #[must_use]
+    pub fn with_rmw(cfg: SystemConfig) -> Self {
+        SimBackend { cfg, rmw: true }
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    type Report = RunStats;
+
+    fn execute(&self, kernel: &dyn UpdateKernel) -> Result<RunStats, String> {
+        if self.rmw {
+            run_workload(self.cfg, &KernelWorkload::with_rmw(kernel))
+        } else {
+            run_workload(self.cfg, &KernelWorkload::new(kernel))
+        }
+    }
+}
+
+/// Which `coup-runtime` backend a [`RuntimeBackend`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// Conventional atomic read-modify-writes ([`AtomicBackend`]).
+    Atomic,
+    /// Software COUP: privatized buffers, on-read reduction ([`CoupBackend`]).
+    Coup,
+}
+
+/// What a [`RuntimeBackend`] run reports: `coup-runtime`'s throughput report
+/// (threads, updates, reads, wall-clock `elapsed`, and a `mops()` rate) —
+/// the same type the raw contended harness produces, so kernel runs and
+/// microbenchmark runs are directly comparable.
+pub type RuntimeReport = coup_runtime::ThroughputReport;
+
+/// The real-hardware executor: runs kernels on OS threads against a
+/// `coup-runtime` backend.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeBackend {
+    kind: RuntimeKind,
+    threads: usize,
+    flush_threshold: Option<u32>,
+}
+
+impl RuntimeBackend {
+    /// An executor of `kind` with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(kind: RuntimeKind, threads: usize) -> Self {
+        assert!(threads > 0, "RuntimeBackend needs at least one worker");
+        RuntimeBackend {
+            kind,
+            threads,
+            flush_threshold: None,
+        }
+    }
+
+    /// Overrides the COUP backend's per-line flush budget.
+    #[must_use]
+    pub fn with_flush_threshold(mut self, flush_threshold: u32) -> Self {
+        self.flush_threshold = Some(flush_threshold);
+        self
+    }
+
+    /// Builds the concrete `coup-runtime` backend for `kernel`.
+    #[must_use]
+    pub fn make_backend(&self, kernel: &dyn UpdateKernel) -> Box<dyn UpdateBackend> {
+        let (op, slots) = (kernel.op(), kernel.slots());
+        match self.kind {
+            RuntimeKind::Atomic => Box::new(AtomicBackend::new(op, slots)),
+            RuntimeKind::Coup => match self.flush_threshold {
+                Some(t) => Box::new(CoupBackend::with_flush_threshold(
+                    op,
+                    slots,
+                    self.threads,
+                    t,
+                )),
+                None => Box::new(CoupBackend::new(op, slots, self.threads)),
+            },
+        }
+    }
+}
+
+impl ExecutionBackend for RuntimeBackend {
+    type Report = RuntimeReport;
+
+    fn execute(&self, kernel: &dyn UpdateKernel) -> Result<RuntimeReport, String> {
+        let backend = self.make_backend(kernel);
+        // Input loads and compute delays are simulator-only; dropping them
+        // here (they can be the majority of a kernel's steps) keeps the
+        // runtime scripts to the memory operations actually executed.
+        let scripts: Vec<Vec<KernelStep>> = (0..self.threads)
+            .map(|t| {
+                kernel
+                    .steps(t, self.threads)
+                    .into_iter()
+                    .filter(|s| !matches!(s, KernelStep::LoadInput { .. } | KernelStep::Compute(_)))
+                    .collect()
+            })
+            .collect();
+        let engine = Engine::new(self.threads);
+        let (counts, elapsed) = engine.run_on_backend(backend.as_ref(), |ctx| {
+            let script = &scripts[ctx.thread];
+            let mut updates = 0u64;
+            let mut reads = 0u64;
+            let mut checksum = 0u64;
+            for step in script {
+                match *step {
+                    // Filtered out of the scripts above; input values are
+                    // baked into the update steps and compute delays model
+                    // core cycles real cores spend elsewhere in this loop.
+                    KernelStep::LoadInput { .. } | KernelStep::Compute(_) => {}
+                    KernelStep::Update { slot, value } => {
+                        backend.update(ctx.thread, slot, value);
+                        updates += 1;
+                    }
+                    KernelStep::UpdateRead { slot, value } => {
+                        checksum =
+                            checksum.wrapping_add(backend.update_read(ctx.thread, slot, value));
+                        updates += 1;
+                        reads += 1;
+                    }
+                    KernelStep::Read { slot } => {
+                        checksum = checksum.wrapping_add(backend.read(ctx.thread, slot));
+                        reads += 1;
+                    }
+                    KernelStep::Barrier => ctx.barrier(),
+                }
+            }
+            (updates, reads, std::hint::black_box(checksum))
+        });
+        let snapshot = backend.snapshot();
+        let expected = kernel.expected(self.threads);
+        if expected.len() != snapshot.len() {
+            return Err(format!(
+                "{}: expected() covers {} slots but the backend holds {}",
+                kernel.name(),
+                expected.len(),
+                snapshot.len()
+            ));
+        }
+        for (slot, (&got, &want)) in snapshot.iter().zip(expected.iter()).enumerate() {
+            if got != want {
+                return Err(format!(
+                    "{} on {}: slot {slot} is {got}, expected {want}",
+                    kernel.name(),
+                    backend.name()
+                ));
+            }
+        }
+        let updates = counts.iter().map(|(u, _, _)| u).sum();
+        let reads = counts.iter().map(|(_, r, _)| r).sum();
+        Ok(RuntimeReport {
+            threads: self.threads,
+            updates,
+            reads,
+            elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coup_protocol::state::ProtocolKind;
+
+    /// Minimal kernel: every thread adds 1 to every slot `rounds` times, with
+    /// one barrier and a read pass at the end.
+    struct CounterKernel {
+        slots: usize,
+        rounds: usize,
+    }
+
+    impl UpdateKernel for CounterKernel {
+        fn name(&self) -> &'static str {
+            "counter-kernel"
+        }
+        fn op(&self) -> CommutativeOp {
+            CommutativeOp::AddU64
+        }
+        fn slots(&self) -> usize {
+            self.slots
+        }
+        fn steps(&self, _thread: usize, _threads: usize) -> Vec<KernelStep> {
+            let mut steps = Vec::new();
+            for _ in 0..self.rounds {
+                for slot in 0..self.slots {
+                    steps.push(KernelStep::Update { slot, value: 1 });
+                }
+            }
+            steps.push(KernelStep::Barrier);
+            for slot in 0..self.slots {
+                steps.push(KernelStep::Read { slot });
+            }
+            steps
+        }
+        fn expected(&self, threads: usize) -> Vec<u64> {
+            vec![(threads * self.rounds) as u64; self.slots]
+        }
+    }
+
+    #[test]
+    fn sim_backend_runs_and_verifies_kernels() {
+        let kernel = CounterKernel {
+            slots: 6,
+            rounds: 10,
+        };
+        for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
+            let stats = SimBackend::new(SystemConfig::test_system(4, protocol))
+                .execute(&kernel)
+                .expect("kernel verifies in the simulator");
+            assert_eq!(stats.commutative_updates, 4 * 6 * 10);
+        }
+        let stats = SimBackend::with_rmw(SystemConfig::test_system(4, ProtocolKind::Mesi))
+            .execute(&kernel)
+            .expect("rmw lowering verifies");
+        assert_eq!(
+            stats.commutative_updates, 0,
+            "rmw lowering issues no COUP updates"
+        );
+    }
+
+    #[test]
+    fn runtime_backends_run_and_verify_kernels() {
+        let kernel = CounterKernel {
+            slots: 6,
+            rounds: 50,
+        };
+        for kind in [RuntimeKind::Atomic, RuntimeKind::Coup] {
+            let report = RuntimeBackend::new(kind, 4)
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(report.updates, 4 * 6 * 50);
+            assert_eq!(report.reads, 4 * 6);
+            assert!(report.mops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn runtime_detects_wrong_expectations() {
+        struct LyingKernel;
+        impl UpdateKernel for LyingKernel {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn op(&self) -> CommutativeOp {
+                CommutativeOp::AddU64
+            }
+            fn slots(&self) -> usize {
+                1
+            }
+            fn steps(&self, _t: usize, _n: usize) -> Vec<KernelStep> {
+                vec![KernelStep::Update { slot: 0, value: 1 }]
+            }
+            fn expected(&self, _threads: usize) -> Vec<u64> {
+                vec![999]
+            }
+        }
+        let err = RuntimeBackend::new(RuntimeKind::Coup, 2)
+            .execute(&LyingKernel)
+            .unwrap_err();
+        assert!(err.contains("expected 999"), "got: {err}");
+    }
+
+    #[test]
+    fn update_read_lowers_to_one_rmw_or_update_plus_load() {
+        struct DecKernel;
+        impl UpdateKernel for DecKernel {
+            fn name(&self) -> &'static str {
+                "dec"
+            }
+            fn op(&self) -> CommutativeOp {
+                CommutativeOp::AddU64
+            }
+            fn slots(&self) -> usize {
+                1
+            }
+            fn steps(&self, _t: usize, _n: usize) -> Vec<KernelStep> {
+                vec![
+                    KernelStep::Update { slot: 0, value: 5 },
+                    KernelStep::UpdateRead {
+                        slot: 0,
+                        value: (-2i64) as u64,
+                    },
+                ]
+            }
+            fn expected(&self, threads: usize) -> Vec<u64> {
+                vec![3 * threads as u64]
+            }
+        }
+        let coup = SimBackend::new(SystemConfig::test_system(2, ProtocolKind::Meusi));
+        let rmw = SimBackend::with_rmw(SystemConfig::test_system(2, ProtocolKind::Mesi));
+        coup.execute(&DecKernel).expect("coup lowering");
+        rmw.execute(&DecKernel).expect("rmw lowering");
+        let report = RuntimeBackend::new(RuntimeKind::Atomic, 2)
+            .execute(&DecKernel)
+            .unwrap();
+        assert_eq!((report.updates, report.reads), (4, 2));
+    }
+}

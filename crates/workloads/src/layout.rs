@@ -48,9 +48,20 @@ impl ArrayLayout {
     /// `base` is not line-aligned.
     #[must_use]
     pub fn new(base: u64, elem_bytes: u64) -> Self {
-        assert!(elem_bytes > 0 && elem_bytes <= LINE_BYTES as u64, "bad element size");
-        assert_eq!(LINE_BYTES as u64 % elem_bytes, 0, "elements must not straddle lines");
-        assert_eq!(base % LINE_BYTES as u64, 0, "array base must be line-aligned");
+        assert!(
+            elem_bytes > 0 && elem_bytes <= LINE_BYTES as u64,
+            "bad element size"
+        );
+        assert_eq!(
+            LINE_BYTES as u64 % elem_bytes,
+            0,
+            "elements must not straddle lines"
+        );
+        assert_eq!(
+            base % LINE_BYTES as u64,
+            0,
+            "array base must be line-aligned"
+        );
         ArrayLayout { base, elem_bytes }
     }
 
@@ -163,7 +174,10 @@ mod tests {
         let p0 = a.private_copy_for_thread(0);
         let p1 = a.private_copy_for_thread(1);
         assert_ne!(p0.base(), p1.base());
-        assert!(p0.addr(100_000) < p1.base(), "thread slices must not overlap");
+        assert!(
+            p0.addr(100_000) < p1.base(),
+            "thread slices must not overlap"
+        );
         assert_eq!(p0.elem_bytes(), 4);
     }
 

@@ -16,6 +16,12 @@
 //! Inputs are synthesised by [`synth`] with the structural properties of the
 //! paper's (unavailable) input sets; every workload verifies its parallel
 //! result against a sequential reference, under both MESI and MEUSI.
+//!
+//! The update-dominated workloads (`hist`, `pgrank`, `refcount`) additionally
+//! expose backend-neutral [`kernel::UpdateKernel`]s, so one workload
+//! definition drives both the timing simulator and the real-hardware
+//! `coup-runtime` engine through the [`kernel::ExecutionBackend`] trait —
+//! see [`kernel`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +31,7 @@ pub mod bfs;
 pub mod characteristics;
 pub mod fluid;
 pub mod hist;
+pub mod kernel;
 pub mod layout;
 pub mod pgrank;
 pub mod refcount;
@@ -35,8 +42,14 @@ pub mod synth;
 pub use bfs::BfsWorkload;
 pub use characteristics::{table2, BenchmarkCharacteristics};
 pub use fluid::FluidWorkload;
-pub use hist::{HistScheme, HistWorkload};
-pub use pgrank::PageRankWorkload;
-pub use refcount::{DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme};
+pub use hist::{HistKernel, HistScheme, HistWorkload};
+pub use kernel::{
+    ExecutionBackend, KernelStep, KernelWorkload, RuntimeBackend, RuntimeKind, RuntimeReport,
+    SimBackend, UpdateKernel,
+};
+pub use pgrank::{PageRankKernel, PageRankWorkload};
+pub use refcount::{
+    DelayedRefcount, DelayedScheme, ImmediateKernel, ImmediateRefcount, RefcountScheme,
+};
 pub use runner::{compare_protocols, run_workload, Workload};
 pub use spmv::SpmvWorkload;

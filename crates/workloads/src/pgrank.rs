@@ -8,8 +8,9 @@
 
 use coup_protocol::ops::CommutativeOp;
 use coup_sim::memsys::MemorySystem;
-use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
+use coup_sim::op::BoxedProgram;
 
+use crate::kernel::{sim_programs, KernelStep, UpdateKernel};
 use crate::layout::{regions, ArrayLayout};
 use crate::runner::Workload;
 use crate::synth::Graph;
@@ -83,6 +84,66 @@ impl PageRankWorkload {
         }
         expect
     }
+
+    /// The scatter phase as a backend-neutral [`UpdateKernel`]: the definition
+    /// both the simulator and the real-hardware runtime execute.
+    #[must_use]
+    pub fn kernel(&self) -> PageRankKernel<'_> {
+        PageRankKernel { workload: self }
+    }
+}
+
+/// The scatter kernel of a [`PageRankWorkload`]: per iteration, each thread
+/// loads the rank of its vertices and adds the per-edge share into
+/// `next_rank`, with a barrier at every iteration boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankKernel<'a> {
+    workload: &'a PageRankWorkload,
+}
+
+impl UpdateKernel for PageRankKernel<'_> {
+    fn name(&self) -> &'static str {
+        "pgrank"
+    }
+
+    fn op(&self) -> CommutativeOp {
+        CommutativeOp::AddU64
+    }
+
+    fn slots(&self) -> usize {
+        self.workload.graph.vertices
+    }
+
+    fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep> {
+        let w = self.workload;
+        let initial = w.initial_rank();
+        let mut steps = Vec::new();
+        for _iter in 0..w.iterations {
+            for u in w.vertices_for(thread, threads) {
+                let out = w.graph.neighbours(u);
+                if out.is_empty() {
+                    continue;
+                }
+                steps.push(KernelStep::LoadInput { index: u });
+                steps.push(KernelStep::Compute(4));
+                let share = initial / out.len() as u64;
+                for &v in out {
+                    steps.push(KernelStep::Update {
+                        slot: v,
+                        value: share,
+                    });
+                }
+            }
+            // Iteration boundary: all threads synchronise before the next
+            // scatter phase, as real implementations do.
+            steps.push(KernelStep::Barrier);
+        }
+        steps
+    }
+
+    fn expected(&self, _threads: usize) -> Vec<u64> {
+        self.workload.expected_next_rank()
+    }
 }
 
 impl Workload for PageRankWorkload {
@@ -102,37 +163,9 @@ impl Workload for PageRankWorkload {
     }
 
     fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
-        let op = self.commutative_op();
-        let initial = self.initial_rank();
-        (0..threads)
-            .map(|t| {
-                let mut ops = Vec::new();
-                for _iter in 0..self.iterations {
-                    for u in self.vertices_for(t, threads) {
-                        let out = self.graph.neighbours(u);
-                        if out.is_empty() {
-                            continue;
-                        }
-                        // Load rank[u], compute the share, scatter it.
-                        ops.push(ThreadOp::Load { addr: self.rank.addr(u) });
-                        ops.push(ThreadOp::Compute(4));
-                        let share = initial / out.len() as u64;
-                        for &v in out {
-                            ops.push(ThreadOp::CommutativeUpdate {
-                                addr: self.next_rank.addr(v),
-                                op,
-                                value: share,
-                            });
-                        }
-                    }
-                    // Iteration boundary: all threads synchronise before the
-                    // next scatter phase, as real implementations do.
-                    ops.push(ThreadOp::Barrier);
-                }
-                ops.push(ThreadOp::Done);
-                Box::new(ScriptedProgram::new(ops)) as BoxedProgram
-            })
-            .collect()
+        // The whole workload *is* its kernel: one definition drives the
+        // simulator (here) and the real-hardware runtime.
+        sim_programs(&self.kernel(), threads, false)
     }
 
     fn verify(&self, mem: &MemorySystem, _threads: usize) -> Result<(), String> {

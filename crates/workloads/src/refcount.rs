@@ -24,6 +24,7 @@ use coup_protocol::ops::CommutativeOp;
 use coup_sim::memsys::MemorySystem;
 use coup_sim::op::{BoxedProgram, ThreadOp, ThreadProgram};
 
+use crate::kernel::{sim_programs, KernelStep, UpdateKernel};
 use crate::layout::{regions, ArrayLayout};
 use crate::runner::Workload;
 
@@ -145,6 +146,75 @@ impl ImmediateRefcount {
     fn snzi_leaf_node(thread: usize, threads: usize) -> usize {
         threads.next_power_of_two() - 1 + thread
     }
+
+    /// The XADD/COUP flat-counter variants as a backend-neutral
+    /// [`UpdateKernel`]: increments are plain updates, decrements are
+    /// update-and-reads (the zero check). The executor decides how updates
+    /// are realised — COUP commutative updates or conventional atomics in the
+    /// simulator, privatized buffers or atomic RMWs on real hardware. The
+    /// SNZI tree stays a bespoke simulator program (its propagation is
+    /// data-dependent, not a flat commutative update stream).
+    #[must_use]
+    pub fn kernel(&self) -> ImmediateKernel<'_> {
+        ImmediateKernel { workload: self }
+    }
+}
+
+/// The flat-counter kernel of an [`ImmediateRefcount`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImmediateKernel<'a> {
+    workload: &'a ImmediateRefcount,
+}
+
+impl UpdateKernel for ImmediateKernel<'_> {
+    fn name(&self) -> &'static str {
+        "refcount-immediate"
+    }
+
+    fn op(&self) -> CommutativeOp {
+        ADD
+    }
+
+    fn slots(&self) -> usize {
+        self.workload.counters
+    }
+
+    fn output_region(&self) -> u64 {
+        // Keep the historical address region so simulated timings stay
+        // comparable with the pre-kernel implementation.
+        regions::COUNTERS
+    }
+
+    fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep> {
+        self.workload
+            .decisions(thread, threads)
+            .into_iter()
+            .map(|(counter, inc)| {
+                if inc {
+                    KernelStep::Update {
+                        slot: counter,
+                        value: 1,
+                    }
+                } else {
+                    // Decrement-and-read: the deallocation zero check.
+                    KernelStep::UpdateRead {
+                        slot: counter,
+                        value: (-1i64) as u64,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn expected(&self, threads: usize) -> Vec<u64> {
+        // Counts are non-negative at quiescence, but go through two's
+        // complement on the way (wrapping adds of -1).
+        self.workload
+            .expected_counts(threads)
+            .into_iter()
+            .map(|c| c as u64)
+            .collect()
+    }
 }
 
 impl Workload for ImmediateRefcount {
@@ -161,15 +231,22 @@ impl Workload for ImmediateRefcount {
     }
 
     fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        // The flat-counter schemes *are* the kernel, lowered either as COUP
+        // commutative updates or as conventional RMWs; one definition drives
+        // the simulator (here) and the real-hardware runtime. SNZI keeps its
+        // bespoke data-dependent program below.
+        match self.scheme {
+            RefcountScheme::Coup => return sim_programs(&self.kernel(), threads, false),
+            RefcountScheme::Xadd => return sim_programs(&self.kernel(), threads, true),
+            RefcountScheme::Snzi => {}
+        }
         (0..threads)
             .map(|t| {
                 let decisions = self.decisions(t, threads);
-                Box::new(ImmediateProgram {
-                    scheme: self.scheme,
+                Box::new(SnziProgram {
                     decisions,
                     next: 0,
                     pending: Vec::new(),
-                    counter_layout: self.counter_layout,
                     snzi: SnziGeometry {
                         layout: self.snzi_layout,
                         threads,
@@ -221,16 +298,16 @@ impl SnziGeometry {
     }
 }
 
-/// Per-thread state machine for the immediate-deallocation microbenchmark.
+/// Per-thread state machine for the SNZI scheme of the
+/// immediate-deallocation microbenchmark (the flat-counter schemes lower
+/// through [`ImmediateKernel`] instead).
 #[derive(Debug)]
-struct ImmediateProgram {
-    scheme: RefcountScheme,
+struct SnziProgram {
     decisions: Vec<(usize, bool)>,
     next: usize,
-    /// Operations queued by the previous step (e.g. SNZI propagation decided
-    /// after seeing an RMW's return value, or a COUP zero-check load).
+    /// Operations queued by the previous step (propagation decided after
+    /// seeing an RMW's return value, or a root zero-check load).
     pending: Vec<PendingOp>,
-    counter_layout: ArrayLayout,
     snzi: SnziGeometry,
 }
 
@@ -240,56 +317,43 @@ enum PendingOp {
     Emit(ThreadOp),
     /// SNZI: if the previous RMW's old value was `trigger`, propagate `delta`
     /// to the parent node of `node` for `counter` (and keep propagating).
-    SnziPropagate { counter: usize, node: usize, delta: i64, trigger: u64 },
+    SnziPropagate {
+        counter: usize,
+        node: usize,
+        delta: i64,
+        trigger: u64,
+    },
 }
 
-impl ImmediateProgram {
+impl SnziProgram {
     fn emit_update(&mut self, counter: usize, inc: bool) -> ThreadOp {
         let delta_bits = if inc { 1u64 } else { (-1i64) as u64 };
-        match self.scheme {
-            RefcountScheme::Xadd => {
-                // Decrements also read the returned value (the zero check is
-                // free with fetch-and-add); both are a single RMW.
-                ThreadOp::AtomicRmw { addr: self.counter_layout.addr(counter), op: ADD, value: delta_bits }
-            }
-            RefcountScheme::Coup => {
-                if !inc {
-                    // Decrement-and-read: the commutative add is followed by a
-                    // load to check for zero.
-                    self.pending.push(PendingOp::Emit(ThreadOp::Load {
-                        addr: self.counter_layout.addr(counter),
-                    }));
-                }
-                ThreadOp::CommutativeUpdate {
-                    addr: self.counter_layout.addr(counter),
-                    op: ADD,
-                    value: delta_bits,
-                }
-            }
-            RefcountScheme::Snzi => {
-                let node = self.snzi.leaf;
-                let delta = if inc { 1i64 } else { -1i64 };
-                // After the leaf RMW we may need to propagate: an increment
-                // whose old value was 0, or a decrement whose old value was 1.
-                let trigger = if inc { 0 } else { 1 };
-                self.pending.push(PendingOp::SnziPropagate { counter, node, delta, trigger });
-                if !inc {
-                    // Readers check the root for zero.
-                    self.pending.push(PendingOp::Emit(ThreadOp::Load {
-                        addr: self.snzi.node_addr(counter, 0),
-                    }));
-                }
-                ThreadOp::AtomicRmw {
-                    addr: self.snzi.node_addr(counter, node),
-                    op: ADD,
-                    value: delta_bits,
-                }
-            }
+        let node = self.snzi.leaf;
+        let delta = if inc { 1i64 } else { -1i64 };
+        // After the leaf RMW we may need to propagate: an increment
+        // whose old value was 0, or a decrement whose old value was 1.
+        let trigger = if inc { 0 } else { 1 };
+        self.pending.push(PendingOp::SnziPropagate {
+            counter,
+            node,
+            delta,
+            trigger,
+        });
+        if !inc {
+            // Readers check the root for zero.
+            self.pending.push(PendingOp::Emit(ThreadOp::Load {
+                addr: self.snzi.node_addr(counter, 0),
+            }));
+        }
+        ThreadOp::AtomicRmw {
+            addr: self.snzi.node_addr(counter, node),
+            op: ADD,
+            value: delta_bits,
         }
     }
 }
 
-impl ThreadProgram for ImmediateProgram {
+impl ThreadProgram for SnziProgram {
     fn next(&mut self, last_value: Option<u64>) -> ThreadOp {
         // Handle queued operations first (propagation, zero checks).
         while let Some(p) = self.pending.first().copied() {
@@ -298,7 +362,12 @@ impl ThreadProgram for ImmediateProgram {
                     self.pending.remove(0);
                     return op;
                 }
-                PendingOp::SnziPropagate { counter, node, delta, trigger } => {
+                PendingOp::SnziPropagate {
+                    counter,
+                    node,
+                    delta,
+                    trigger,
+                } => {
                     self.pending.remove(0);
                     let old = last_value.unwrap_or(u64::MAX);
                     if old == trigger && node != 0 {
@@ -306,7 +375,12 @@ impl ThreadProgram for ImmediateProgram {
                         // Propagate to the parent and possibly further up.
                         self.pending.insert(
                             0,
-                            PendingOp::SnziPropagate { counter, node: parent, delta, trigger },
+                            PendingOp::SnziPropagate {
+                                counter,
+                                node: parent,
+                                delta,
+                                trigger,
+                            },
                         );
                         return ThreadOp::AtomicRmw {
                             addr: self.snzi.node_addr(counter, parent),
@@ -447,7 +521,9 @@ impl Workload for DelayedRefcount {
                             marked.sort_unstable();
                             marked.dedup();
                             for c in marked {
-                                ops.push(ThreadOp::Load { addr: self.counter_layout.addr(c) });
+                                ops.push(ThreadOp::Load {
+                                    addr: self.counter_layout.addr(c),
+                                });
                                 ops.push(ThreadOp::Compute(2));
                             }
                             ops.push(ThreadOp::Barrier);
@@ -459,8 +535,13 @@ impl Workload for DelayedRefcount {
                             for (c, d) in &epoch {
                                 // Hash lookup + delta update in the private cache.
                                 ops.push(ThreadOp::Compute(4));
-                                ops.push(ThreadOp::Load { addr: cache.addr(*c) });
-                                ops.push(ThreadOp::Store { addr: cache.addr(*c), value: *d as u64 });
+                                ops.push(ThreadOp::Load {
+                                    addr: cache.addr(*c),
+                                });
+                                ops.push(ThreadOp::Store {
+                                    addr: cache.addr(*c),
+                                    value: *d as u64,
+                                });
                                 touched.push((*c, *d));
                             }
                             // Flush: one atomic per distinct counter, then check.
@@ -536,8 +617,11 @@ mod tests {
     fn coup_beats_xadd_on_contended_counters() {
         // Few counters + many threads = heavy contention, where COUP wins.
         let cfg = SystemConfig::test_system(8, ProtocolKind::Meusi);
-        let coup = run_workload(cfg, &ImmediateRefcount::new(4, 150, false, RefcountScheme::Coup, 3))
-            .expect("coup");
+        let coup = run_workload(
+            cfg,
+            &ImmediateRefcount::new(4, 150, false, RefcountScheme::Coup, 3),
+        )
+        .expect("coup");
         let xadd = run_workload(
             cfg.with_protocol(ProtocolKind::Mesi),
             &ImmediateRefcount::new(4, 150, false, RefcountScheme::Xadd, 3),

@@ -128,6 +128,9 @@ mod tests {
         let cfg = SystemConfig::test_system(8, ProtocolKind::Mesi);
         let (mesi, meusi) = compare_protocols(cfg, &w).expect("both runs verify");
         assert_eq!(mesi.commutative_updates, meusi.commutative_updates);
-        assert!(meusi.cycles < mesi.cycles, "COUP should win on a contended counter");
+        assert!(
+            meusi.cycles < mesi.cycles,
+            "COUP should win on a contended counter"
+        );
     }
 }

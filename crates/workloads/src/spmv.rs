@@ -84,14 +84,18 @@ impl Workload for SpmvWorkload {
                 let mut ops = Vec::new();
                 for col in self.columns_for(t, threads) {
                     // Load x[col] once per column.
-                    ops.push(ThreadOp::Load { addr: self.x_layout.addr(col) });
+                    ops.push(ThreadOp::Load {
+                        addr: self.x_layout.addr(col),
+                    });
                     ops.push(ThreadOp::Compute(1));
                     for k in self.matrix.col_ptr[col]..self.matrix.col_ptr[col + 1] {
                         let row = self.matrix.row_idx[k];
                         let contribution = self.matrix.values[k] * self.x[col];
                         // Load the matrix value (streaming) and scatter-add the
                         // contribution into y[row].
-                        ops.push(ThreadOp::Load { addr: self.values_layout.addr(k) });
+                        ops.push(ThreadOp::Load {
+                            addr: self.values_layout.addr(k),
+                        });
                         ops.push(ThreadOp::Compute(3));
                         ops.push(ThreadOp::CommutativeUpdate {
                             addr: self.y.addr(row),

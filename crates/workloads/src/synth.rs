@@ -113,7 +113,13 @@ impl CscMatrix {
             }
             col_ptr.push(row_idx.len());
         }
-        CscMatrix { rows: n, cols: n, col_ptr, row_idx, values }
+        CscMatrix {
+            rows: n,
+            cols: n,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Number of non-zeros.
@@ -131,9 +137,9 @@ impl CscMatrix {
     pub fn spmv_reference(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0f64; self.rows];
-        for col in 0..self.cols {
+        for (col, &xval) in x.iter().enumerate() {
             for k in self.col_ptr[col]..self.col_ptr[col + 1] {
-                y[self.row_idx[k]] += self.values[k] * x[col];
+                y[self.row_idx[k]] += self.values[k] * xval;
             }
         }
         y
@@ -189,7 +195,11 @@ impl Graph {
             edges.extend_from_slice(adj);
             offsets.push(edges.len());
         }
-        Graph { vertices, offsets, edges }
+        Graph {
+            vertices,
+            offsets,
+            edges,
+        }
     }
 
     /// Number of edges.
@@ -226,13 +236,14 @@ impl Graph {
     /// rank[u] / out_degree(u)` (damping handled by the caller).
     #[must_use]
     pub fn pagerank_iteration_reference(&self, rank: &[f64]) -> Vec<f64> {
+        assert_eq!(rank.len(), self.vertices);
         let mut next = vec![0.0f64; self.vertices];
-        for u in 0..self.vertices {
+        for (u, &rank_u) in rank.iter().enumerate() {
             let out = self.neighbours(u);
             if out.is_empty() {
                 continue;
             }
-            let share = rank[u] / out.len() as f64;
+            let share = rank_u / out.len() as f64;
             for &v in out {
                 next[v] += share;
             }
@@ -330,6 +341,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // `col` indexes the *inner* vec of `dense`
     fn spmv_reference_matches_dense_computation() {
         let m = CscMatrix::synthetic(50, 4, 9);
         let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
@@ -365,7 +377,10 @@ mod tests {
             in_degree[dst] += 1;
         }
         let max_in = *in_degree.iter().max().unwrap();
-        assert!(max_in > 5 * 10, "power-law graph should have high in-degree hubs");
+        assert!(
+            max_in > 5 * 10,
+            "power-law graph should have high in-degree hubs"
+        );
     }
 
     #[test]
@@ -373,7 +388,10 @@ mod tests {
         let g = Graph::power_law(1_000, 8, 2);
         let visited = g.reachable_from(0);
         let reached = visited.iter().filter(|&&v| v).count();
-        assert!(reached > 500, "BFS from vertex 0 reached only {reached} vertices");
+        assert!(
+            reached > 500,
+            "BFS from vertex 0 reached only {reached} vertices"
+        );
     }
 
     #[test]
@@ -393,7 +411,7 @@ mod tests {
     fn grid_partitioning_covers_all_rows_without_overlap() {
         let g = Grid::new(37, 10);
         let threads = 8;
-        let mut covered = vec![false; 37];
+        let mut covered = [false; 37];
         for t in 0..threads {
             for r in g.rows_for_thread(t, threads) {
                 assert!(!covered[r], "row {r} assigned twice");

@@ -19,8 +19,14 @@ fn report(name: &str, workload: &dyn Workload, cores: usize) {
     let cfg = SystemConfig::test_system(cores, ProtocolKind::Mesi);
     let (mesi, meusi) = compare_protocols(cfg, workload).expect("workload must verify");
     println!("{name} on {cores} cores ({}):", workload.commutative_op());
-    println!("  MESI : {:>12} cycles, {:>10} off-chip bytes", mesi.cycles, mesi.traffic.offchip_bytes);
-    println!("  MEUSI: {:>12} cycles, {:>10} off-chip bytes", meusi.cycles, meusi.traffic.offchip_bytes);
+    println!(
+        "  MESI : {:>12} cycles, {:>10} off-chip bytes",
+        mesi.cycles, mesi.traffic.offchip_bytes
+    );
+    println!(
+        "  MEUSI: {:>12} cycles, {:>10} off-chip bytes",
+        meusi.cycles, meusi.traffic.offchip_bytes
+    );
     println!(
         "  speedup {:.2}x, commutative updates {:.2}% of instructions\n",
         meusi.speedup_over(&mesi),
@@ -40,7 +46,11 @@ fn main() {
     report("pgrank", &pgrank, 16);
 
     let bfs = BfsWorkload::new(4_000, 8, 43);
-    println!("BFS graph: {} vertices, {} levels", bfs.vertices(), bfs.depth());
+    println!(
+        "BFS graph: {} vertices, {} levels",
+        bfs.vertices(),
+        bfs.depth()
+    );
     report("bfs", &bfs, 16);
 
     println!("PageRank spends long phases only updating the rank accumulators, so COUP");

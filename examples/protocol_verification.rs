@@ -13,7 +13,10 @@ use coup_verify::model::ModelConfig;
 
 fn main() {
     let cores = 2;
-    let limits = Limits { max_states: 1_000_000, max_millis: 60_000 };
+    let limits = Limits {
+        max_states: 1_000_000,
+        max_millis: 60_000,
+    };
 
     println!("Exhaustive verification of the two-level protocols, {cores} cores\n");
     println!(

@@ -15,18 +15,32 @@ fn main() {
     let cores = 16;
     let updates_per_core = 2_000;
 
-    println!("COUP quickstart: {cores} cores, {updates_per_core} additions each, one shared counter");
+    println!(
+        "COUP quickstart: {cores} cores, {updates_per_core} additions each, one shared counter"
+    );
     println!("(simulating the system of Table 1 at a reduced cache scale)\n");
 
     let mut system = CoupSystem::builder().cores(cores).test_scale().build();
     let report = system.compare_counter_updates(CommutativeOp::AddU64, updates_per_core);
 
-    println!("MESI  (atomic fetch-and-add): {:>12} cycles", report.mesi.cycles);
-    println!("MEUSI (COUP commutative add): {:>12} cycles", report.meusi.cycles);
+    println!(
+        "MESI  (atomic fetch-and-add): {:>12} cycles",
+        report.mesi.cycles
+    );
+    println!(
+        "MEUSI (COUP commutative add): {:>12} cycles",
+        report.meusi.cycles
+    );
     println!();
     println!("speedup:               {:>6.2}x", report.speedup());
-    println!("off-chip traffic:      {:>6.2}x less", report.traffic_reduction());
-    println!("avg mem access time:   {:>6.2}x lower", report.amat_reduction());
+    println!(
+        "off-chip traffic:      {:>6.2}x less",
+        report.traffic_reduction()
+    );
+    println!(
+        "avg mem access time:   {:>6.2}x lower",
+        report.amat_reduction()
+    );
     println!();
     println!(
         "MESI coherence events:  {} invalidating grants, {} owner interventions",

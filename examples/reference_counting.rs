@@ -12,9 +12,7 @@
 
 use coup_protocol::state::ProtocolKind;
 use coup_sim::config::SystemConfig;
-use coup_workloads::refcount::{
-    DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme,
-};
+use coup_workloads::refcount::{DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme};
 use coup_workloads::runner::run_workload;
 
 fn main() {
@@ -22,7 +20,10 @@ fn main() {
     println!("Reference counting on {cores} cores\n");
 
     println!("Immediate deallocation (cycles, lower is better):");
-    println!("{:>12} | {:>12} | {:>12} | {:>12}", "mode", "COUP", "XADD", "SNZI");
+    println!(
+        "{:>12} | {:>12} | {:>12} | {:>12}",
+        "mode", "COUP", "XADD", "SNZI"
+    );
     for (label, high_count) in [("low count", false), ("high count", true)] {
         let cfg = SystemConfig::test_system(cores, ProtocolKind::Meusi);
         let counters = 64;
@@ -50,7 +51,10 @@ fn main() {
 
     println!();
     println!("Delayed deallocation (cycles per run, lower is better):");
-    println!("{:>20} | {:>12} | {:>12}", "updates/epoch/core", "COUP", "Refcache");
+    println!(
+        "{:>20} | {:>12} | {:>12}",
+        "updates/epoch/core", "COUP", "Refcache"
+    );
     for updates_per_epoch in [1usize, 10, 100] {
         let cfg = SystemConfig::test_system(cores, ProtocolKind::Meusi);
         let coup = run_workload(
@@ -63,7 +67,10 @@ fn main() {
             &DelayedRefcount::new(256, 2, updates_per_epoch, DelayedScheme::Refcache, 9),
         )
         .expect("Refcache must verify");
-        println!("{:>20} | {:>12} | {:>12}", updates_per_epoch, coup.cycles, refcache.cycles);
+        println!(
+            "{:>20} | {:>12} | {:>12}",
+            updates_per_epoch, coup.cycles, refcache.cycles
+        );
     }
 
     println!();

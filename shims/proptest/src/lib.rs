@@ -1,0 +1,339 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The workspace builds without registry access, so the real proptest cannot
+//! be fetched. This shim keeps the authoring surface the workspace's property
+//! tests use — the `proptest!` macro with `x in strategy` / `x: Type`
+//! binders, `Strategy`, `any::<T>()`, `prop::sample::select`,
+//! `prop::collection::{vec, btree_set}`, and the `prop_assert*` macros — and
+//! runs each property over a deterministic, seeded stream of generated cases
+//! (default 256; override with `PROPTEST_CASES`).
+//!
+//! Differences from the real crate, accepted deliberately: failing inputs are
+//! not shrunk (the panic message reports the case number so the run can be
+//! replayed — generation is deterministic), and `prop_assert*` panics instead
+//! of returning `Err`, which is equivalent under a panicking test harness.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator handed to strategies; deterministic per (test, case).
+pub type TestRng = StdRng;
+
+/// A value generator (stand-in for `proptest::strategy::Strategy`).
+///
+/// The real trait produces value *trees* supporting shrinking; this shim
+/// generates plain values.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Types with a default "anything goes" strategy (stand-in for
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T` (stand-in for
+/// `proptest::arbitrary::any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Sampling strategies (stand-in for `proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy choosing uniformly among fixed items.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Chooses uniformly from `items`, which must be non-empty.
+    #[must_use]
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() requires at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use super::{BTreeSet, Range, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors with length drawn from `size` and elements from `elem`.
+    #[must_use]
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Sets with *up to* `size.end - 1` elements (duplicates collapse, as in
+    /// the real proptest).
+    #[must_use]
+    pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `case` for the configured number of generated cases. Used by the
+/// [`proptest!`] macro; not intended to be called directly.
+pub fn run_cases(file: &str, line: u32, mut case: impl FnMut(&mut TestRng)) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    for i in 0..cases {
+        // Deterministic per (source location, case index): failures name the
+        // case and rerunning reproduces it exactly.
+        let mut seed = 0xC0_0Bu64 ^ (u64::from(line) << 32) ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in file.bytes() {
+            seed = seed.rotate_left(7) ^ u64::from(b);
+        }
+        let mut rng = TestRng::seed_from_u64(seed);
+        case(&mut rng);
+    }
+}
+
+/// Declares property tests. Supports the binder forms `name in strategy` and
+/// `name: Type` (which uses [`any`]), mirroring the real macro.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(file!(), line!(), |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng $($params)*);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Internal helper of [`proptest!`]: binds one parameter list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+    ($rng:ident $var:ident in $strat:expr) => {
+        let $var = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident $var:ident : $ty:ty, $($rest:tt)*) => {
+        let $var: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+    ($rng:ident $var:ident : $ty:ty) => {
+        let $var: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+    };
+}
+
+/// Panicking stand-in for proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Panicking stand-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Panicking stand-in for proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro front-end binds both `in` and `:` parameters.
+        #[test]
+        fn binders_work(x in 1usize..10, y: u64, pair in (0u32..4, 5u64..6)) {
+            prop_assert!((1..10).contains(&x));
+            let _ = y;
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(pair.1, 5);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u64..100, 2..5),
+            s in prop::collection::btree_set(0usize..1000, 0..10),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn select_draws_members(op in prop::sample::select(vec!['a', 'b', 'c'])) {
+            prop_assert!(['a', 'b', 'c'].contains(&op));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases("f", 1, |rng| first.push(crate::any::<u64>().generate(rng)));
+        let mut second = Vec::new();
+        crate::run_cases("f", 1, |rng| second.push(crate::any::<u64>().generate(rng)));
+        assert_eq!(first, second);
+        assert!(first.len() >= 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace is built in environments without registry access, so the real
+//! `serde` cannot be fetched. Workspace types derive `Serialize`/`Deserialize`
+//! only to keep their public API future-proof; nothing serializes at runtime.
+//! This shim provides the two marker traits and re-exports the no-op derive
+//! macros, exactly mirroring how the real crate pairs each trait with a derive
+//! macro of the same name.
+
+/// Marker stand-in for `serde::Serialize`. Never used as a bound here.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. Never used as a bound here.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op replacements for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! This workspace builds in fully offline environments, so registry crates are
+//! replaced by local shims (see `shims/README.md`). Nothing in the workspace
+//! actually serializes values — the derives exist so that type definitions can
+//! keep their `#[derive(Serialize, Deserialize)]` attributes — so expanding to
+//! an empty token stream is sufficient.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same container attributes as serde.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same container attributes as serde.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -18,7 +18,10 @@ fn check_all_protocols(workload: &dyn Workload, core_counts: &[usize]) {
         for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
             let cfg = SystemConfig::test_system(cores, protocol);
             run_workload(cfg, workload).unwrap_or_else(|e| {
-                panic!("{} failed under {protocol} at {cores} cores: {e}", workload.name())
+                panic!(
+                    "{} failed under {protocol} at {cores} cores: {e}",
+                    workload.name()
+                )
             });
         }
     }
@@ -26,9 +29,18 @@ fn check_all_protocols(workload: &dyn Workload, core_counts: &[usize]) {
 
 #[test]
 fn histogram_is_correct_across_protocols_and_core_counts() {
-    check_all_protocols(&HistWorkload::new(3_000, 128, HistScheme::Shared, 1), &[1, 3, 8]);
-    check_all_protocols(&HistWorkload::new(2_000, 64, HistScheme::CoreLevelPrivate, 2), &[2, 8]);
-    check_all_protocols(&HistWorkload::new(2_000, 64, HistScheme::SocketLevelPrivate, 3), &[4, 17]);
+    check_all_protocols(
+        &HistWorkload::new(3_000, 128, HistScheme::Shared, 1),
+        &[1, 3, 8],
+    );
+    check_all_protocols(
+        &HistWorkload::new(2_000, 64, HistScheme::CoreLevelPrivate, 2),
+        &[2, 8],
+    );
+    check_all_protocols(
+        &HistWorkload::new(2_000, 64, HistScheme::SocketLevelPrivate, 3),
+        &[4, 17],
+    );
 }
 
 #[test]
@@ -104,11 +116,7 @@ fn high_level_api_agrees_with_direct_runner() {
     let mut system = coup::CoupSystem::builder().cores(4).test_scale().build();
     let w = SpmvWorkload::new(150, 5, 11);
     let report = system.compare_workload(&w);
-    let direct = run_workload(
-        SystemConfig::test_system(4, ProtocolKind::Meusi),
-        &w,
-    )
-    .unwrap();
+    let direct = run_workload(SystemConfig::test_system(4, ProtocolKind::Meusi), &w).unwrap();
     assert_eq!(report.meusi.commutative_updates, direct.commutative_updates);
     assert_eq!(report.meusi.accesses, direct.accesses);
 }

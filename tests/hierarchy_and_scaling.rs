@@ -49,7 +49,10 @@ fn reductions_of_cross_chip_updaters_are_hierarchical() {
         let _ = mem.access(core, 10, add, addr, 1);
     }
     let read = mem.access(5, 1_000, AccessType::Read, addr, 0);
-    assert_eq!(read.value, 12, "reduction must gather every chip's partial updates");
+    assert_eq!(
+        read.value, 12,
+        "reduction must gather every chip's partial updates"
+    );
     assert!(
         read.latency.l4_invalidations > 0.0,
         "reducing remote-chip updaters must show up in the L4-invalidation component"
@@ -135,5 +138,8 @@ fn mixed_operation_types_serialize_but_stay_correct() {
     }
     assert_eq!(mem.peek(addr), 40);
     assert_eq!(mem.peek(addr + 8), 0b11_1111_1111);
-    assert!(mem.protocol_stats().type_switches > 0, "op-type switches should have occurred");
+    assert!(
+        mem.protocol_stats().type_switches > 0,
+        "op-type switches should have occurred"
+    );
 }

@@ -1,0 +1,221 @@
+//! Property tests for the algebra COUP rests on and for the real-hardware
+//! runtime backends:
+//!
+//! * every [`CommutativeOp`] is commutative and associative with a correct
+//!   identity element *across all lanes of a [`LineData`]* — the whole-line
+//!   reduction the protocol, the simulator, and the runtime all share;
+//! * [`CoupBackend`] reads equal [`AtomicBackend`] reads for randomized
+//!   update/read interleavings (exact equality — the interleavings are
+//!   executed deterministically);
+//! * both backends end in exactly the sequential reference state after a
+//!   genuinely multithreaded contended run;
+//! * the workload kernels (`hist`, `pgrank`, `refcount`) verify under every
+//!   executor: simulator (MESI, MEUSI, RMW lowering) and real hardware
+//!   (atomic, coup) — the cross-backend equivalence the `ExecutionBackend`
+//!   refactor promises.
+
+use proptest::prelude::*;
+
+use coup_protocol::line::{LineData, LINE_BYTES};
+use coup_protocol::ops::CommutativeOp;
+use coup_protocol::state::ProtocolKind;
+use coup_runtime::{
+    expected_counts, run_contended, AtomicBackend, ContendedSpec, CoupBackend, UpdateBackend,
+};
+use coup_sim::config::SystemConfig;
+use coup_workloads::hist::{HistScheme, HistWorkload};
+use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
+use coup_workloads::pgrank::PageRankWorkload;
+use coup_workloads::refcount::{ImmediateRefcount, RefcountScheme};
+
+fn any_op() -> impl Strategy<Value = CommutativeOp> {
+    prop::sample::select(CommutativeOp::ALL.to_vec())
+}
+
+fn integer_op() -> impl Strategy<Value = CommutativeOp> {
+    prop::sample::select(vec![
+        CommutativeOp::AddU16,
+        CommutativeOp::AddU32,
+        CommutativeOp::AddU64,
+        CommutativeOp::And64,
+        CommutativeOp::Or64,
+        CommutativeOp::Xor64,
+        CommutativeOp::Min64,
+        CommutativeOp::Max64,
+        CommutativeOp::MulU32,
+    ])
+}
+
+/// Builds a partial-update line of `op` from (lane, value) pairs. Values are
+/// masked to the lane width by `apply_update`; for float ops the raw bits are
+/// first made finite by routing them through an integer cast.
+fn partial_line(op: CommutativeOp, updates: &[(usize, u64)]) -> LineData {
+    let width = op.width().bytes();
+    let lanes_per_line = LINE_BYTES / width;
+    let mut line = LineData::identity(op);
+    for &(lane, value) in updates {
+        let value = if op.is_float() {
+            match op {
+                CommutativeOp::AddF32 => u64::from(f32::from(value as u16).to_bits()),
+                _ => f64::from(value as u32).to_bits(),
+            }
+        } else {
+            value
+        };
+        line.apply_update(op, (lane % lanes_per_line) * width, value);
+    }
+    line
+}
+
+proptest! {
+    /// Identity lines are neutral on *every* lane of a line, for every
+    /// operation — including the extensions (Min/Max/Mul) the paper only
+    /// sketches.
+    #[test]
+    fn identity_line_is_neutral_on_every_lane(
+        op in any_op(),
+        updates in prop::collection::vec((0usize..32, any::<u64>()), 0..24),
+    ) {
+        let data = partial_line(op, &updates);
+        prop_assert_eq!(data.reduced_with(op, &LineData::identity(op)), data);
+        let mut from_identity = LineData::identity(op);
+        from_identity.reduce_from(op, &data);
+        prop_assert_eq!(from_identity, data);
+    }
+
+    /// Whole-line reduction is commutative for every operation (floats
+    /// included — the partials are finite) and associative for the
+    /// non-floating-point ones, so partial updates may be collected and
+    /// combined in any order and grouping.
+    #[test]
+    fn line_reduction_commutes_and_associates(
+        op in any_op(),
+        ua in prop::collection::vec((0usize..32, any::<u64>()), 0..16),
+        ub in prop::collection::vec((0usize..32, any::<u64>()), 0..16),
+        uc in prop::collection::vec((0usize..32, any::<u64>()), 0..16),
+    ) {
+        let (a, b, c) = (partial_line(op, &ua), partial_line(op, &ub), partial_line(op, &uc));
+        // Commutativity: a ∘ b == b ∘ a, lane for lane.
+        prop_assert_eq!(a.reduced_with(op, &b), b.reduced_with(op, &a));
+        if !op.is_float() {
+            // Associativity: (a ∘ b) ∘ c == a ∘ (b ∘ c).
+            prop_assert_eq!(
+                a.reduced_with(op, &b).reduced_with(op, &c),
+                a.reduced_with(op, &b.reduced_with(op, &c))
+            );
+        }
+    }
+
+    /// For any randomized interleaving of updates and reads from a handful of
+    /// threads, the software-COUP backend's reads return exactly what the
+    /// atomic baseline returns, and both end in the same state. Small flush
+    /// thresholds are included so reads race line drains.
+    #[test]
+    fn coup_reads_equal_atomic_reads(
+        op in integer_op(),
+        lanes in 1usize..40,
+        threshold in 1u32..6,
+        ops in prop::collection::vec((0usize..4, any::<u64>(), any::<u64>(), 0u32..10), 0..60),
+    ) {
+        let threads = 4;
+        let atomic = AtomicBackend::new(op, lanes);
+        let coup = CoupBackend::with_flush_threshold(op, lanes, threads, threshold);
+        for &(thread, lane_bits, value, kind) in &ops {
+            let lane = (lane_bits as usize) % lanes;
+            match kind {
+                // Reads are the minority, as in update-heavy workloads.
+                0 => prop_assert_eq!(
+                    atomic.read(thread, lane),
+                    coup.read(thread, lane),
+                    "read mismatch for {} at lane {}", op, lane
+                ),
+                1 => prop_assert_eq!(
+                    atomic.update_read(thread, lane, value),
+                    coup.update_read(thread, lane, value),
+                    "update_read mismatch for {} at lane {}", op, lane
+                ),
+                _ => {
+                    atomic.update(thread, lane, value);
+                    coup.update(thread, lane, value);
+                }
+            }
+        }
+        prop_assert_eq!(atomic.snapshot(), coup.snapshot(), "final state mismatch for {}", op);
+    }
+
+    /// After a real multithreaded contended run, both backends hold exactly
+    /// the sequential reference counts.
+    #[test]
+    fn multithreaded_runs_match_the_sequential_reference(
+        threads in 1usize..6,
+        lanes in 1usize..32,
+        reads_per_1000 in 0u32..200,
+        seed: u64,
+    ) {
+        let op = CommutativeOp::AddU64;
+        let spec = ContendedSpec { lanes, updates_per_thread: 500, reads_per_1000, seed };
+        let atomic = AtomicBackend::new(op, lanes);
+        let coup = CoupBackend::new(op, lanes, threads);
+        run_contended(&atomic, threads, &spec);
+        run_contended(&coup, threads, &spec);
+        let want = expected_counts(&spec, threads, op);
+        prop_assert_eq!(atomic.snapshot(), want.clone());
+        prop_assert_eq!(coup.snapshot(), want);
+    }
+}
+
+/// Every executor agrees on every kernelized workload: the simulator under
+/// both protocols and both lowerings, and the real-hardware runtime under
+/// both backends. `execute` verifies against the kernel's sequential
+/// reference, so five green runs mean five equal results.
+#[test]
+fn kernels_verify_under_every_executor() {
+    let hist = HistWorkload::new(4_000, 64, HistScheme::Shared, 3);
+    let pgrank = PageRankWorkload::new(300, 6, 2, 3);
+    let refcount = ImmediateRefcount::new(24, 400, false, RefcountScheme::Coup, 3);
+    let (hist_k, pgrank_k, refcount_k) = (hist.kernel(), pgrank.kernel(), refcount.kernel());
+    let kernels: [&dyn UpdateKernel; 3] = [&hist_k, &pgrank_k, &refcount_k];
+    for kernel in kernels {
+        for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
+            coup_workloads::kernel::SimBackend::new(SystemConfig::test_system(4, protocol))
+                .execute(kernel)
+                .unwrap_or_else(|e| panic!("sim/{protocol}: {e}"));
+        }
+        coup_workloads::kernel::SimBackend::with_rmw(SystemConfig::test_system(
+            4,
+            ProtocolKind::Mesi,
+        ))
+        .execute(kernel)
+        .unwrap_or_else(|e| panic!("sim/rmw: {e}"));
+        for kind in [RuntimeKind::Atomic, RuntimeKind::Coup] {
+            RuntimeBackend::new(kind, 4)
+                .execute(kernel)
+                .unwrap_or_else(|e| panic!("runtime/{kind:?}: {e}"));
+        }
+    }
+}
+
+/// The runtime honours program order within a thread: a read immediately
+/// after that thread's own update sees it (read-your-writes), and barriers
+/// publish across threads.
+#[test]
+fn coup_backend_reads_its_own_writes_and_respects_barriers() {
+    let threads = 4;
+    let coup = CoupBackend::new(CommutativeOp::AddU64, 8, threads);
+    let engine = coup_runtime::Engine::new(threads);
+    engine.run_on_backend(&coup, |ctx| {
+        coup.update(ctx.thread, ctx.thread, 7);
+        assert_eq!(coup.read(ctx.thread, ctx.thread), 7, "read-your-writes");
+        ctx.barrier();
+        // After the barrier every thread's lane holds its 7 (single writer
+        // per lane, so the reduction over all buffers is exact).
+        for t in 0..ctx.threads {
+            assert_eq!(
+                coup.read(ctx.thread, t),
+                7,
+                "cross-thread visibility after barrier"
+            );
+        }
+    });
+    assert_eq!(coup.snapshot(), vec![7, 7, 7, 7, 0, 0, 0, 0]);
+}
