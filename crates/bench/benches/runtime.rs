@@ -38,23 +38,28 @@ fn bench_contended_threads(c: &mut Criterion) {
 }
 
 fn bench_read_mix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("runtime_read_mix_8t");
+    // The read-mix crossover as thread count varies: the writer-bitmap read
+    // path makes a coup read O(active writers), so the crossover should move
+    // toward read-heavier mixes as more of each read's former O(threads)
+    // reduction cost disappears.
+    let mut group = c.benchmark_group("runtime_read_mix");
     group.sample_size(10);
-    let threads = 8;
-    for reads_per_1000 in [0u32, 10, 100, 300] {
-        let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(reads_per_1000);
-        group.bench_function(format!("atomic/r{reads_per_1000}"), |b| {
-            b.iter(|| {
-                let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
-                run_contended(&backend, threads, &spec)
+    for threads in [2usize, 4, 8] {
+        for reads_per_1000 in [0u32, 10, 100, 300] {
+            let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(reads_per_1000);
+            group.bench_function(format!("atomic/{threads}t/r{reads_per_1000}"), |b| {
+                b.iter(|| {
+                    let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
+                    run_contended(&backend, threads, &spec)
+                });
             });
-        });
-        group.bench_function(format!("coup/r{reads_per_1000}"), |b| {
-            b.iter(|| {
-                let backend = CoupBackend::new(CommutativeOp::AddU64, spec.lanes, threads);
-                run_contended(&backend, threads, &spec)
+            group.bench_function(format!("coup/{threads}t/r{reads_per_1000}"), |b| {
+                b.iter(|| {
+                    let backend = CoupBackend::new(CommutativeOp::AddU64, spec.lanes, threads);
+                    run_contended(&backend, threads, &spec)
+                });
             });
-        });
+        }
     }
     group.finish();
 }

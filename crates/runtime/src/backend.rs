@@ -7,16 +7,65 @@
 //!   mirror of the store, organised in the same cache-line shards, and applies
 //!   its updates there with plain (single-writer) loads and stores. Reads
 //!   trigger an on-demand reduction: the reader combines the global value with
-//!   every thread's buffered partial using the operation's lane arithmetic,
-//!   exactly like a COUP read collecting the U-state copies. A per-line flush
-//!   threshold bounds how much state lives in private buffers.
+//!   the buffered partial of every *active writer* of the line — the threads
+//!   named by the line's writer-presence bitmap, exactly like a COUP read
+//!   collecting U-state copies from the sharers the directory knows about. A
+//!   per-line flush threshold bounds how much state lives in private buffers.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use coup_protocol::line::{LineData, WORDS_PER_LINE};
 use coup_protocol::ops::CommutativeOp;
 
-use crate::store::{LaneGeometry, PaddedLine, SharedStore};
+use crate::store::{LaneGeometry, LaneSlot, LineMeta, PaddedLine, SharedStore};
+
+/// Cumulative read-side cost counters, the observable price of a backend's
+/// read path. [`AtomicBackend`] reads are a single shared-store load, so its
+/// counters stay zero; [`CoupBackend`] reads reduce over the buffers of the
+/// line's active writers, and these counters make that cost — and the
+/// seqlock's retry/escalation behaviour — assertable in tests and visible in
+/// throughput reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCost {
+    /// Reads served (including the reads [`UpdateBackend::snapshot`] issues).
+    pub reads: u64,
+    /// Buffer words loaded while reducing: the O(active writers) term. With
+    /// one active writer on a line this is exactly one per read, regardless
+    /// of how many worker buffers exist.
+    pub buffer_words: u64,
+    /// Reduction passes thrown away because a concurrent flush invalidated
+    /// the seqlock window (bitmap or epoch-sum changed, or an odd epoch was
+    /// observed).
+    pub retries: u64,
+    /// Reads that exhausted [`READ_RETRY_LIMIT`] optimistic passes and
+    /// escalated to a flush-deferring hold to force progress.
+    pub escalations: u64,
+}
+
+impl ReadCost {
+    /// The counters accumulated since an `earlier` snapshot of the same
+    /// backend (counters are cumulative and monotone).
+    #[must_use]
+    pub fn since(&self, earlier: &ReadCost) -> ReadCost {
+        ReadCost {
+            reads: self.reads - earlier.reads,
+            buffer_words: self.buffer_words - earlier.buffer_words,
+            retries: self.retries - earlier.retries,
+            escalations: self.escalations - earlier.escalations,
+        }
+    }
+
+    /// Mean buffer words loaded per read — the effective writer fan-in the
+    /// read path paid for. Zero when no reads were served.
+    #[must_use]
+    pub fn buffer_words_per_read(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.buffer_words as f64 / self.reads as f64
+        }
+    }
+}
 
 /// A shared array of lanes supporting commutative updates and coherent-enough
 /// reads, the common interface the workloads and benches program against.
@@ -26,11 +75,14 @@ use crate::store::{LaneGeometry, PaddedLine, SharedStore};
 /// Implementations are *quiescently consistent*: a read observes every update
 /// that happened-before it (same thread program order, or cross-thread via a
 /// synchronisation edge such as a barrier or thread join, provided the updater
-/// flushed), and after all updaters have finished and flushed,
-/// [`UpdateBackend::snapshot`] returns exactly the reduction of every update
-/// issued. Updates concurrent with a read may or may not be visible — the
-/// same freedom the COUP protocol's reductions have, and precisely what the
-/// commutativity of the operation makes harmless.
+/// flushed *or* is still an active writer of the line — an unflushed delta is
+/// always reachable through the writer bitmap), and after all updaters have
+/// finished and flushed, [`UpdateBackend::snapshot`] returns exactly the
+/// reduction of every update issued. Updates concurrent with a read may or
+/// may not be visible — the same freedom the COUP protocol's reductions have,
+/// and precisely what the commutativity of the operation makes harmless.
+/// Reads of one lane by one thread are monotone in the happened-before order:
+/// a delta observed by an earlier read is never missing from a later one.
 pub trait UpdateBackend: Send + Sync {
     /// Short name for reports ("atomic", "coup").
     fn name(&self) -> &'static str;
@@ -83,6 +135,13 @@ pub trait UpdateBackend: Send + Sync {
 
     /// Every lane's value. Exact once all workers have finished and flushed.
     fn snapshot(&self) -> Vec<u64>;
+
+    /// Cumulative [`ReadCost`] counters for this backend. The default is all
+    /// zeros, correct for backends whose reads are a single store load;
+    /// [`CoupBackend`] reports its reduction work here.
+    fn read_cost(&self) -> ReadCost {
+        ReadCost::default()
+    }
 }
 
 /// Conventional shared-memory baseline: every update is an atomic RMW on the
@@ -155,8 +214,12 @@ struct ThreadBuffer {
     /// even value when the migration completes. Single writer (the owner);
     /// readers use it to detect a migration overlapping their reduction, so
     /// a delta can never be observed in neither place (see
-    /// [`CoupBackend::read`]).
-    epochs: Box<[AtomicU32]>,
+    /// [`CoupBackend::read`]). 64 bits wide so the sum readers validate
+    /// against cannot wrap during a read: with 32-bit epochs, 2³¹ flushes
+    /// landing inside one reduction would restore the sum and let a stale
+    /// read validate (a wrap-around ABA); 2⁶³ flushes is decades of
+    /// machine time, not a reachable race.
+    epochs: Box<[AtomicU64]>,
 }
 
 impl ThreadBuffer {
@@ -171,18 +234,37 @@ impl ThreadBuffer {
         ThreadBuffer {
             lines,
             pending: (0..num_lines).map(|_| AtomicU32::new(0)).collect(),
-            epochs: (0..num_lines).map(|_| AtomicU32::new(0)).collect(),
+            epochs: (0..num_lines).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
 
+/// Per-thread read-cost tally, padded to its own cache line so two readers
+/// never false-share a counter word. Worker `t` usually adds to slot `t`
+/// alone, but slot 0 is shared with out-of-range callers (e.g. a snapshot
+/// from a non-worker thread), so the adds must stay `fetch_add`s;
+/// [`CoupBackend::read_cost`] folds the slots.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct ReadCostCounters {
+    reads: AtomicU64,
+    buffer_words: AtomicU64,
+    retries: AtomicU64,
+    escalations: AtomicU64,
+}
+
 /// Software COUP: privatized per-thread buffers absorb updates with plain
-/// stores; reads reduce on demand across all buffers; full lines flush into
-/// the sharded store when a per-line update budget is exceeded.
+/// stores; reads reduce on demand across the buffers of the line's *active
+/// writers* (tracked by a per-line bitmap); full lines flush into the sharded
+/// store when a per-line update budget is exceeded.
 #[derive(Debug)]
 pub struct CoupBackend {
     store: SharedStore,
     buffers: Vec<ThreadBuffer>,
+    /// One [`LineMeta`] (writer bitmap + read-hold latch) per store shard.
+    line_meta: Box<[LineMeta]>,
+    /// One padded counter block per worker; slot `t` is written by `t` only.
+    read_costs: Box<[ReadCostCounters]>,
     geometry: LaneGeometry,
     flush_threshold: u32,
 }
@@ -193,6 +275,16 @@ pub struct CoupBackend {
 /// flushing costs a CAS per dirty word, and reads reduce buffered partials
 /// regardless.
 pub const DEFAULT_FLUSH_THRESHOLD: u32 = 4096;
+
+/// Maximum worker count of a [`CoupBackend`]: one bit per worker in each
+/// line's writer-presence bitmap word.
+pub const MAX_COUP_THREADS: usize = 64;
+
+/// Optimistic reduction passes a read attempts before escalating. Each pass
+/// fails only if a flush overlapped it, so under ordinary contention one or
+/// two passes suffice; the limit exists to bound the worst case — a reader
+/// racing *continuous* threshold flushes — not the common one.
+pub const READ_RETRY_LIMIT: u32 = 16;
 
 impl CoupBackend {
     /// Creates a backend with `len` zeroed lanes of `op`'s width and one
@@ -208,6 +300,11 @@ impl CoupBackend {
 
     /// Like [`CoupBackend::new`] with an explicit per-line flush budget
     /// (minimum 1: every update immediately reduces into the store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or exceeds [`MAX_COUP_THREADS`] (the
+    /// writer bitmap holds one bit per worker).
     #[must_use]
     pub fn with_flush_threshold(
         op: CommutativeOp,
@@ -216,6 +313,10 @@ impl CoupBackend {
         flush_threshold: u32,
     ) -> Self {
         assert!(threads > 0, "CoupBackend needs at least one worker");
+        assert!(
+            threads <= MAX_COUP_THREADS,
+            "CoupBackend supports at most {MAX_COUP_THREADS} workers (one writer-bitmap bit each)"
+        );
         let store = SharedStore::new(op, len);
         let geometry = store.geometry();
         let num_lines = store.num_lines();
@@ -224,6 +325,8 @@ impl CoupBackend {
             buffers: (0..threads)
                 .map(|_| ThreadBuffer::new(op, num_lines))
                 .collect(),
+            line_meta: (0..num_lines).map(|_| LineMeta::default()).collect(),
+            read_costs: (0..threads).map(|_| ReadCostCounters::default()).collect(),
             geometry,
             flush_threshold: flush_threshold.max(1),
         }
@@ -252,7 +355,10 @@ impl CoupBackend {
     /// consumed exactly once even while other threads are reading, and the
     /// surrounding epoch bumps (odd while migrating) let concurrent readers
     /// detect that a delta may be mid-flight between buffer and store and
-    /// retry (see [`CoupBackend::read`]).
+    /// retry (see [`CoupBackend::read`]). Once the reduce has landed — and
+    /// only then — the owner retires itself from the line's writer bitmap:
+    /// the line is back at identity and every prior delta is store-visible,
+    /// so readers that skip this buffer from now on lose nothing.
     fn flush_line(&self, thread: usize, line: usize) {
         let epoch = &self.buffers[thread].epochs[line];
         epoch.store(
@@ -279,26 +385,112 @@ impl CoupBackend {
         if dirty {
             self.store.reduce_line(line, &partial);
         }
+        // AcqRel + the bitmap's RMW release sequence: a reader whose acquire
+        // load of the bitmap observes this clear (or any later RMW) also
+        // observes the reduce above, so the delta it will no longer collect
+        // from the buffer is guaranteed to be in its store load.
+        self.line_meta[line]
+            .writers
+            .fetch_and(!(1u64 << thread), Ordering::AcqRel);
         epoch.store(
             epoch.load(Ordering::Relaxed).wrapping_add(1),
             Ordering::Release,
         );
     }
 
-    /// Sums the flush epochs of `line` across all buffers, or `None` if any
-    /// buffer is mid-migration (odd epoch). Epochs are monotonic, so an
-    /// unchanged sum across a read means no migration started or completed
-    /// inside it.
-    fn epoch_sum(&self, line: usize, ordering: Ordering) -> Option<u32> {
-        let mut sum = 0u32;
-        for buffer in &self.buffers {
-            let epoch = buffer.epochs[line].load(ordering);
+    /// Sums the flush epochs of `line` across the buffers named in `writers`,
+    /// or `None` if any of them is mid-migration (odd epoch). Epochs are
+    /// monotonic, so an unchanged sum across a read means none of those
+    /// buffers started or completed a migration inside it. Threads outside
+    /// `writers` are not consulted — their epoch changes are covered by the
+    /// bitmap-equality half of the validation (a flush always clears the
+    /// flusher's bit).
+    fn epoch_sum(&self, line: usize, writers: u64, ordering: Ordering) -> Option<u64> {
+        let mut sum = 0u64;
+        let mut bits = writers;
+        while bits != 0 {
+            let thread = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let epoch = self.buffers[thread].epochs[line].load(ordering);
             if epoch & 1 == 1 {
                 return None;
             }
             sum = sum.wrapping_add(epoch);
         }
         Some(sum)
+    }
+
+    /// One optimistic reduction pass over `slot`'s line: snapshot the writer
+    /// bitmap, seqlock-validate an epoch sum over exactly those writers, fold
+    /// the store value with their buffered partials, and accept the result
+    /// only if neither the bitmap nor the epoch sum moved. `None` means a
+    /// migration overlapped the pass and the caller must retry.
+    ///
+    /// Why a cleared bit cannot hide a delta: bit `t` is set *before* `t`
+    /// buffers a delta and cleared only *after* `t`'s flush has reduced every
+    /// buffered delta into the store. So when the initial acquire load of
+    /// the bitmap shows bit `t` clear, all of `t`'s prior deltas are already
+    /// store-visible (the clear's release edge orders the reduce before it)
+    /// and the subsequent store load collects them; when it shows bit `t`
+    /// set, the pass reads `t`'s buffer, and any flush racing that read
+    /// flips `t`'s epoch (and clears the bit) inside the validated window,
+    /// failing validation. Either way no delta is observed in neither place,
+    /// and none is observed twice (a store-visible delta implies a completed
+    /// reduce, which implies the swap emptied the buffer within the same
+    /// odd-epoch window the validation rejects).
+    fn try_reduce(&self, slot: LaneSlot, index: usize, cost: &mut ReadCost) -> Option<u64> {
+        let op = self.store.op();
+        let identity = op.identity_lane();
+        let meta = &self.line_meta[slot.line];
+        let writers = meta.writers.load(Ordering::Acquire);
+        let before = self.epoch_sum(slot.line, writers, Ordering::Acquire)?;
+        let mut value = self.store.load_lane(index);
+        let mut bits = writers;
+        while bits != 0 {
+            let thread = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let word =
+                self.buffers[thread].lines[slot.line].words[slot.word].load(Ordering::Acquire);
+            cost.buffer_words += 1;
+            let lane = (word & slot.mask) >> slot.shift;
+            if lane != identity {
+                value = op.apply_lane(value, lane) & slot.low_mask;
+            }
+        }
+        std::sync::atomic::fence(Ordering::Acquire);
+        if meta.writers.load(Ordering::Relaxed) == writers
+            && self.epoch_sum(slot.line, writers, Ordering::Relaxed) == Some(before)
+        {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Escalation path of [`CoupBackend::read`]: after [`READ_RETRY_LIMIT`]
+    /// optimistic passes were invalidated by racing flushes, register a
+    /// read hold on the line so workers defer further threshold flushes
+    /// (they keep buffering — correctness never depends on flushing). The
+    /// migrations already in flight complete, at most one deferred-check
+    /// flush per worker slips in behind the hold, and each remaining worker
+    /// can set its writer bit at most once before the bitmap and epochs go
+    /// quiescent — so the loop terminates after finitely many passes instead
+    /// of spinning unboundedly. Explicit [`UpdateBackend::flush`] calls (one
+    /// per worker at the end of a run) ignore the hold; they are finite, so
+    /// progress is preserved.
+    fn reduce_with_hold(&self, slot: LaneSlot, index: usize, cost: &mut ReadCost) -> u64 {
+        let meta = &self.line_meta[slot.line];
+        meta.read_holds.fetch_add(1, Ordering::AcqRel);
+        cost.escalations += 1;
+        let value = loop {
+            if let Some(value) = self.try_reduce(slot, index, cost) {
+                break value;
+            }
+            cost.retries += 1;
+            std::hint::spin_loop();
+        };
+        meta.read_holds.fetch_sub(1, Ordering::AcqRel);
+        value
     }
 }
 
@@ -319,6 +511,17 @@ impl UpdateBackend for CoupBackend {
         debug_assert!(index < self.store.len());
         let op = self.store.op();
         let slot = self.geometry.slot(index);
+        let pending = &self.buffers[thread].pending[slot.line];
+        let count = pending.load(Ordering::Relaxed).saturating_add(1);
+        if count == 1 {
+            // First buffered update on this line since its last flush:
+            // announce this worker in the line's writer bitmap before the
+            // delta store below, so any reader that could observe the delta
+            // also observes the bit and reduces this buffer.
+            self.line_meta[slot.line]
+                .writers
+                .fetch_or(1u64 << thread, Ordering::AcqRel);
+        }
         let word = self.buffer_word(thread, slot.line, slot.word);
         // Single-writer fast path: plain load + lane combine + plain store.
         // No lock prefix, no CAS — the whole point of privatization.
@@ -330,45 +533,61 @@ impl UpdateBackend for CoupBackend {
             Ordering::Release,
         );
 
-        let pending = &self.buffers[thread].pending[slot.line];
-        let count = pending.load(Ordering::Relaxed) + 1;
-        if count >= self.flush_threshold {
+        // Threshold flushes defer while an escalated reader holds the line
+        // (the hold is what guarantees that reader's progress); the pending
+        // count keeps growing and the flush happens on the first update
+        // after the hold drops.
+        if count >= self.flush_threshold
+            && self.line_meta[slot.line].read_holds.load(Ordering::Relaxed) == 0
+        {
             self.flush_line(thread, slot.line);
         } else {
             pending.store(count, Ordering::Relaxed);
         }
     }
 
-    fn read(&self, _thread: usize, index: usize) -> u64 {
+    fn read(&self, thread: usize, index: usize) -> u64 {
         debug_assert!(index < self.store.len());
-        let op = self.store.op();
         let slot = self.geometry.slot(index);
-        let identity = op.identity_lane();
-        // On-demand reduction: global value ∘ every thread's buffered partial.
-        // A concurrent threshold flush migrates a delta from a buffer into
-        // the store; reading the store before the reduce and the buffer after
-        // the swap would observe the delta in *neither* place. The seqlock
-        // epochs rule that out: if no line epoch changed (and none was odd)
-        // across the whole reduction, no migration overlapped it.
-        loop {
-            let Some(before) = self.epoch_sum(slot.line, Ordering::Acquire) else {
-                std::hint::spin_loop();
-                continue;
-            };
-            let mut value = self.store.load_lane(index);
-            for buffer in &self.buffers {
-                let word = buffer.lines[slot.line].words[slot.word].load(Ordering::Acquire);
-                let lane = (word & slot.mask) >> slot.shift;
-                if lane != identity {
-                    value = op.apply_lane(value, lane) & slot.low_mask;
-                }
+        // On-demand reduction: global value ∘ the buffered partial of each
+        // *active writer* of the line, per the writer bitmap — O(active
+        // writers), not O(threads). A concurrent threshold flush migrates a
+        // delta from a buffer into the store; reading the store before the
+        // reduce and the buffer after the swap would observe the delta in
+        // *neither* place. The seqlock epochs plus the bitmap recheck rule
+        // that out (see [`CoupBackend::try_reduce`] for the proof), and the
+        // retry loop is bounded: after [`READ_RETRY_LIMIT`] invalidated
+        // passes the reader escalates to a flush-deferring hold that forces
+        // the line quiescent instead of spinning forever.
+        let mut cost = ReadCost {
+            reads: 1,
+            ..ReadCost::default()
+        };
+        let mut attempts = 0u32;
+        let value = loop {
+            if let Some(value) = self.try_reduce(slot, index, &mut cost) {
+                break value;
             }
-            std::sync::atomic::fence(Ordering::Acquire);
-            if self.epoch_sum(slot.line, Ordering::Relaxed) == Some(before) {
-                return value;
+            cost.retries += 1;
+            attempts += 1;
+            if attempts >= READ_RETRY_LIMIT {
+                break self.reduce_with_hold(slot, index, &mut cost);
             }
             std::hint::spin_loop();
-        }
+        };
+        // Owner-only slot (shared slot 0 absorbs out-of-range callers, e.g.
+        // a snapshot taken from a non-worker thread; fetch_add keeps that
+        // safe), so the tallies stay off other readers' cache lines.
+        let counters = self.read_costs.get(thread).unwrap_or(&self.read_costs[0]);
+        counters.reads.fetch_add(cost.reads, Ordering::Relaxed);
+        counters
+            .buffer_words
+            .fetch_add(cost.buffer_words, Ordering::Relaxed);
+        counters.retries.fetch_add(cost.retries, Ordering::Relaxed);
+        counters
+            .escalations
+            .fetch_add(cost.escalations, Ordering::Relaxed);
+        value
     }
 
     fn flush(&self, thread: usize) {
@@ -390,11 +609,31 @@ impl UpdateBackend for CoupBackend {
             .map(|index| self.read(0, index))
             .collect()
     }
+
+    fn read_cost(&self) -> ReadCost {
+        let mut total = ReadCost::default();
+        for counters in &self.read_costs {
+            total.reads += counters.reads.load(Ordering::Relaxed);
+            total.buffer_words += counters.buffer_words.load(Ordering::Relaxed);
+            total.retries += counters.retries.load(Ordering::Relaxed);
+            total.escalations += counters.escalations.load(Ordering::Relaxed);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Iteration multiplier for the concurrency stress tests: 1 normally, 8
+    /// when `COUP_STRESS` is set (the CI release stress lane).
+    fn stress_factor() -> u64 {
+        match std::env::var_os("COUP_STRESS") {
+            Some(v) if v != "0" => 8,
+            _ => 1,
+        }
+    }
 
     fn backends(op: CommutativeOp, len: usize, threads: usize) -> (AtomicBackend, CoupBackend) {
         (
@@ -497,7 +736,7 @@ mod tests {
         // only grows must never appear to shrink: a dip means a reader saw
         // the delta in neither the buffer nor the store (the race the
         // per-line epoch seqlock closes).
-        let updates = 30_000u64;
+        let updates = 30_000u64 * stress_factor();
         let coup = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 3, 1);
         std::thread::scope(|scope| {
             let coup = &coup;
@@ -521,6 +760,108 @@ mod tests {
             }
         });
         assert_eq!(coup.snapshot()[0], updates);
+    }
+
+    /// The acceptance bar of the writer-bitmap read path: one active writer
+    /// on a line costs exactly one buffer-word load per read, no matter how
+    /// many worker buffers the backend carries.
+    #[test]
+    fn read_on_a_line_with_one_writer_loads_one_buffer_word() {
+        for threads in [2usize, 8, 32, MAX_COUP_THREADS] {
+            let b = CoupBackend::new(CommutativeOp::AddU64, 8, threads);
+            b.update(0, 3, 5); // thread 0 is the line's only active writer
+            let before = b.read_cost();
+            let reads = 100u64;
+            for _ in 0..reads {
+                assert_eq!(b.read(threads - 1, 3), 5);
+            }
+            let cost = b.read_cost().since(&before);
+            assert_eq!(cost.reads, reads, "{threads} threads");
+            assert_eq!(
+                cost.buffer_words, reads,
+                "one buffer word per read at {threads} threads"
+            );
+            assert_eq!(cost.retries, 0, "{threads} threads");
+            assert_eq!(cost.escalations, 0, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn read_on_a_cold_line_loads_no_buffer_words() {
+        let b = CoupBackend::new(CommutativeOp::AddU64, 8, 16);
+        for _ in 0..10 {
+            assert_eq!(b.read(1, 5), 0);
+        }
+        assert_eq!(b.read_cost().buffer_words, 0);
+        assert_eq!(b.read_cost().reads, 10);
+    }
+
+    #[test]
+    fn read_cost_tracks_active_writers_not_threads() {
+        let threads = 32;
+        let b = CoupBackend::new(CommutativeOp::AddU64, 8, threads);
+        for t in [0usize, 5, 9] {
+            b.update(t, 2, 1);
+        }
+        let before = b.read_cost();
+        assert_eq!(b.read(31, 2), 3);
+        assert_eq!(b.read_cost().since(&before).buffer_words, 3);
+        // A flush retires a writer from the bitmap; the next read pays less.
+        b.flush(5);
+        let before = b.read_cost();
+        assert_eq!(b.read(31, 2), 3);
+        assert_eq!(b.read_cost().since(&before).buffer_words, 2);
+    }
+
+    #[test]
+    fn flush_advances_the_line_epoch_by_two() {
+        let b = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 2, 4);
+        b.update(0, 0, 1);
+        b.flush(0);
+        assert_eq!(b.buffers[0].epochs[0].load(Ordering::Relaxed), 2);
+        assert_eq!(
+            b.line_meta[0].writers.load(Ordering::Relaxed),
+            0,
+            "flush retires the writer bit"
+        );
+        for _ in 0..4 {
+            b.update(0, 0, 1); // 4th update crosses the threshold
+        }
+        assert_eq!(b.buffers[0].epochs[0].load(Ordering::Relaxed), 4);
+    }
+
+    /// While a reader holds the line, threshold crossings keep buffering
+    /// instead of flushing; the first update after the hold drops flushes.
+    #[test]
+    fn read_hold_defers_threshold_flushes() {
+        let b = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 2, 2);
+        b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel);
+        for _ in 0..6 {
+            b.update(0, 0, 1);
+        }
+        assert_eq!(b.store().load_lane(0), 0, "flushes deferred under hold");
+        assert_eq!(b.read(1, 0), 6, "reads still reduce the buffered deltas");
+        b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel);
+        b.update(0, 0, 1);
+        assert_eq!(b.store().load_lane(0), 7, "hold released, flush resumed");
+    }
+
+    #[test]
+    fn escalated_reduction_returns_the_right_value_and_releases_the_hold() {
+        let b = CoupBackend::new(CommutativeOp::AddU64, 8, 4);
+        b.update(0, 1, 11);
+        b.update(2, 1, 31);
+        let slot = b.geometry.slot(1);
+        let mut cost = ReadCost::default();
+        assert_eq!(b.reduce_with_hold(slot, 1, &mut cost), 42);
+        assert_eq!(cost.escalations, 1);
+        assert_eq!(b.line_meta[slot.line].read_holds.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn more_than_64_workers_is_rejected() {
+        let _ = CoupBackend::new(CommutativeOp::AddU64, 8, MAX_COUP_THREADS + 1);
     }
 
     #[test]

@@ -76,7 +76,13 @@ impl Engine {
                 .collect();
             let mut results = vec![worker(ctx(0))];
             for handle in handles {
-                results.push(handle.join().expect("worker thread panicked"));
+                match handle.join() {
+                    Ok(result) => results.push(result),
+                    // Re-raise the worker's own payload so a kernel assertion
+                    // message survives to the test report instead of being
+                    // replaced by a generic "worker thread panicked".
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
             results
         })
@@ -125,6 +131,29 @@ mod tests {
             // After the barrier every worker must observe all four arrivals.
             assert_eq!(phase1.load(Ordering::SeqCst), 4);
         });
+    }
+
+    #[test]
+    fn run_preserves_worker_panic_payloads() {
+        let engine = Engine::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(|ctx| {
+                if ctx.thread == 1 {
+                    panic!("kernel assertion failed: lane 7 mismatch");
+                }
+            });
+        }));
+        let payload = result.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("lane 7 mismatch"),
+            "original payload lost: {message:?}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use coup_protocol::ops::CommutativeOp;
 
-use crate::backend::UpdateBackend;
+use crate::backend::{ReadCost, UpdateBackend};
 use crate::engine::Engine;
 
 /// Parameters of one contended run.
@@ -60,6 +60,9 @@ pub struct ThroughputReport {
     pub reads: u64,
     /// Wall-clock time of the whole run, including final flushes.
     pub elapsed: Duration,
+    /// Read-side cost counters accumulated during the run (all zero for
+    /// backends whose reads are a single store load).
+    pub read_cost: ReadCost,
 }
 
 impl ThroughputReport {
@@ -89,11 +92,10 @@ pub fn run_contended(
     threads: usize,
     spec: &ContendedSpec,
 ) -> ThroughputReport {
-    assert!(
-        spec.lanes > 0 && spec.lanes <= backend.len(),
-        "spec wider than backend"
-    );
+    assert!(spec.lanes > 0, "spec needs at least one lane");
+    assert!(spec.lanes <= backend.len(), "spec wider than backend");
     let engine = Engine::new(threads);
+    let cost_before = backend.read_cost();
     let (counts, elapsed) = engine.run_on_backend(backend, |ctx| {
         let mut state = spec.seed ^ (ctx.thread as u64).wrapping_mul(0xA24B_AED4_963E_E407);
         let mut reads = 0u64;
@@ -116,6 +118,7 @@ pub fn run_contended(
         updates: threads as u64 * spec.updates_per_thread as u64 - reads,
         reads,
         elapsed,
+        read_cost: backend.read_cost().since(&cost_before),
     }
 }
 
@@ -165,6 +168,41 @@ mod tests {
         );
         assert_eq!(ra.updates, rc.updates, "same streams, same mix");
         assert!(ra.mops() > 0.0 && rc.mops() > 0.0);
+        assert_eq!(
+            ra.read_cost,
+            crate::backend::ReadCost::default(),
+            "atomic reads are plain loads"
+        );
+        assert_eq!(
+            rc.read_cost.reads, rc.reads,
+            "every coup read of the run is accounted"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lane_spec_panics_with_an_accurate_message() {
+        let backend = AtomicBackend::new(CommutativeOp::AddU64, 4);
+        let spec = ContendedSpec {
+            lanes: 0,
+            updates_per_thread: 1,
+            reads_per_1000: 0,
+            seed: 1,
+        };
+        run_contended(&backend, 1, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than backend")]
+    fn too_wide_spec_panics_with_an_accurate_message() {
+        let backend = AtomicBackend::new(CommutativeOp::AddU64, 4);
+        let spec = ContendedSpec {
+            lanes: 8,
+            updates_per_thread: 1,
+            reads_per_1000: 0,
+            seed: 1,
+        };
+        run_contended(&backend, 1, &spec);
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub mod engine;
 pub mod harness;
 pub mod store;
 
-pub use backend::{AtomicBackend, CoupBackend, UpdateBackend, DEFAULT_FLUSH_THRESHOLD};
+pub use backend::{
+    AtomicBackend, CoupBackend, ReadCost, UpdateBackend, DEFAULT_FLUSH_THRESHOLD, MAX_COUP_THREADS,
+    READ_RETRY_LIMIT,
+};
 pub use engine::{Engine, WorkerCtx};
 pub use harness::{expected_counts, run_contended, ContendedSpec, ThroughputReport};
 pub use store::SharedStore;

@@ -9,7 +9,7 @@
 //! [`crate::backend::CoupBackend`] reduce into the store with the protocol
 //! crate's lane-wise `apply_word` arithmetic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use coup_protocol::line::{LineData, WORDS_PER_LINE};
 use coup_protocol::ops::CommutativeOp;
@@ -20,6 +20,30 @@ use coup_protocol::ops::CommutativeOp;
 #[repr(align(64))]
 pub(crate) struct PaddedLine {
     pub(crate) words: [AtomicU64; WORDS_PER_LINE],
+}
+
+/// Per-line reader/writer coordination metadata for the software-COUP read
+/// path: the directory-style writer-presence bitmap and the read-side
+/// escalation latch. One per store shard, on its own cache line so bitmap
+/// traffic on a hot line never invalidates a neighbouring line's metadata —
+/// the same padding discipline as [`PaddedLine`].
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct LineMeta {
+    /// Writer-presence bitmap: bit `t` is set from just before worker `t`
+    /// buffers its first update to this line until `t`'s flush has migrated
+    /// every buffered delta into the store and left the buffer line at the
+    /// identity element. Readers reduce only the buffers named here — the
+    /// software analogue of a COUP read collecting U-state copies from the
+    /// sharers the directory knows about, making reads O(active writers)
+    /// instead of O(threads).
+    pub(crate) writers: AtomicU64,
+    /// Number of readers currently escalated on this line. While non-zero,
+    /// workers defer threshold flushes (they keep buffering — correctness
+    /// never depends on flushing), so in-flight migrations drain, no new
+    /// ones start, and a starving reader's seqlock validation is guaranteed
+    /// to succeed after finitely many retries.
+    pub(crate) read_holds: AtomicU32,
 }
 
 /// Where lane `index` lives: which shard, which word, and which bits.

@@ -367,6 +367,7 @@ impl ExecutionBackend for RuntimeBackend {
             })
             .collect();
         let engine = Engine::new(self.threads);
+        let cost_before = backend.read_cost();
         let (counts, elapsed) = engine.run_on_backend(backend.as_ref(), |ctx| {
             let script = &scripts[ctx.thread];
             let mut updates = 0u64;
@@ -397,6 +398,9 @@ impl ExecutionBackend for RuntimeBackend {
             }
             (updates, reads, std::hint::black_box(checksum))
         });
+        // Capture the read cost before the verifying snapshot below adds its
+        // own per-lane reductions to the counters.
+        let read_cost = backend.read_cost().since(&cost_before);
         let snapshot = backend.snapshot();
         let expected = kernel.expected(self.threads);
         if expected.len() != snapshot.len() {
@@ -423,6 +427,7 @@ impl ExecutionBackend for RuntimeBackend {
             updates,
             reads,
             elapsed,
+            read_cost,
         })
     }
 }

@@ -10,8 +10,9 @@
 //! Three sections:
 //!
 //! 1. a raw contended-counter sweep over thread counts,
-//! 2. an update/read-mix sweep (reads are COUP's expensive operation — each
-//!    one reduces across every thread's buffer),
+//! 2. an update/read-mix sweep across thread counts (reads are COUP's
+//!    expensive operation — each one reduces the buffers of the line's
+//!    active writers, tracked by a per-line writer bitmap),
 //! 3. the real workload kernels (`hist`, `pgrank`, `refcount`) executed
 //!    through the backend-neutral [`ExecutionBackend`] abstraction — the
 //!    same kernel definitions the timing simulator runs, now on silicon,
@@ -55,10 +56,13 @@ fn sweep_threads(op: CommutativeOp, updates_per_thread: usize) {
 }
 
 fn sweep_read_mix(threads: usize, updates_per_thread: usize) {
-    println!("update/read mix at {threads} threads (reads reduce across every thread's buffer)");
     println!(
-        "{:>12} | {:>14} | {:>14} | {:>8}",
-        "reads/1000", "atomic (Mops)", "coup (Mops)", "speedup"
+        "update/read mix at {threads} threads (reads reduce only the buffers \
+         in the line's writer bitmap)"
+    );
+    println!(
+        "{:>12} | {:>14} | {:>14} | {:>8} | {:>12} | {:>9}",
+        "reads/1000", "atomic (Mops)", "coup (Mops)", "speedup", "bufwords/rd", "retries"
     );
     for reads_per_1000 in [0u32, 10, 100, 300] {
         let spec = ContendedSpec::contended(updates_per_thread).with_reads(reads_per_1000);
@@ -68,10 +72,12 @@ fn sweep_read_mix(threads: usize, updates_per_thread: usize) {
         let rc = run_contended(&coup, threads, &spec);
         assert_eq!(atomic.snapshot(), coup.snapshot(), "backends must agree");
         println!(
-            "{reads_per_1000:>12} | {:>14.1} | {:>14.1} | {:>7.2}x",
+            "{reads_per_1000:>12} | {:>14.1} | {:>14.1} | {:>7.2}x | {:>12.2} | {:>9}",
             ra.mops(),
             rc.mops(),
-            rc.mops() / ra.mops()
+            rc.mops() / ra.mops(),
+            rc.read_cost.buffer_words_per_read(),
+            rc.read_cost.retries,
         );
     }
     println!();
@@ -100,7 +106,12 @@ fn main() {
     println!("== software COUP on real hardware ==\n");
     sweep_threads(CommutativeOp::AddU64, 400_000);
     sweep_threads(CommutativeOp::AddU32, 400_000);
-    sweep_read_mix(threads, 400_000);
+    // The read-mix crossover across thread counts: the writer-bitmap read
+    // path pays O(active writers) per read, so where the crossover lands
+    // depends on how many writers stay hot, not on the worker count.
+    for threads in [2usize, 4, 8, 16] {
+        sweep_read_mix(threads, 400_000);
+    }
 
     println!("workload kernels through ExecutionBackend at {threads} threads");
     println!(

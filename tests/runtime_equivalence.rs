@@ -195,6 +195,80 @@ fn kernels_verify_under_every_executor() {
     }
 }
 
+/// Iteration multiplier for the concurrency stress tests: 1 normally, 8 when
+/// `COUP_STRESS` is set (the CI release stress lane).
+fn stress_factor() -> u64 {
+    match std::env::var_os("COUP_STRESS") {
+        Some(v) if v != "0" => 8,
+        _ => 1,
+    }
+}
+
+/// Port of the backend's `concurrent_reads_never_lose_migrating_deltas`
+/// stress test to sub-word lane widths, where a migration that mishandled
+/// its word masks could corrupt *neighbour lanes of the same 64-bit word* —
+/// a failure mode that cannot exist at `AddU64`. Two writers hammer adjacent
+/// lanes with flush threshold 1 (every update migrates buffer → store) while
+/// six readers — most of the 8 workers' writer-bitmap bits stay cold —
+/// verify that each counter is monotone, never overshoots, and that the
+/// untouched neighbours stay zero.
+#[test]
+fn concurrent_subword_reads_never_lose_migrating_deltas() {
+    for op in [CommutativeOp::AddU16, CommutativeOp::AddU32] {
+        let threads = 8;
+        // Keep the counters inside a u16 lane so "monotone" is meaningful.
+        let updates = (12_000u64 * stress_factor()).min(60_000);
+        // Lanes 0..4 share the first 64-bit word at AddU16 (0..2 at AddU32):
+        // lanes 1 and 2 are hot, their word-neighbours 0 and 3 must stay 0.
+        let coup = CoupBackend::with_flush_threshold(op, 8, threads, 1);
+        std::thread::scope(|scope| {
+            let coup = &coup;
+            for (writer, lane) in [(0usize, 1usize), (1, 2)] {
+                scope.spawn(move || {
+                    for _ in 0..updates {
+                        coup.update(writer, lane, 1);
+                    }
+                });
+            }
+            for reader in 2..threads {
+                scope.spawn(move || {
+                    let mut last = [0u64; 2];
+                    loop {
+                        let mut done = true;
+                        for (i, lane) in [1usize, 2].into_iter().enumerate() {
+                            let now = coup.read(reader, lane);
+                            assert!(
+                                now >= last[i],
+                                "{op:?} lane {lane} went backwards: {} -> {now}",
+                                last[i]
+                            );
+                            assert!(now <= updates, "{op:?} lane {lane} overshot: {now}");
+                            last[i] = now;
+                            done &= now == updates;
+                        }
+                        assert_eq!(coup.read(reader, 0), 0, "{op:?} neighbour lane corrupted");
+                        assert_eq!(coup.read(reader, 3), 0, "{op:?} neighbour lane corrupted");
+                        if done {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(coup.snapshot()[..4], [0, updates, updates, 0]);
+        let cost = coup.read_cost();
+        assert!(cost.reads > 0);
+        assert!(
+            cost.buffer_words <= (cost.reads + cost.retries) * 2,
+            "{op:?}: each reduction pass must touch at most the two active \
+             writers' buffers ({} buffer words over {} reads + {} retries)",
+            cost.buffer_words,
+            cost.reads,
+            cost.retries
+        );
+    }
+}
+
 /// The runtime honours program order within a thread: a read immediately
 /// after that thread's own update sees it (read-your-writes), and barriers
 /// publish across threads.
