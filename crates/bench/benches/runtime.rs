@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{run_contended, AtomicBackend, ContendedSpec, CoupBackend};
+use coup_runtime::{
+    run_contended, AtomicBackend, BufferConfig, ContendedSpec, CoupBackend, DEFAULT_FLUSH_THRESHOLD,
+};
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind};
 use coup_workloads::refcount::{ImmediateRefcount, RefcountScheme};
@@ -64,6 +66,62 @@ fn bench_read_mix(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_capacity_sweep(c: &mut Criterion) {
+    // The eviction-rate crossover of the sparse privatized buffers: a
+    // uniform scatter over 4096 lanes (512 store lines at AddU64) with the
+    // per-worker capacity swept from far-too-small to unbounded. Tiny
+    // capacities evict on almost every line switch (every eviction is a
+    // store migration — CAS work an AtomicBackend update does anyway), so
+    // coup approaches atomic from below; once the capacity covers the
+    // working set, evictions vanish and the full privatization win returns.
+    // Compare each `coup/c*` line against `atomic` to find the crossover.
+    let mut group = c.benchmark_group("runtime_capacity_sweep_4t");
+    group.sample_size(10);
+    let threads = 4;
+    let spec = ContendedSpec {
+        lanes: 4096,
+        updates_per_thread: UPDATES_PER_THREAD,
+        reads_per_1000: 2,
+        seed: 0x5EED,
+    };
+    group.bench_function("atomic", |b| {
+        b.iter(|| {
+            let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
+            run_contended(&backend, threads, &spec)
+        });
+    });
+    for capacity in [
+        Some(8usize),
+        Some(32),
+        Some(128),
+        Some(256),
+        Some(512),
+        None,
+    ] {
+        let label = match capacity {
+            Some(c) => format!("coup/c{c}"),
+            None => "coup/unbounded".to_string(),
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = BufferConfig {
+                    capacity_lines: capacity,
+                    ..BufferConfig::default()
+                };
+                let backend = CoupBackend::with_config(
+                    CommutativeOp::AddU64,
+                    spec.lanes,
+                    threads,
+                    DEFAULT_FLUSH_THRESHOLD,
+                    config,
+                );
+                run_contended(&backend, threads, &spec)
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_workload_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_workload_kernels_8t");
     group.sample_size(10);
@@ -90,6 +148,7 @@ criterion_group!(
     runtime,
     bench_contended_threads,
     bench_read_mix,
+    bench_capacity_sweep,
     bench_workload_kernels
 );
 criterion_main!(runtime);

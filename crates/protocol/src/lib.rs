@@ -14,7 +14,7 @@
 //!   lane-wise application ([`ops::CommutativeOp`]).
 //! * [`access`] — request types (read / write / commutative update) and
 //!   operation classes ([`access::OpClass`]).
-//! * [`line`] — cache-line payloads and partial-update buffers
+//! * [`mod@line`] — cache-line payloads and partial-update buffers
 //!   ([`line::LineData`]).
 //! * [`state`] — stable private-cache states and directory modes for the
 //!   MSI / MUSI / MESI / MEUSI protocol families ([`state::ProtocolKind`]).

@@ -3,21 +3,52 @@
 //! * [`AtomicBackend`] — the conventional baseline: every update is an atomic
 //!   read-modify-write on the shared store, so a contended lane serialises all
 //!   updaters on one cache line exactly as `lock xadd` does.
-//! * [`CoupBackend`] — software COUP: each worker thread owns a privatized
-//!   mirror of the store, organised in the same cache-line shards, and applies
-//!   its updates there with plain (single-writer) loads and stores. Reads
-//!   trigger an on-demand reduction: the reader combines the global value with
-//!   the buffered partial of every *active writer* of the line — the threads
-//!   named by the line's writer-presence bitmap, exactly like a COUP read
-//!   collecting U-state copies from the sharers the directory knows about. A
-//!   per-line flush threshold bounds how much state lives in private buffers.
+//! * [`CoupBackend`] — software COUP: each worker thread owns a **sparse,
+//!   capacity-bounded** privatized buffer — an open-addressed table of at most
+//!   [`BufferConfig::capacity_lines`] cache-line-sized slots, each holding the
+//!   buffered partial update of one store line — and applies its updates there
+//!   with plain (single-writer) loads and stores. Reads trigger an on-demand
+//!   reduction: the reader combines the global value with the buffered partial
+//!   of every *active writer* of the line — the threads named by the line's
+//!   writer-presence bitmap, exactly like a COUP read collecting U-state
+//!   copies from the sharers the directory knows about. When a worker touches
+//!   more distinct lines than its buffer holds, an eviction policy
+//!   ([`EvictionPolicy`]) picks a victim slot and *migrates its delta into the
+//!   [`SharedStore`]* before the slot is re-tagged
+//!   — the software analogue of a U-state cache eviction, which is what keeps
+//!   COUP viable when the working set dwarfs the private cache (paper §3.1.2).
+//!
+//! # The flush-epoch / read-hold protocol
+//!
+//! Three mechanisms make the sparse buffers safe under concurrency, and they
+//! compose into the consistency contract documented on [`UpdateBackend`]:
+//!
+//! 1. **Writer-presence bitmaps** ([`LineMeta`](crate::store) in `store.rs`):
+//!    bit `t` of a line's bitmap is set *before* worker `t` buffers its first
+//!    delta to the line and cleared only *after* a migration has landed every
+//!    buffered delta in the store. Readers reduce only the buffers the bitmap
+//!    names, so reads cost O(active writers), not O(threads).
+//! 2. **Per-slot flush epochs** (seqlock-style): a slot's epoch is odd while
+//!    its owner migrates the slot's line into the store (swap to identity +
+//!    reduce) and bumped to the next even value when the migration completes.
+//!    A reader validates that every consulted slot still holds the expected
+//!    line tag at the epoch it sampled; any overlapping migration or eviction
+//!    re-tag fails the validation and the read retries.
+//! 3. **Read holds**: after [`READ_RETRY_LIMIT`] invalidated passes a reader
+//!    escalates — it raises a per-line hold that makes writers defer
+//!    *threshold* flushes (they keep buffering, which is always correct), so
+//!    the line quiesces and the read completes. Capacity pressure never
+//!    breaks the hold either: victim selection refuses read-held lines, and
+//!    when *every* candidate is held the update detours around the buffer as
+//!    a direct store RMW (the atomic-baseline path) instead of evicting —
+//!    bounded memory and reader progress both survive.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use coup_protocol::line::{LineData, WORDS_PER_LINE};
 use coup_protocol::ops::CommutativeOp;
 
-use crate::store::{LaneGeometry, LaneSlot, LineMeta, PaddedLine, SharedStore};
+use crate::store::{LaneGeometry, LaneSlot, PaddedLine, SharedStore};
 
 /// Cumulative read-side cost counters, the observable price of a backend's
 /// read path. [`AtomicBackend`] reads are a single shared-store load, so its
@@ -33,9 +64,9 @@ pub struct ReadCost {
     /// one active writer on a line this is exactly one per read, regardless
     /// of how many worker buffers exist.
     pub buffer_words: u64,
-    /// Reduction passes thrown away because a concurrent flush invalidated
-    /// the seqlock window (bitmap or epoch-sum changed, or an odd epoch was
-    /// observed).
+    /// Reduction passes thrown away because a concurrent migration
+    /// invalidated the seqlock window (bitmap, slot tag, or epoch changed,
+    /// or an odd epoch was observed).
     pub retries: u64,
     /// Reads that exhausted [`READ_RETRY_LIMIT`] optimistic passes and
     /// escalated to a flush-deferring hold to force progress.
@@ -67,6 +98,156 @@ impl ReadCost {
     }
 }
 
+/// Cumulative buffer-side counters of a [`CoupBackend`]: how often the sparse
+/// privatized tables claimed, evicted, and drained slots. The software
+/// analogue of a cache's miss/eviction statistics, summed over all workers.
+/// [`AtomicBackend`] has no buffers, so its counters stay zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Lines privatized: buffer slots claimed for a line not currently in the
+    /// worker's table (the table's "miss" count — both first-touch claims of
+    /// empty slots and claims that displaced a victim).
+    pub privatized: u64,
+    /// Capacity evictions: slot claims that displaced a *dirty* victim, so
+    /// its buffered delta was migrated into the store before the re-tag —
+    /// the software U-state evictions. Always ≤ `privatized`.
+    pub evictions: u64,
+    /// Slot drains that were not evictions: per-line flush-threshold
+    /// crossings plus explicit [`UpdateBackend::flush`] calls.
+    pub flushes: u64,
+    /// Updates applied directly to the store (an atomic RMW, exactly the
+    /// [`AtomicBackend`] path) because every candidate victim in the probe
+    /// window held a read-held line. Evicting one would churn the epochs an
+    /// escalated reader is waiting to see quiesce, so capacity pressure
+    /// routes around the buffer instead — commutativity makes the detour
+    /// invisible. Non-zero only under simultaneous capacity and read-hold
+    /// pressure.
+    pub held_bypasses: u64,
+}
+
+impl BufferStats {
+    /// The counters accumulated since an `earlier` snapshot of the same
+    /// backend (counters are cumulative and monotone).
+    #[must_use]
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        BufferStats {
+            privatized: self.privatized - earlier.privatized,
+            evictions: self.evictions - earlier.evictions,
+            flushes: self.flushes - earlier.flushes,
+            held_bypasses: self.held_bypasses - earlier.held_bypasses,
+        }
+    }
+
+    /// Evictions per update — the conflict pressure on the bounded buffers.
+    /// Zero when no updates were applied (`updates` of the enclosing run).
+    #[must_use]
+    pub fn eviction_rate(&self, updates: u64) -> f64 {
+        if updates == 0 {
+            0.0
+        } else {
+            self.evictions as f64 / updates as f64
+        }
+    }
+}
+
+/// Which slot a capacity-bounded buffer sacrifices when a worker privatizes
+/// more distinct lines than it can hold.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// CLOCK (second chance): every buffered update marks its slot; the
+    /// victim scan clears marks and takes the first unmarked slot. One bit of
+    /// state per slot, no per-access ordering cost — the default.
+    #[default]
+    Clock,
+    /// Least-recently-used: every buffered update stamps its slot with a
+    /// per-worker tick; the victim is the slot with the oldest stamp in the
+    /// probe window. Exact recency at the price of a counter write per
+    /// update.
+    Lru,
+}
+
+/// Sizing and replacement configuration of a [`CoupBackend`]'s per-worker
+/// privatized buffers.
+///
+/// The default (unbounded, CLOCK) gives every store line its own slot —
+/// functionally the dense mirror of earlier revisions, with identical
+/// zero-eviction behaviour. Bounding `capacity_lines` is what makes
+/// huge-array workloads (pgrank at millions of vertices) feasible: per-worker
+/// memory becomes O(capacity), independent of the store size, and conflicts
+/// drain through evictions instead of growing the footprint.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferConfig {
+    /// Maximum privatized lines per worker. `None` means one slot per store
+    /// line (no evictions, ever). `Some(c)` is rounded up to the next power
+    /// of two (minimum 1) and capped at the smallest power of two covering
+    /// the store's lines — the same size `None` resolves to.
+    pub capacity_lines: Option<usize>,
+    /// Replacement policy for capacity conflicts.
+    pub policy: EvictionPolicy,
+}
+
+impl BufferConfig {
+    /// An unbounded configuration: one slot per store line, no evictions.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        BufferConfig::default()
+    }
+
+    /// A configuration bounded to `capacity_lines` privatized lines per
+    /// worker (minimum 1; rounded up to a power of two at construction).
+    #[must_use]
+    pub fn bounded(capacity_lines: usize) -> Self {
+        BufferConfig {
+            capacity_lines: Some(capacity_lines),
+            ..BufferConfig::default()
+        }
+    }
+
+    /// Returns `self` with the given replacement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configuration the `COUP_BUFFER_CAPACITY` / `COUP_BUFFER_POLICY`
+    /// environment variables select, falling back to the default (unbounded,
+    /// CLOCK) when unset or unparsable. `COUP_BUFFER_CAPACITY` takes a line
+    /// count, or `0`/`unbounded` for no bound; `COUP_BUFFER_POLICY` takes
+    /// `clock` or `lru`. [`CoupBackend::new`] and
+    /// [`CoupBackend::with_flush_threshold`] consult this, so an entire test
+    /// suite can be rerun under tiny capacities (CI does, at capacity 2) to
+    /// exercise the eviction path without any code change.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(
+            std::env::var("COUP_BUFFER_CAPACITY").ok().as_deref(),
+            std::env::var("COUP_BUFFER_POLICY").ok().as_deref(),
+        )
+    }
+
+    /// Parses the environment-variable forms (see [`BufferConfig::from_env`]).
+    #[must_use]
+    pub fn parse(capacity: Option<&str>, policy: Option<&str>) -> Self {
+        let mut cfg = BufferConfig::default();
+        match capacity {
+            Some("0" | "unbounded") => cfg.capacity_lines = None,
+            Some(text) => {
+                if let Ok(lines) = text.parse::<usize>() {
+                    cfg.capacity_lines = Some(lines);
+                }
+            }
+            None => {}
+        }
+        match policy {
+            Some("lru") => cfg.policy = EvictionPolicy::Lru,
+            Some("clock") => cfg.policy = EvictionPolicy::Clock,
+            _ => {}
+        }
+        cfg
+    }
+}
+
 /// A shared array of lanes supporting commutative updates and coherent-enough
 /// reads, the common interface the workloads and benches program against.
 ///
@@ -83,6 +264,8 @@ impl ReadCost {
 /// and precisely what the commutativity of the operation makes harmless.
 /// Reads of one lane by one thread are monotone in the happened-before order:
 /// a delta observed by an earlier read is never missing from a later one.
+/// Capacity evictions preserve all of this: migrating a delta buffer→store
+/// changes where a reader finds it, never whether.
 pub trait UpdateBackend: Send + Sync {
     /// Short name for reports ("atomic", "coup").
     fn name(&self) -> &'static str;
@@ -142,6 +325,13 @@ pub trait UpdateBackend: Send + Sync {
     fn read_cost(&self) -> ReadCost {
         ReadCost::default()
     }
+
+    /// Cumulative [`BufferStats`] counters for this backend. The default is
+    /// all zeros, correct for backends without privatized buffers;
+    /// [`CoupBackend`] reports its privatization/eviction/flush work here.
+    fn buffer_stats(&self) -> BufferStats {
+        BufferStats::default()
+    }
 }
 
 /// Conventional shared-memory baseline: every update is an atomic RMW on the
@@ -197,44 +387,126 @@ impl UpdateBackend for AtomicBackend {
     }
 }
 
-/// One worker's privatized update buffer: a mirror of the store's shard
-/// geometry whose words hold *partial updates* initialised to the identity
-/// element, exactly like a private cache line in the U state.
+/// The empty-slot tag. A slot's tag is `line + 1` once claimed; tags only
+/// ever change claimed→claimed (re-tag on eviction), never back to empty.
+const EMPTY_TAG: u64 = 0;
+
+#[inline]
+fn tag_of(line: usize) -> u64 {
+    line as u64 + 1
+}
+
+/// One worker's sparse privatized update buffer: an open-addressed,
+/// line-granular table of `capacity` cache-line slots. Slot words hold
+/// *partial updates* initialised to the identity element, exactly like a
+/// private cache line in the U state; the tag array maps slots back to store
+/// lines so concurrent readers can find (and seqlock-validate) a writer's
+/// buffered delta.
 ///
-/// Single-writer: only the owning worker stores to these words (with plain
-/// atomic stores — no RMW, no lock prefix); readers of other threads load
-/// them during reductions. `pending` counts unflushed updates per line and is
-/// touched only by the owner.
+/// Single-writer: only the owning worker stores to the slot words, tags,
+/// pending counts, and policy state; readers of other threads load tags,
+/// epochs, and words during reductions.
+///
+/// Indexing is set-associative like a hardware cache: a line's *home* slot is
+/// `line & mask` (identity hashing — low line bits, the same bits a cache's
+/// set index uses) and the line may live in any of the `window` slots probed
+/// linearly from home. When `capacity ≥ store lines` every line has a unique
+/// home and no conflict can ever arise — the unbounded configuration degrades
+/// to the dense mirror of earlier revisions.
 #[derive(Debug)]
 struct ThreadBuffer {
-    lines: Box<[PaddedLine]>,
-    pending: Box<[AtomicU32]>,
-    /// Per-line flush epoch, seqlock-style: odd while this buffer's owner is
-    /// migrating the line into the store (swap + reduce), bumped to the next
-    /// even value when the migration completes. Single writer (the owner);
-    /// readers use it to detect a migration overlapping their reduction, so
-    /// a delta can never be observed in neither place (see
-    /// [`CoupBackend::read`]). 64 bits wide so the sum readers validate
-    /// against cannot wrap during a read: with 32-bit epochs, 2³¹ flushes
-    /// landing inside one reduction would restore the sum and let a stale
-    /// read validate (a wrap-around ABA); 2⁶³ flushes is decades of
-    /// machine time, not a reachable race.
+    /// `capacity` cache-line-sized delta slots (64-byte aligned).
+    slots: Box<[PaddedLine]>,
+    /// Per-slot line tag: `line + 1`, or [`EMPTY_TAG`] before first use.
+    /// Written by the owner (Release), read by reducing readers (Acquire).
+    tags: Box<[AtomicU64]>,
+    /// Per-slot flush epoch, seqlock-style: odd while the owner is migrating
+    /// the slot's line into the store (swap + reduce), bumped to the next
+    /// even value when the migration completes. 64 bits wide so a validation
+    /// cannot be fooled by wrap-around inside one read (a 2⁶³-flush ABA is
+    /// decades of machine time, not a reachable race).
     epochs: Box<[AtomicU64]>,
+    /// Unflushed updates per slot; owner-only.
+    pending: Box<[AtomicU32]>,
+    /// Replacement state per slot: CLOCK reference bit or LRU stamp.
+    /// Owner-only.
+    marks: Box<[AtomicU64]>,
+    /// CLOCK hand: rotation offset applied within a victim scan. Owner-only.
+    hand: AtomicUsize,
+    /// LRU tick source. Owner-only.
+    tick: AtomicU64,
+    /// Lines privatized (slot claims). Owner-only.
+    privatized: AtomicU64,
+    /// Dirty-victim migrations. Owner-only.
+    evictions: AtomicU64,
+    /// Threshold + explicit drains. Owner-only.
+    flushes: AtomicU64,
+    /// Updates routed straight to the store because every victim candidate
+    /// was read-held. Owner-only.
+    held_bypasses: AtomicU64,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    /// Probe window length: `min(PROBE_WINDOW, capacity)`.
+    window: usize,
 }
 
 impl ThreadBuffer {
-    fn new(op: CommutativeOp, num_lines: usize) -> Self {
+    fn new(op: CommutativeOp, capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
         let identity = op.identity_word();
-        let lines: Box<[PaddedLine]> = (0..num_lines).map(|_| PaddedLine::default()).collect();
-        for line in &lines {
-            for word in &line.words {
+        let slots: Box<[PaddedLine]> = (0..capacity).map(|_| PaddedLine::default()).collect();
+        for slot in &slots {
+            for word in &slot.words {
                 word.store(identity, Ordering::Relaxed);
             }
         }
         ThreadBuffer {
-            lines,
-            pending: (0..num_lines).map(|_| AtomicU32::new(0)).collect(),
-            epochs: (0..num_lines).map(|_| AtomicU64::new(0)).collect(),
+            slots,
+            tags: (0..capacity).map(|_| AtomicU64::new(EMPTY_TAG)).collect(),
+            epochs: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            pending: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            marks: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            hand: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
+            privatized: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            held_bypasses: AtomicU64::new(0),
+            mask: capacity - 1,
+            window: PROBE_WINDOW.min(capacity),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// The slot holding `line`'s buffered delta, if the table has one. Owner
+    /// and readers probe the identical window, so a tag the owner published
+    /// is always discoverable; the Acquire load pairs with the owner's
+    /// Release tag store, making the slot's prior contents visible.
+    #[inline]
+    fn locate(&self, line: usize) -> Option<usize> {
+        let tag = tag_of(line);
+        for i in 0..self.window {
+            let idx = (line + i) & self.mask;
+            if self.tags[idx].load(Ordering::Acquire) == tag {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Records a use of `idx` for the replacement policy. Owner-only.
+    #[inline]
+    fn touch(&self, idx: usize, policy: EvictionPolicy) {
+        match policy {
+            EvictionPolicy::Clock => self.marks[idx].store(1, Ordering::Relaxed),
+            EvictionPolicy::Lru => {
+                let tick = self.tick.load(Ordering::Relaxed) + 1;
+                self.tick.store(tick, Ordering::Relaxed);
+                self.marks[idx].store(tick, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -253,20 +525,22 @@ struct ReadCostCounters {
     escalations: AtomicU64,
 }
 
-/// Software COUP: privatized per-thread buffers absorb updates with plain
-/// stores; reads reduce on demand across the buffers of the line's *active
-/// writers* (tracked by a per-line bitmap); full lines flush into the sharded
-/// store when a per-line update budget is exceeded.
+/// Software COUP: sparse, capacity-bounded privatized per-thread buffers
+/// absorb updates with plain stores; reads reduce on demand across the
+/// buffers of the line's *active writers* (tracked by a per-line bitmap);
+/// lines drain into the sharded store on per-line flush-threshold crossings,
+/// explicit flushes, and capacity evictions.
 #[derive(Debug)]
 pub struct CoupBackend {
     store: SharedStore,
     buffers: Vec<ThreadBuffer>,
-    /// One [`LineMeta`] (writer bitmap + read-hold latch) per store shard.
-    line_meta: Box<[LineMeta]>,
+    /// One `LineMeta` (writer bitmap + read-hold latch) per store shard.
+    line_meta: Box<[crate::store::LineMeta]>,
     /// One padded counter block per worker; slot `t` is written by `t` only.
     read_costs: Box<[ReadCostCounters]>,
     geometry: LaneGeometry,
     flush_threshold: u32,
+    policy: EvictionPolicy,
 }
 
 /// Default per-line update budget before a privatized line is flushed to the
@@ -281,14 +555,23 @@ pub const DEFAULT_FLUSH_THRESHOLD: u32 = 4096;
 pub const MAX_COUP_THREADS: usize = 64;
 
 /// Optimistic reduction passes a read attempts before escalating. Each pass
-/// fails only if a flush overlapped it, so under ordinary contention one or
-/// two passes suffice; the limit exists to bound the worst case — a reader
-/// racing *continuous* threshold flushes — not the common one.
+/// fails only if a migration overlapped it, so under ordinary contention one
+/// or two passes suffice; the limit exists to bound the worst case — a reader
+/// racing *continuous* migrations — not the common one.
 pub const READ_RETRY_LIMIT: u32 = 16;
+
+/// Linear-probe window of the sparse buffers: a line may live in any of this
+/// many slots starting at its home slot, so a capacity-`c` buffer behaves
+/// like a `min(PROBE_WINDOW, c)`-way set-associative cache. Bounding the
+/// window bounds both the owner's miss cost and the per-writer probe cost a
+/// reducing reader pays.
+pub const PROBE_WINDOW: usize = 8;
 
 impl CoupBackend {
     /// Creates a backend with `len` zeroed lanes of `op`'s width and one
-    /// privatized buffer per worker in `0..threads`.
+    /// privatized buffer per worker in `0..threads`, with the buffer
+    /// configuration taken from the environment
+    /// ([`BufferConfig::from_env`]; default unbounded).
     ///
     /// # Panics
     ///
@@ -299,7 +582,9 @@ impl CoupBackend {
     }
 
     /// Like [`CoupBackend::new`] with an explicit per-line flush budget
-    /// (minimum 1: every update immediately reduces into the store).
+    /// (minimum 1: every update immediately reduces into the store). The
+    /// buffer configuration is taken from the environment
+    /// ([`BufferConfig::from_env`]; default unbounded).
     ///
     /// # Panics
     ///
@@ -312,6 +597,23 @@ impl CoupBackend {
         threads: usize,
         flush_threshold: u32,
     ) -> Self {
+        Self::with_config(op, len, threads, flush_threshold, BufferConfig::from_env())
+    }
+
+    /// The fully explicit constructor: operation, lane count, worker count,
+    /// per-line flush budget, and sparse-buffer configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or exceeds [`MAX_COUP_THREADS`].
+    #[must_use]
+    pub fn with_config(
+        op: CommutativeOp,
+        len: usize,
+        threads: usize,
+        flush_threshold: u32,
+        config: BufferConfig,
+    ) -> Self {
         assert!(threads > 0, "CoupBackend needs at least one worker");
         assert!(
             threads <= MAX_COUP_THREADS,
@@ -320,15 +622,23 @@ impl CoupBackend {
         let store = SharedStore::new(op, len);
         let geometry = store.geometry();
         let num_lines = store.num_lines();
+        let dense = num_lines.next_power_of_two();
+        let capacity = match config.capacity_lines {
+            None => dense,
+            Some(lines) => lines.max(1).next_power_of_two().min(dense),
+        };
         CoupBackend {
             store,
             buffers: (0..threads)
-                .map(|_| ThreadBuffer::new(op, num_lines))
+                .map(|_| ThreadBuffer::new(op, capacity))
                 .collect(),
-            line_meta: (0..num_lines).map(|_| LineMeta::default()).collect(),
+            line_meta: (0..num_lines)
+                .map(|_| crate::store::LineMeta::default())
+                .collect(),
             read_costs: (0..threads).map(|_| ReadCostCounters::default()).collect(),
             geometry,
             flush_threshold: flush_threshold.max(1),
+            policy: config.policy,
         }
     }
 
@@ -344,23 +654,141 @@ impl CoupBackend {
         &self.store
     }
 
-    #[inline]
-    fn buffer_word(&self, thread: usize, line: usize, word: usize) -> &AtomicU64 {
-        &self.buffers[thread].lines[line].words[word]
+    /// Resolved per-worker buffer capacity, in lines (the configured bound
+    /// rounded up to a power of two and capped at the smallest power of two
+    /// covering the store's lines).
+    #[must_use]
+    pub fn capacity_lines(&self) -> usize {
+        self.buffers[0].capacity()
     }
 
-    /// Drains one privatized line into the store: swap each word back to the
-    /// identity element, assemble the observed partial into a [`LineData`],
-    /// and reduce it lane-wise. The swap guarantees each buffered delta is
-    /// consumed exactly once even while other threads are reading, and the
-    /// surrounding epoch bumps (odd while migrating) let concurrent readers
-    /// detect that a delta may be mid-flight between buffer and store and
-    /// retry (see [`CoupBackend::read`]). Once the reduce has landed — and
-    /// only then — the owner retires itself from the line's writer bitmap:
-    /// the line is back at identity and every prior delta is store-visible,
-    /// so readers that skip this buffer from now on lose nothing.
-    fn flush_line(&self, thread: usize, line: usize) {
-        let epoch = &self.buffers[thread].epochs[line];
+    /// Bytes of privatized buffer state per worker — O(capacity), not
+    /// O(store): slot data plus the per-slot tag/epoch/pending/mark arrays
+    /// and the fixed per-buffer bookkeeping. This is the bound a
+    /// capacity-limited configuration promises; the huge-array test asserts
+    /// it stays put as the store grows a thousandfold.
+    #[must_use]
+    pub fn buffer_bytes_per_thread(&self) -> usize {
+        let per_slot = std::mem::size_of::<PaddedLine>()
+            + std::mem::size_of::<AtomicU64>() * 3 // tag, epoch, mark
+            + std::mem::size_of::<AtomicU32>(); // pending
+        std::mem::size_of::<ThreadBuffer>() + self.capacity_lines() * per_slot
+    }
+
+    /// Claims a slot in `thread`'s buffer for `line` and publishes the tag.
+    /// Prefers an empty slot in the probe window; otherwise evicts the
+    /// policy's victim, migrating its delta into the store first if dirty.
+    /// Returns the claimed slot index, or `None` when every candidate slot
+    /// holds a read-held line — evicting one would churn its epochs and
+    /// starve the escalated reader the hold protects, so the caller must
+    /// route this update around the buffer instead (see
+    /// [`CoupBackend::update`]). Owner-only.
+    fn privatize(&self, thread: usize, line: usize) -> Option<usize> {
+        let buf = &self.buffers[thread];
+        for i in 0..buf.window {
+            let idx = (line + i) & buf.mask;
+            if buf.tags[idx].load(Ordering::Relaxed) == EMPTY_TAG {
+                // Release: a reader that finds this tag must also see the
+                // slot's identity-initialised words.
+                buf.tags[idx].store(tag_of(line), Ordering::Release);
+                buf.privatized.store(
+                    buf.privatized.load(Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
+                return Some(idx);
+            }
+        }
+        let idx = self.choose_victim(thread, line)?;
+        if buf.pending[idx].load(Ordering::Relaxed) > 0 {
+            // Dirty victim: migrate its delta into the store under an odd
+            // epoch, retiring its writer bit, then re-tag — the software
+            // U-state eviction.
+            self.migrate_slot(thread, idx, Some(line));
+            buf.evictions
+                .store(buf.evictions.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        } else {
+            // Clean victim: its words are already at identity and its writer
+            // bit is clear, so a bare re-tag suffices. A reader that sampled
+            // the old tag re-checks it during validation and retries; a
+            // tag-ABA (old line returning to this slot) is impossible
+            // without an intervening dirty migration, because the update
+            // that triggered this claim dirties the slot before any further
+            // re-tag can happen.
+            buf.tags[idx].store(tag_of(line), Ordering::Release);
+        }
+        buf.privatized.store(
+            buf.privatized.load(Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        Some(idx)
+    }
+
+    /// Picks the victim slot for a claim of `line` in `thread`'s buffer, or
+    /// `None` if every candidate's line carries a read hold. Never returning
+    /// a held line is what keeps the read-hold escalation's termination
+    /// argument intact: while a reader holds a line, no new migration of it
+    /// can start — not from threshold flushes (deferred) and not from
+    /// capacity pressure (the caller bypasses the buffer instead). Owner-only.
+    fn choose_victim(&self, thread: usize, line: usize) -> Option<usize> {
+        let buf = &self.buffers[thread];
+        let held = |idx: usize| {
+            let victim_line = (buf.tags[idx].load(Ordering::Relaxed) - 1) as usize;
+            self.line_meta[victim_line]
+                .read_holds
+                .load(Ordering::Relaxed)
+                > 0
+        };
+        match self.policy {
+            EvictionPolicy::Clock => {
+                let start = buf.hand.load(Ordering::Relaxed) % buf.window;
+                // Two sweeps: the first clears reference bits, the second
+                // must find an unmarked, unheld slot if one exists.
+                for step in 0..(2 * buf.window) {
+                    let i = (start + step) % buf.window;
+                    let idx = (line + i) & buf.mask;
+                    if held(idx) {
+                        continue;
+                    }
+                    if buf.marks[idx].load(Ordering::Relaxed) != 0 {
+                        buf.marks[idx].store(0, Ordering::Relaxed);
+                        continue;
+                    }
+                    buf.hand.store((i + 1) % buf.window, Ordering::Relaxed);
+                    return Some(idx);
+                }
+                None
+            }
+            EvictionPolicy::Lru => {
+                let mut best: Option<(usize, u64)> = None;
+                for i in 0..buf.window {
+                    let idx = (line + i) & buf.mask;
+                    let stamp = buf.marks[idx].load(Ordering::Relaxed);
+                    if !held(idx) && best.is_none_or(|(_, s)| stamp < s) {
+                        best = Some((idx, stamp));
+                    }
+                }
+                best.map(|(idx, _)| idx)
+            }
+        }
+    }
+
+    /// Drains slot `idx` of `thread`'s buffer into the store: swap each word
+    /// back to the identity element, assemble the observed partial into a
+    /// [`LineData`], and reduce it lane-wise into the slot's tagged line. The
+    /// swap guarantees each buffered delta is consumed exactly once even
+    /// while other threads are reading, and the surrounding epoch bumps (odd
+    /// while migrating) let concurrent readers detect that a delta may be
+    /// mid-flight between buffer and store and retry (see
+    /// [`CoupBackend::read`]). Once the reduce has landed — and only then —
+    /// the owner retires itself from the line's writer bitmap: the slot is
+    /// back at identity and every prior delta is store-visible, so readers
+    /// that skip this buffer from now on lose nothing. If `retag` names a new
+    /// line (eviction), the slot is handed to it inside the same odd-epoch
+    /// window, after the bitmap retirement.
+    fn migrate_slot(&self, thread: usize, idx: usize, retag: Option<usize>) {
+        let buf = &self.buffers[thread];
+        let line = (buf.tags[idx].load(Ordering::Relaxed) - 1) as usize;
+        let epoch = &buf.epochs[idx];
         epoch.store(
             epoch.load(Ordering::Relaxed).wrapping_add(1),
             Ordering::Relaxed,
@@ -373,84 +801,86 @@ impl CoupBackend {
         let mut partial = LineData::identity(op);
         let mut dirty = false;
         for word in 0..WORDS_PER_LINE {
-            let observed = self
-                .buffer_word(thread, line, word)
-                .swap(identity, Ordering::AcqRel);
+            let observed = buf.slots[idx].words[word].swap(identity, Ordering::AcqRel);
             if observed != identity {
                 partial.set_word(word, observed);
                 dirty = true;
             }
         }
-        self.buffers[thread].pending[line].store(0, Ordering::Relaxed);
+        buf.pending[idx].store(0, Ordering::Relaxed);
         if dirty {
             self.store.reduce_line(line, &partial);
         }
         // AcqRel + the bitmap's RMW release sequence: a reader whose acquire
         // load of the bitmap observes this clear (or any later RMW) also
         // observes the reduce above, so the delta it will no longer collect
-        // from the buffer is guaranteed to be in its store load.
+        // from the buffer is guaranteed to be in its store load. The evicted
+        // line's writer bit clears here and nowhere else — strictly after
+        // its delta landed.
         self.line_meta[line]
             .writers
             .fetch_and(!(1u64 << thread), Ordering::AcqRel);
+        if let Some(new_line) = retag {
+            buf.tags[idx].store(tag_of(new_line), Ordering::Release);
+        }
         epoch.store(
             epoch.load(Ordering::Relaxed).wrapping_add(1),
             Ordering::Release,
         );
     }
 
-    /// Sums the flush epochs of `line` across the buffers named in `writers`,
-    /// or `None` if any of them is mid-migration (odd epoch). Epochs are
-    /// monotonic, so an unchanged sum across a read means none of those
-    /// buffers started or completed a migration inside it. Threads outside
-    /// `writers` are not consulted — their epoch changes are covered by the
-    /// bitmap-equality half of the validation (a flush always clears the
-    /// flusher's bit).
-    fn epoch_sum(&self, line: usize, writers: u64, ordering: Ordering) -> Option<u64> {
-        let mut sum = 0u64;
-        let mut bits = writers;
-        while bits != 0 {
-            let thread = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            let epoch = self.buffers[thread].epochs[line].load(ordering);
-            if epoch & 1 == 1 {
-                return None;
-            }
-            sum = sum.wrapping_add(epoch);
-        }
-        Some(sum)
-    }
-
     /// One optimistic reduction pass over `slot`'s line: snapshot the writer
-    /// bitmap, seqlock-validate an epoch sum over exactly those writers, fold
-    /// the store value with their buffered partials, and accept the result
-    /// only if neither the bitmap nor the epoch sum moved. `None` means a
-    /// migration overlapped the pass and the caller must retry.
+    /// bitmap, locate each named writer's slot and sample its epoch, fold the
+    /// store value with the located buffered partials, and accept the result
+    /// only if the bitmap, every sampled tag, and every sampled epoch are
+    /// unmoved. `None` means a migration overlapped the pass and the caller
+    /// must retry.
     ///
     /// Why a cleared bit cannot hide a delta: bit `t` is set *before* `t`
-    /// buffers a delta and cleared only *after* `t`'s flush has reduced every
-    /// buffered delta into the store. So when the initial acquire load of
-    /// the bitmap shows bit `t` clear, all of `t`'s prior deltas are already
-    /// store-visible (the clear's release edge orders the reduce before it)
-    /// and the subsequent store load collects them; when it shows bit `t`
-    /// set, the pass reads `t`'s buffer, and any flush racing that read
-    /// flips `t`'s epoch (and clears the bit) inside the validated window,
-    /// failing validation. Either way no delta is observed in neither place,
-    /// and none is observed twice (a store-visible delta implies a completed
-    /// reduce, which implies the swap emptied the buffer within the same
-    /// odd-epoch window the validation rejects).
+    /// buffers a delta and cleared only *after* `t`'s migration has reduced
+    /// every buffered delta into the store. So when the initial acquire load
+    /// of the bitmap shows bit `t` clear, all of `t`'s prior deltas are
+    /// already store-visible (the clear's release edge orders the reduce
+    /// before it) and the subsequent store load collects them; when it shows
+    /// bit `t` set, the pass probes `t`'s table. Finding the tag means any
+    /// flush racing the word read flips the slot's epoch inside the validated
+    /// window, failing validation. *Not* finding the tag means the slot was
+    /// already re-tagged by an eviction (tags are published before writer
+    /// bits, and a tag store is never observed stale once its bitmap bit is:
+    /// the bit's RMW is ordered after the tag's release store) — and that
+    /// eviction's bit-clear happens-before the re-tag the probe observed, so
+    /// the bitmap re-check below is guaranteed to see the bit fall and fail
+    /// the pass. Either way no delta is observed in neither place, and none
+    /// is observed twice (a store-visible delta implies a completed reduce,
+    /// which implies the swap emptied the slot within the same odd-epoch
+    /// window the validation rejects).
     fn try_reduce(&self, slot: LaneSlot, index: usize, cost: &mut ReadCost) -> Option<u64> {
         let op = self.store.op();
         let identity = op.identity_lane();
         let meta = &self.line_meta[slot.line];
         let writers = meta.writers.load(Ordering::Acquire);
-        let before = self.epoch_sum(slot.line, writers, Ordering::Acquire)?;
-        let mut value = self.store.load_lane(index);
+        // (thread, slot index, sampled epoch) of each located writer slot.
+        let mut located = [(0usize, 0usize, 0u64); MAX_COUP_THREADS];
+        let mut n = 0usize;
         let mut bits = writers;
         while bits != 0 {
             let thread = bits.trailing_zeros() as usize;
             bits &= bits - 1;
-            let word =
-                self.buffers[thread].lines[slot.line].words[slot.word].load(Ordering::Acquire);
+            if let Some(idx) = self.buffers[thread].locate(slot.line) {
+                let epoch = self.buffers[thread].epochs[idx].load(Ordering::Acquire);
+                if epoch & 1 == 1 {
+                    return None;
+                }
+                located[n] = (thread, idx, epoch);
+                n += 1;
+            }
+            // Tag not found: the writer's slot was evicted (its delta is in
+            // the store and the bitmap re-check below will observe the
+            // cleared bit and retry) — nothing to collect here.
+        }
+        let mut value = self.store.load_lane(index);
+        for &(thread, idx, _) in &located[..n] {
+            let word = self.buffers[thread].slots[idx].words[slot.word].load(Ordering::Acquire);
             cost.buffer_words += 1;
             let lane = (word & slot.mask) >> slot.shift;
             if lane != identity {
@@ -458,26 +888,35 @@ impl CoupBackend {
             }
         }
         std::sync::atomic::fence(Ordering::Acquire);
-        if meta.writers.load(Ordering::Relaxed) == writers
-            && self.epoch_sum(slot.line, writers, Ordering::Relaxed) == Some(before)
-        {
-            Some(value)
-        } else {
-            None
+        if meta.writers.load(Ordering::Relaxed) != writers {
+            return None;
         }
+        let tag = tag_of(slot.line);
+        for &(thread, idx, epoch) in &located[..n] {
+            if self.buffers[thread].tags[idx].load(Ordering::Relaxed) != tag
+                || self.buffers[thread].epochs[idx].load(Ordering::Relaxed) != epoch
+            {
+                return None;
+            }
+        }
+        Some(value)
     }
 
     /// Escalation path of [`CoupBackend::read`]: after [`READ_RETRY_LIMIT`]
-    /// optimistic passes were invalidated by racing flushes, register a
-    /// read hold on the line so workers defer further threshold flushes
-    /// (they keep buffering — correctness never depends on flushing). The
-    /// migrations already in flight complete, at most one deferred-check
-    /// flush per worker slips in behind the hold, and each remaining worker
-    /// can set its writer bit at most once before the bitmap and epochs go
-    /// quiescent — so the loop terminates after finitely many passes instead
-    /// of spinning unboundedly. Explicit [`UpdateBackend::flush`] calls (one
+    /// optimistic passes were invalidated by racing migrations, register a
+    /// read hold on the line so workers stop starting migrations of it —
+    /// threshold flushes defer (workers keep buffering, which is always
+    /// correct) and capacity evictions refuse held victims, detouring the
+    /// conflicting update to a direct store RMW instead. The migrations
+    /// already in flight complete, at most one deferred-check flush per
+    /// worker slips in behind the hold, and each remaining worker can set
+    /// its writer bit at most once before the bitmap and epochs go quiescent
+    /// — so the loop terminates after finitely many passes instead of
+    /// spinning unboundedly. Explicit [`UpdateBackend::flush`] calls (one
     /// per worker at the end of a run) ignore the hold; they are finite, so
-    /// progress is preserved.
+    /// progress is preserved. Direct store RMWs slipping in under the hold
+    /// are harmless to termination: they touch neither bitmap nor epochs,
+    /// so they cannot invalidate a pass.
     fn reduce_with_hold(&self, slot: LaneSlot, index: usize, cost: &mut ReadCost) -> u64 {
         let meta = &self.line_meta[slot.line];
         meta.read_holds.fetch_add(1, Ordering::AcqRel);
@@ -511,18 +950,44 @@ impl UpdateBackend for CoupBackend {
         debug_assert!(index < self.store.len());
         let op = self.store.op();
         let slot = self.geometry.slot(index);
-        let pending = &self.buffers[thread].pending[slot.line];
+        let buf = &self.buffers[thread];
+        let idx = match buf.locate(slot.line) {
+            Some(idx) => idx,
+            None => match self.privatize(thread, slot.line) {
+                Some(idx) => idx,
+                None => {
+                    // Every victim candidate is read-held. Rather than force
+                    // an eviction that would keep invalidating the escalated
+                    // reader's seqlock passes (re-opening the starvation the
+                    // read hold exists to close), apply this one update
+                    // straight to the store — the atomic-baseline path.
+                    // Commutativity makes the detour invisible: the delta is
+                    // store-visible immediately, needs no writer bit, and
+                    // folds with any buffered partials in any order.
+                    self.store.rmw_lane(index, value);
+                    buf.held_bypasses.store(
+                        buf.held_bypasses.load(Ordering::Relaxed) + 1,
+                        Ordering::Relaxed,
+                    );
+                    return;
+                }
+            },
+        };
+        buf.touch(idx, self.policy);
+        let pending = &buf.pending[idx];
         let count = pending.load(Ordering::Relaxed).saturating_add(1);
         if count == 1 {
-            // First buffered update on this line since its last flush:
+            // First buffered update on this slot since its last drain:
             // announce this worker in the line's writer bitmap before the
             // delta store below, so any reader that could observe the delta
-            // also observes the bit and reduces this buffer.
+            // also observes the bit and reduces this buffer. The slot's tag
+            // is already published (privatize/locate), so a reader that sees
+            // the bit can always find the slot.
             self.line_meta[slot.line]
                 .writers
                 .fetch_or(1u64 << thread, Ordering::AcqRel);
         }
-        let word = self.buffer_word(thread, slot.line, slot.word);
+        let word = &buf.slots[idx].words[slot.word];
         // Single-writer fast path: plain load + lane combine + plain store.
         // No lock prefix, no CAS — the whole point of privatization.
         let current = word.load(Ordering::Relaxed);
@@ -540,7 +1005,9 @@ impl UpdateBackend for CoupBackend {
         if count >= self.flush_threshold
             && self.line_meta[slot.line].read_holds.load(Ordering::Relaxed) == 0
         {
-            self.flush_line(thread, slot.line);
+            self.migrate_slot(thread, idx, None);
+            buf.flushes
+                .store(buf.flushes.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
         } else {
             pending.store(count, Ordering::Relaxed);
         }
@@ -551,14 +1018,14 @@ impl UpdateBackend for CoupBackend {
         let slot = self.geometry.slot(index);
         // On-demand reduction: global value ∘ the buffered partial of each
         // *active writer* of the line, per the writer bitmap — O(active
-        // writers), not O(threads). A concurrent threshold flush migrates a
-        // delta from a buffer into the store; reading the store before the
-        // reduce and the buffer after the swap would observe the delta in
-        // *neither* place. The seqlock epochs plus the bitmap recheck rule
-        // that out (see [`CoupBackend::try_reduce`] for the proof), and the
-        // retry loop is bounded: after [`READ_RETRY_LIMIT`] invalidated
-        // passes the reader escalates to a flush-deferring hold that forces
-        // the line quiescent instead of spinning forever.
+        // writers), not O(threads). A concurrent migration moves a delta
+        // from a buffer into the store; reading the store before the reduce
+        // and the buffer after the swap would observe the delta in *neither*
+        // place. The per-slot seqlock epochs plus the tag and bitmap
+        // rechecks rule that out (see [`CoupBackend::try_reduce`] for the
+        // proof), and the retry loop is bounded: after [`READ_RETRY_LIMIT`]
+        // invalidated passes the reader escalates to a flush-deferring hold
+        // that forces the line quiescent instead of spinning forever.
         let mut cost = ReadCost {
             reads: 1,
             ..ReadCost::default()
@@ -591,9 +1058,12 @@ impl UpdateBackend for CoupBackend {
     }
 
     fn flush(&self, thread: usize) {
-        for line in 0..self.buffers[thread].lines.len() {
-            if self.buffers[thread].pending[line].load(Ordering::Relaxed) > 0 {
-                self.flush_line(thread, line);
+        let buf = &self.buffers[thread];
+        for idx in 0..buf.capacity() {
+            if buf.pending[idx].load(Ordering::Relaxed) > 0 {
+                self.migrate_slot(thread, idx, None);
+                buf.flushes
+                    .store(buf.flushes.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
             }
         }
     }
@@ -620,6 +1090,17 @@ impl UpdateBackend for CoupBackend {
         }
         total
     }
+
+    fn buffer_stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
+        for buf in &self.buffers {
+            total.privatized += buf.privatized.load(Ordering::Relaxed);
+            total.evictions += buf.evictions.load(Ordering::Relaxed);
+            total.flushes += buf.flushes.load(Ordering::Relaxed);
+            total.held_bypasses += buf.held_bypasses.load(Ordering::Relaxed);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -642,6 +1123,13 @@ mod tests {
         )
     }
 
+    /// Slot index of `line` in `thread`'s buffer, which must exist.
+    fn slot_of(b: &CoupBackend, thread: usize, line: usize) -> usize {
+        b.buffers[thread]
+            .locate(line)
+            .expect("line must be privatized")
+    }
+
     #[test]
     fn atomic_backend_counts() {
         let b = AtomicBackend::new(CommutativeOp::AddU64, 8);
@@ -650,6 +1138,7 @@ mod tests {
         assert_eq!(b.read(0, 3), 12);
         assert_eq!(b.update_read(0, 3, 1), 13);
         assert_eq!(b.snapshot()[3], 13);
+        assert_eq!(b.buffer_stats(), BufferStats::default());
     }
 
     #[test]
@@ -676,6 +1165,7 @@ mod tests {
         b.update(0, 0, 1);
         assert_eq!(b.store().load_lane(0), 4, "below threshold stays private");
         assert_eq!(b.read(1, 0), 5);
+        assert_eq!(b.buffer_stats().flushes, 1);
     }
 
     #[test]
@@ -729,13 +1219,196 @@ mod tests {
         }
     }
 
+    /// The same interleaving agreement, but at capacity 1 and 2 with both
+    /// policies, so every line switch evicts through `privatize`.
+    #[test]
+    fn backends_agree_under_tiny_capacities_and_both_policies() {
+        for capacity in [1usize, 2] {
+            for policy in [EvictionPolicy::Clock, EvictionPolicy::Lru] {
+                let op = CommutativeOp::AddU32;
+                let lanes = 64; // 4 store lines at AddU32
+                let atomic = AtomicBackend::new(op, lanes);
+                let coup = CoupBackend::with_config(
+                    op,
+                    lanes,
+                    3,
+                    DEFAULT_FLUSH_THRESHOLD,
+                    BufferConfig::bounded(capacity).with_policy(policy),
+                );
+                assert_eq!(coup.capacity_lines(), capacity);
+                let mut x = 0x9E37_79B9_u64;
+                for step in 0..3000 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let thread = (x >> 16) as usize % 3;
+                    let index = (x >> 24) as usize % lanes;
+                    if step % 5 == 0 {
+                        assert_eq!(
+                            atomic.read(thread, index),
+                            coup.read(thread, index),
+                            "read mismatch at capacity {capacity} ({policy:?}) step {step}"
+                        );
+                    } else {
+                        atomic.update(thread, index, x >> 40);
+                        coup.update(thread, index, x >> 40);
+                    }
+                }
+                assert_eq!(
+                    atomic.snapshot(),
+                    coup.snapshot(),
+                    "final state mismatch at capacity {capacity} ({policy:?})"
+                );
+                assert!(
+                    coup.buffer_stats().evictions > 0,
+                    "capacity {capacity} over 4 lines must evict"
+                );
+            }
+        }
+    }
+
+    /// The eviction contract: displacing a dirty line migrates its delta into
+    /// the store and retires its writer bit — the bit clears only after the
+    /// delta lands (`migrate_slot` orders the bitmap clear after the reduce,
+    /// and the concurrent stress tests verify no reader can catch the delta
+    /// in neither place).
+    #[test]
+    fn eviction_lands_the_delta_then_retires_the_writer_bit() {
+        let op = CommutativeOp::AddU64;
+        let lanes_per_line = 8; // AddU64: 8 lanes per 64-byte line
+        let b = CoupBackend::with_config(
+            op,
+            4 * lanes_per_line,
+            2,
+            DEFAULT_FLUSH_THRESHOLD,
+            BufferConfig::bounded(1),
+        );
+        b.update(0, 0, 5); // line 0, privatized
+        assert_eq!(
+            b.line_meta[0].writers.load(Ordering::Relaxed),
+            0b01,
+            "writer bit set while the delta is buffered"
+        );
+        assert_eq!(b.store().load_lane(0), 0, "delta still private");
+        b.update(0, lanes_per_line, 7); // line 1: evicts line 0 at capacity 1
+        assert_eq!(
+            b.store().load_lane(0),
+            5,
+            "the evicted line's delta landed in the store"
+        );
+        assert_eq!(
+            b.line_meta[0].writers.load(Ordering::Relaxed),
+            0,
+            "the evicted line's writer bit is retired"
+        );
+        assert_eq!(
+            b.line_meta[1].writers.load(Ordering::Relaxed),
+            0b01,
+            "the incoming line's writer bit is set"
+        );
+        assert_eq!(b.read(1, 0), 5);
+        assert_eq!(b.read(1, lanes_per_line), 7);
+        let stats = b.buffer_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.privatized, 2);
+    }
+
+    /// Clean victims (already drained) are re-tagged without an eviction
+    /// migration, and re-privatizing the same line later re-sets its bit.
+    #[test]
+    fn clean_victims_retag_without_migrating() {
+        let lanes_per_line = 8;
+        let b = CoupBackend::with_config(
+            CommutativeOp::AddU64,
+            4 * lanes_per_line,
+            1,
+            DEFAULT_FLUSH_THRESHOLD,
+            BufferConfig::bounded(1),
+        );
+        b.update(0, 0, 3);
+        b.flush(0); // line 0's slot is now clean but still tagged
+        assert_eq!(b.buffer_stats().flushes, 1);
+        b.update(0, lanes_per_line, 9); // claims the slot from clean line 0
+        let stats = b.buffer_stats();
+        assert_eq!(stats.evictions, 0, "clean displacement is not an eviction");
+        assert_eq!(stats.privatized, 2);
+        b.update(0, 0, 4); // line 0 comes back, evicting dirty line 1
+        assert_eq!(b.buffer_stats().evictions, 1);
+        assert_eq!(b.read(0, 0), 7);
+        assert_eq!(b.read(0, lanes_per_line), 9);
+    }
+
+    #[test]
+    fn unbounded_capacity_never_evicts() {
+        let b = CoupBackend::with_config(
+            CommutativeOp::AddU64,
+            1024,
+            2,
+            DEFAULT_FLUSH_THRESHOLD,
+            BufferConfig::unbounded(),
+        );
+        for i in 0..1024 {
+            b.update(0, i, i as u64);
+        }
+        assert_eq!(b.buffer_stats().evictions, 0);
+        assert_eq!(b.capacity_lines(), b.store().num_lines());
+        for i in (0..1024).step_by(97) {
+            assert_eq!(b.read(1, i), i as u64);
+        }
+    }
+
+    #[test]
+    fn buffer_memory_is_bounded_by_capacity_not_store_size() {
+        let small = CoupBackend::with_config(
+            CommutativeOp::AddU64,
+            1 << 10,
+            2,
+            DEFAULT_FLUSH_THRESHOLD,
+            BufferConfig::bounded(64),
+        );
+        let huge = CoupBackend::with_config(
+            CommutativeOp::AddU64,
+            1 << 20,
+            2,
+            DEFAULT_FLUSH_THRESHOLD,
+            BufferConfig::bounded(64),
+        );
+        assert_eq!(
+            small.buffer_bytes_per_thread(),
+            huge.buffer_bytes_per_thread(),
+            "per-thread buffer memory must not scale with the store"
+        );
+        assert_eq!(huge.capacity_lines(), 64);
+    }
+
+    #[test]
+    fn buffer_config_parses_environment_forms() {
+        assert_eq!(BufferConfig::parse(None, None), BufferConfig::unbounded());
+        assert_eq!(
+            BufferConfig::parse(Some("2"), None),
+            BufferConfig::bounded(2)
+        );
+        assert_eq!(
+            BufferConfig::parse(Some("unbounded"), Some("lru")),
+            BufferConfig::unbounded().with_policy(EvictionPolicy::Lru)
+        );
+        assert_eq!(
+            BufferConfig::parse(Some("0"), Some("clock")),
+            BufferConfig::unbounded()
+        );
+        assert_eq!(
+            BufferConfig::parse(Some("not-a-number"), Some("not-a-policy")),
+            BufferConfig::unbounded()
+        );
+    }
+
     #[test]
     fn concurrent_reads_never_lose_migrating_deltas() {
         // flush_threshold 1 makes every update migrate buffer → store, so
         // readers constantly race the swap/reduce window. A counter that
         // only grows must never appear to shrink: a dip means a reader saw
         // the delta in neither the buffer nor the store (the race the
-        // per-line epoch seqlock closes).
+        // per-slot epoch seqlock closes).
         let updates = 30_000u64 * stress_factor();
         let coup = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 3, 1);
         std::thread::scope(|scope| {
@@ -760,6 +1433,72 @@ mod tests {
             }
         });
         assert_eq!(coup.snapshot()[0], updates);
+    }
+
+    /// The eviction analogue of the migrating-delta stress: capacity 1 with a
+    /// high flush threshold, so *only* capacity evictions migrate deltas.
+    /// The writer alternates two lines (each update evicts the other line)
+    /// while readers verify both counters stay monotone — a dip would mean
+    /// an eviction window let a delta vanish from both places.
+    #[test]
+    fn concurrent_reads_never_lose_evicted_deltas() {
+        let lanes_per_line = 8;
+        let updates = 20_000u64 * stress_factor();
+        let coup = CoupBackend::with_config(
+            CommutativeOp::AddU64,
+            2 * lanes_per_line,
+            3,
+            u32::MAX,
+            BufferConfig::bounded(1),
+        );
+        std::thread::scope(|scope| {
+            let coup = &coup;
+            scope.spawn(move || {
+                for _ in 0..updates {
+                    coup.update(0, 0, 1); // line 0: evicts line 1's delta
+                    coup.update(0, lanes_per_line, 1); // line 1: evicts line 0's
+                }
+            });
+            for reader in [1usize, 2] {
+                scope.spawn(move || {
+                    let mut last = [0u64; 2];
+                    loop {
+                        let mut done = true;
+                        for (i, lane) in [0usize, lanes_per_line].into_iter().enumerate() {
+                            let now = coup.read(reader, lane);
+                            assert!(
+                                now >= last[i],
+                                "lane {lane} went backwards: {} -> {now}",
+                                last[i]
+                            );
+                            assert!(now <= updates, "lane {lane} overshot: {now}");
+                            last[i] = now;
+                            done &= now == updates;
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        coup.flush(0);
+        assert_eq!(coup.store().load_lane(0), updates);
+        assert_eq!(coup.store().load_lane(lanes_per_line), updates);
+        // Every line switch either evicted the other line's delta or, while
+        // an escalated reader held the victim, bypassed the buffer with a
+        // direct store RMW (after a bypass the resident line is unchanged,
+        // so the following update to it is a hit — hence ≥, not ==, on the
+        // sum, and no tight bound on evictions alone).
+        let stats = coup.buffer_stats();
+        assert!(
+            stats.evictions > 0,
+            "alternating lines at capacity 1 must evict"
+        );
+        assert!(
+            2 * updates >= stats.evictions + stats.held_bypasses,
+            "more migrations than updates: {stats:?}"
+        );
     }
 
     /// The acceptance bar of the writer-bitmap read path: one active writer
@@ -814,11 +1553,12 @@ mod tests {
     }
 
     #[test]
-    fn flush_advances_the_line_epoch_by_two() {
+    fn flush_advances_the_slot_epoch_by_two() {
         let b = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 2, 4);
         b.update(0, 0, 1);
+        let idx = slot_of(&b, 0, 0);
         b.flush(0);
-        assert_eq!(b.buffers[0].epochs[0].load(Ordering::Relaxed), 2);
+        assert_eq!(b.buffers[0].epochs[idx].load(Ordering::Relaxed), 2);
         assert_eq!(
             b.line_meta[0].writers.load(Ordering::Relaxed),
             0,
@@ -827,7 +1567,7 @@ mod tests {
         for _ in 0..4 {
             b.update(0, 0, 1); // 4th update crosses the threshold
         }
-        assert_eq!(b.buffers[0].epochs[0].load(Ordering::Relaxed), 4);
+        assert_eq!(b.buffers[0].epochs[idx].load(Ordering::Relaxed), 4);
     }
 
     /// While a reader holds the line, threshold crossings keep buffering
@@ -844,6 +1584,80 @@ mod tests {
         b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel);
         b.update(0, 0, 1);
         assert_eq!(b.store().load_lane(0), 7, "hold released, flush resumed");
+    }
+
+    /// Capacity evictions steer around read-held lines: with two slots and a
+    /// hold on one resident line, the unheld resident is the victim.
+    #[test]
+    fn eviction_prefers_unheld_victims() {
+        let lanes_per_line = 8;
+        for policy in [EvictionPolicy::Clock, EvictionPolicy::Lru] {
+            let b = CoupBackend::with_config(
+                CommutativeOp::AddU64,
+                4 * lanes_per_line,
+                2,
+                DEFAULT_FLUSH_THRESHOLD,
+                BufferConfig::bounded(2).with_policy(policy),
+            );
+            b.update(0, 0, 1); // line 0 resident
+            b.update(0, lanes_per_line, 2); // line 1 resident
+            b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel);
+            b.update(0, 2 * lanes_per_line, 3); // line 2 must displace line 1
+            assert_eq!(
+                b.store().load_lane(0),
+                0,
+                "{policy:?}: held line 0 must stay buffered"
+            );
+            assert_eq!(
+                b.store().load_lane(lanes_per_line),
+                2,
+                "{policy:?}: unheld line 1 was the victim"
+            );
+            b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// When capacity pressure and read holds collide (every victim candidate
+    /// held), the conflicting update bypasses the buffer as a direct store
+    /// RMW: the held line's buffered delta and epochs stay untouched (the
+    /// escalated reader's quiescence guarantee), memory stays bounded, and
+    /// no update is lost.
+    #[test]
+    fn fully_held_window_routes_updates_around_the_buffer() {
+        let lanes_per_line = 8;
+        let b = CoupBackend::with_config(
+            CommutativeOp::AddU64,
+            4 * lanes_per_line,
+            2,
+            DEFAULT_FLUSH_THRESHOLD,
+            BufferConfig::bounded(1),
+        );
+        b.update(0, 0, 5); // line 0 resident and dirty
+        let idx = slot_of(&b, 0, 0);
+        let epoch_before = b.buffers[0].epochs[idx].load(Ordering::Relaxed);
+        b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel);
+        b.update(0, lanes_per_line, 7); // the only victim candidate is held
+        assert_eq!(
+            b.store().load_lane(lanes_per_line),
+            7,
+            "bypassed update lands directly in the store"
+        );
+        assert_eq!(
+            b.buffers[0].epochs[idx].load(Ordering::Relaxed),
+            epoch_before,
+            "the held line's slot was not migrated"
+        );
+        assert_eq!(b.store().load_lane(0), 0, "held delta stays buffered");
+        assert_eq!(b.read(1, 0), 5, "held line still reduces correctly");
+        let stats = b.buffer_stats();
+        assert_eq!(stats.held_bypasses, 1);
+        assert_eq!(stats.evictions, 0);
+        b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel);
+        // Hold released: line 1 privatizes normally again, evicting line 0.
+        b.update(0, lanes_per_line, 1);
+        assert_eq!(b.read(1, lanes_per_line), 8);
+        assert_eq!(b.buffer_stats().evictions, 1);
+        assert_eq!(b.read(1, 0), 5);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use coup_protocol::ops::CommutativeOp;
 
-use crate::backend::{ReadCost, UpdateBackend};
+use crate::backend::{BufferStats, ReadCost, UpdateBackend};
 use crate::engine::Engine;
 
 /// Parameters of one contended run.
@@ -63,6 +63,10 @@ pub struct ThroughputReport {
     /// Read-side cost counters accumulated during the run (all zero for
     /// backends whose reads are a single store load).
     pub read_cost: ReadCost,
+    /// Privatized-buffer counters accumulated during the run — how many lines
+    /// were privatized, capacity-evicted, and flushed (all zero for backends
+    /// without privatized buffers).
+    pub buffer_stats: BufferStats,
 }
 
 impl ThroughputReport {
@@ -96,6 +100,7 @@ pub fn run_contended(
     assert!(spec.lanes <= backend.len(), "spec wider than backend");
     let engine = Engine::new(threads);
     let cost_before = backend.read_cost();
+    let buffers_before = backend.buffer_stats();
     let (counts, elapsed) = engine.run_on_backend(backend, |ctx| {
         let mut state = spec.seed ^ (ctx.thread as u64).wrapping_mul(0xA24B_AED4_963E_E407);
         let mut reads = 0u64;
@@ -119,6 +124,7 @@ pub fn run_contended(
         reads,
         elapsed,
         read_cost: backend.read_cost().since(&cost_before),
+        buffer_stats: backend.buffer_stats().since(&buffers_before),
     }
 }
 

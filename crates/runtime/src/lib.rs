@@ -13,10 +13,13 @@
 //! | COUP (hardware)                      | `coup-runtime` (software)                              |
 //! |--------------------------------------|--------------------------------------------------------|
 //! | shared cache holding the data value  | [`SharedStore`]: sharded, 64-byte-aligned atomic lanes |
-//! | private line in U state              | per-thread [`CoupBackend`] buffer line (identity-initialised, single-writer) |
+//! | private line in U state              | tagged slot in a per-thread [`CoupBackend`] buffer (identity-initialised, single-writer) |
+//! | bounded private cache capacity       | [`BufferConfig::capacity_lines`]: at most that many privatized lines per worker |
 //! | commutative-update instruction       | [`UpdateBackend::update`]: plain load/combine/store, no lock prefix |
-//! | read triggering a reduction          | [`UpdateBackend::read`]: reader folds every thread's partial with the op's lane arithmetic |
-//! | eviction of a U line                 | per-line flush budget draining a buffer into the store |
+//! | read triggering a reduction          | [`UpdateBackend::read`]: reader folds the partials of the line's *active writers* (per-line writer bitmap) |
+//! | directory sharer list                | per-line writer-presence bitmap (`LineMeta`)           |
+//! | eviction of a U line                 | capacity eviction ([`EvictionPolicy`]): the victim slot's delta migrates into the store, then the slot is re-tagged |
+//! | voluntary U-line writeback           | per-line flush budget draining a slot into the store   |
 //! | baseline protocol (MESI + `lock op`) | [`AtomicBackend`]: atomic RMW per update               |
 //!
 //! Both backends sit behind the [`UpdateBackend`] trait, so workloads and
@@ -52,7 +55,7 @@
 //! assert_eq!(atomic.snapshot(), coup.snapshot());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
@@ -62,8 +65,8 @@ pub mod harness;
 pub mod store;
 
 pub use backend::{
-    AtomicBackend, CoupBackend, ReadCost, UpdateBackend, DEFAULT_FLUSH_THRESHOLD, MAX_COUP_THREADS,
-    READ_RETRY_LIMIT,
+    AtomicBackend, BufferConfig, BufferStats, CoupBackend, EvictionPolicy, ReadCost, UpdateBackend,
+    DEFAULT_FLUSH_THRESHOLD, MAX_COUP_THREADS, PROBE_WINDOW, READ_RETRY_LIMIT,
 };
 pub use engine::{Engine, WorkerCtx};
 pub use harness::{expected_counts, run_contended, ContendedSpec, ThroughputReport};

@@ -2,7 +2,7 @@
 //!
 //! The store is the software analogue of the shared cache level in COUP: it
 //! holds the authoritative value of every lane. Storage is organised as
-//! cache-line-sized shards ([`PaddedLine`], 64-byte aligned so two shards
+//! cache-line-sized shards (`PaddedLine`, 64-byte aligned so two shards
 //! never share a hardware cache line), each holding [`WORDS_PER_LINE`] 64-bit
 //! words that are subdivided into lanes of the store's operation width —
 //! exactly the geometry of [`LineData`], so partial-update lines buffered by
@@ -179,6 +179,14 @@ impl SharedStore {
     #[must_use]
     pub fn num_lines(&self) -> usize {
         self.lines.len()
+    }
+
+    /// Number of lanes held by one cache-line shard (8 for 64-bit operations,
+    /// 16 for 32-bit, 32 for 16-bit). Useful for constructing cross-line
+    /// access patterns in tests and benches.
+    #[must_use]
+    pub fn lanes_per_line(&self) -> usize {
+        self.geometry.lanes_per_line()
     }
 
     #[inline]

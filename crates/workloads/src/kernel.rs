@@ -8,7 +8,7 @@
 //! * [`SimBackend`] lowers the steps onto the timing simulator's
 //!   [`ThreadOp`]s (with the workload's historical address layout, so cycle
 //!   numbers are directly comparable with the pre-kernel code), runs them on
-//!   a [`Machine`], and verifies the result in simulated memory.
+//!   a simulated machine, and verifies the result in simulated memory.
 //! * [`RuntimeBackend`] executes the steps on real OS threads against a
 //!   `coup-runtime` [`UpdateBackend`] — the conventional atomic baseline or
 //!   the software-COUP privatized buffers — and verifies the backend's final
@@ -20,7 +20,9 @@
 //! real-hardware path execute one definition of each workload.
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{AtomicBackend, CoupBackend, Engine, UpdateBackend};
+use coup_runtime::{
+    AtomicBackend, BufferConfig, CoupBackend, Engine, UpdateBackend, DEFAULT_FLUSH_THRESHOLD,
+};
 use coup_sim::config::SystemConfig;
 use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
 use coup_sim::stats::RunStats;
@@ -73,12 +75,16 @@ pub enum KernelStep {
 ///
 /// # Contract
 ///
-/// * `steps(t, n)` must be deterministic in `(t, n)`.
+/// * `steps(t, n)` / [`UpdateKernel::for_each_step`] must be deterministic in
+///   `(t, n)`.
 /// * Every thread's script must contain the *same number* of
 ///   [`KernelStep::Barrier`]s (real barriers block until all threads arrive).
 /// * `expected(n)` is the per-lane result (raw lane bits) of applying every
 ///   update of every thread sequentially to a zeroed array.
-pub trait UpdateKernel {
+///
+/// Kernels are `Sync` because [`RuntimeBackend`] streams each worker's script
+/// on that worker's own OS thread.
+pub trait UpdateKernel: Sync {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 
@@ -105,6 +111,18 @@ pub trait UpdateKernel {
     /// Thread `thread`'s script, for a run of `threads` threads.
     fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep>;
 
+    /// Streams thread `thread`'s script to `f` in order, without
+    /// materialising it. The default collects [`UpdateKernel::steps`];
+    /// kernels whose scripts are huge (pgrank at millions of vertices emits
+    /// one step per edge) override this to generate steps on the fly, which
+    /// is what keeps multi-million-line runs within memory: the runtime
+    /// executor never holds a script, only the kernel's own input data.
+    fn for_each_step(&self, thread: usize, threads: usize, f: &mut dyn FnMut(KernelStep)) {
+        for step in self.steps(thread, threads) {
+            f(step);
+        }
+    }
+
     /// The sequential reference result for a run of `threads` threads.
     fn expected(&self, threads: usize) -> Vec<u64>;
 }
@@ -128,41 +146,39 @@ pub fn sim_programs<K: UpdateKernel + ?Sized>(
     (0..threads)
         .map(|t| {
             let mut ops = Vec::new();
-            for step in kernel.steps(t, threads) {
-                match step {
-                    KernelStep::LoadInput { index } => {
-                        ops.push(ThreadOp::Load {
-                            addr: input.word_addr(index),
-                        });
+            kernel.for_each_step(t, threads, &mut |step| match step {
+                KernelStep::LoadInput { index } => {
+                    ops.push(ThreadOp::Load {
+                        addr: input.word_addr(index),
+                    });
+                }
+                KernelStep::Compute(cycles) => ops.push(ThreadOp::Compute(cycles)),
+                KernelStep::Update { slot, value } => {
+                    let addr = output.addr(slot);
+                    if rmw {
+                        ops.push(ThreadOp::AtomicRmw { addr, op, value });
+                    } else {
+                        ops.push(ThreadOp::CommutativeUpdate { addr, op, value });
                     }
-                    KernelStep::Compute(cycles) => ops.push(ThreadOp::Compute(cycles)),
-                    KernelStep::Update { slot, value } => {
-                        let addr = output.addr(slot);
-                        if rmw {
-                            ops.push(ThreadOp::AtomicRmw { addr, op, value });
-                        } else {
-                            ops.push(ThreadOp::CommutativeUpdate { addr, op, value });
-                        }
-                    }
-                    KernelStep::UpdateRead { slot, value } => {
-                        let addr = output.addr(slot);
-                        if rmw {
-                            ops.push(ThreadOp::AtomicRmw { addr, op, value });
-                        } else {
-                            ops.push(ThreadOp::CommutativeUpdate { addr, op, value });
-                            ops.push(ThreadOp::Load {
-                                addr: output.word_addr(slot),
-                            });
-                        }
-                    }
-                    KernelStep::Read { slot } => {
+                }
+                KernelStep::UpdateRead { slot, value } => {
+                    let addr = output.addr(slot);
+                    if rmw {
+                        ops.push(ThreadOp::AtomicRmw { addr, op, value });
+                    } else {
+                        ops.push(ThreadOp::CommutativeUpdate { addr, op, value });
                         ops.push(ThreadOp::Load {
                             addr: output.word_addr(slot),
                         });
                     }
-                    KernelStep::Barrier => ops.push(ThreadOp::Barrier),
                 }
-            }
+                KernelStep::Read { slot } => {
+                    ops.push(ThreadOp::Load {
+                        addr: output.word_addr(slot),
+                    });
+                }
+                KernelStep::Barrier => ops.push(ThreadOp::Barrier),
+            });
             ops.push(ThreadOp::Done);
             Box::new(ScriptedProgram::new(ops)) as BoxedProgram
         })
@@ -305,6 +321,7 @@ pub struct RuntimeBackend {
     kind: RuntimeKind,
     threads: usize,
     flush_threshold: Option<u32>,
+    buffer_config: Option<BufferConfig>,
 }
 
 impl RuntimeBackend {
@@ -320,6 +337,7 @@ impl RuntimeBackend {
             kind,
             threads,
             flush_threshold: None,
+            buffer_config: None,
         }
     }
 
@@ -330,21 +348,40 @@ impl RuntimeBackend {
         self
     }
 
+    /// Overrides the COUP backend's sparse-buffer configuration (capacity
+    /// and eviction policy). Without this the backend honours the
+    /// `COUP_BUFFER_CAPACITY`/`COUP_BUFFER_POLICY` environment variables and
+    /// defaults to unbounded buffers.
+    #[must_use]
+    pub fn with_buffer_config(mut self, config: BufferConfig) -> Self {
+        self.buffer_config = Some(config);
+        self
+    }
+
     /// Builds the concrete `coup-runtime` backend for `kernel`.
     #[must_use]
     pub fn make_backend(&self, kernel: &dyn UpdateKernel) -> Box<dyn UpdateBackend> {
         let (op, slots) = (kernel.op(), kernel.slots());
         match self.kind {
             RuntimeKind::Atomic => Box::new(AtomicBackend::new(op, slots)),
-            RuntimeKind::Coup => match self.flush_threshold {
-                Some(t) => Box::new(CoupBackend::with_flush_threshold(
-                    op,
-                    slots,
-                    self.threads,
-                    t,
-                )),
-                None => Box::new(CoupBackend::new(op, slots, self.threads)),
-            },
+            RuntimeKind::Coup => {
+                let threshold = self.flush_threshold.unwrap_or(DEFAULT_FLUSH_THRESHOLD);
+                match self.buffer_config {
+                    Some(config) => Box::new(CoupBackend::with_config(
+                        op,
+                        slots,
+                        self.threads,
+                        threshold,
+                        config,
+                    )),
+                    None => Box::new(CoupBackend::with_flush_threshold(
+                        op,
+                        slots,
+                        self.threads,
+                        threshold,
+                    )),
+                }
+            }
         }
     }
 }
@@ -354,53 +391,46 @@ impl ExecutionBackend for RuntimeBackend {
 
     fn execute(&self, kernel: &dyn UpdateKernel) -> Result<RuntimeReport, String> {
         let backend = self.make_backend(kernel);
-        // Input loads and compute delays are simulator-only; dropping them
-        // here (they can be the majority of a kernel's steps) keeps the
-        // runtime scripts to the memory operations actually executed.
-        let scripts: Vec<Vec<KernelStep>> = (0..self.threads)
-            .map(|t| {
-                kernel
-                    .steps(t, self.threads)
-                    .into_iter()
-                    .filter(|s| !matches!(s, KernelStep::LoadInput { .. } | KernelStep::Compute(_)))
-                    .collect()
-            })
-            .collect();
+        let backend_ref: &dyn UpdateBackend = backend.as_ref();
         let engine = Engine::new(self.threads);
         let cost_before = backend.read_cost();
-        let (counts, elapsed) = engine.run_on_backend(backend.as_ref(), |ctx| {
-            let script = &scripts[ctx.thread];
+        let buffers_before = backend.buffer_stats();
+        // Each worker *streams* its script straight from the kernel
+        // (`for_each_step`) instead of materialising a Vec of steps: a
+        // multi-million-vertex pgrank scatter emits one step per edge, and
+        // holding those scripts would dwarf the backend itself. Both
+        // backends pay the same generation cost, so ratios stay fair.
+        let (counts, elapsed) = engine.run_on_backend(backend_ref, |ctx| {
             let mut updates = 0u64;
             let mut reads = 0u64;
             let mut checksum = 0u64;
-            for step in script {
-                match *step {
-                    // Filtered out of the scripts above; input values are
-                    // baked into the update steps and compute delays model
-                    // core cycles real cores spend elsewhere in this loop.
-                    KernelStep::LoadInput { .. } | KernelStep::Compute(_) => {}
-                    KernelStep::Update { slot, value } => {
-                        backend.update(ctx.thread, slot, value);
-                        updates += 1;
-                    }
-                    KernelStep::UpdateRead { slot, value } => {
-                        checksum =
-                            checksum.wrapping_add(backend.update_read(ctx.thread, slot, value));
-                        updates += 1;
-                        reads += 1;
-                    }
-                    KernelStep::Read { slot } => {
-                        checksum = checksum.wrapping_add(backend.read(ctx.thread, slot));
-                        reads += 1;
-                    }
-                    KernelStep::Barrier => ctx.barrier(),
+            kernel.for_each_step(ctx.thread, ctx.threads, &mut |step| match step {
+                // Input values are baked into the update steps and compute
+                // delays model core cycles real cores spend elsewhere in
+                // this loop — both are simulator-only.
+                KernelStep::LoadInput { .. } | KernelStep::Compute(_) => {}
+                KernelStep::Update { slot, value } => {
+                    backend_ref.update(ctx.thread, slot, value);
+                    updates += 1;
                 }
-            }
+                KernelStep::UpdateRead { slot, value } => {
+                    checksum =
+                        checksum.wrapping_add(backend_ref.update_read(ctx.thread, slot, value));
+                    updates += 1;
+                    reads += 1;
+                }
+                KernelStep::Read { slot } => {
+                    checksum = checksum.wrapping_add(backend_ref.read(ctx.thread, slot));
+                    reads += 1;
+                }
+                KernelStep::Barrier => ctx.barrier(),
+            });
             (updates, reads, std::hint::black_box(checksum))
         });
         // Capture the read cost before the verifying snapshot below adds its
         // own per-lane reductions to the counters.
         let read_cost = backend.read_cost().since(&cost_before);
+        let buffer_stats = backend.buffer_stats().since(&buffers_before);
         let snapshot = backend.snapshot();
         let expected = kernel.expected(self.threads);
         if expected.len() != snapshot.len() {
@@ -428,6 +458,7 @@ impl ExecutionBackend for RuntimeBackend {
             reads,
             elapsed,
             read_cost,
+            buffer_stats,
         })
     }
 }

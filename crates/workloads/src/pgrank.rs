@@ -57,9 +57,13 @@ impl PageRankWorkload {
         (thread * per).min(n)..((thread + 1) * per).min(n)
     }
 
-    /// Initial fixed-point rank of every vertex.
+    /// Initial fixed-point rank of every vertex. Floored at 2¹⁶ so the
+    /// per-edge share stays non-zero on multi-million-vertex graphs, where
+    /// `scale / vertices` would truncate to 0 and degenerate the scatter
+    /// into no-op additions (the floor simply means a larger effective
+    /// fixed-point scale for huge graphs).
     fn initial_rank(&self) -> u64 {
-        (FIXED_POINT_SCALE / self.graph.vertices as f64) as u64
+        ((FIXED_POINT_SCALE / self.graph.vertices as f64) as u64).max(1 << 16)
     }
 
     /// The expected fixed-point `next_rank` after the scatter iterations.
@@ -115,20 +119,30 @@ impl UpdateKernel for PageRankKernel<'_> {
     }
 
     fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep> {
+        let mut steps = Vec::new();
+        self.for_each_step(thread, threads, &mut |step| steps.push(step));
+        steps
+    }
+
+    /// Streams the scatter without materialising it: one step per edge is
+    /// far too many to hold in memory at multi-million-vertex scale, and the
+    /// graph's CSR arrays already *are* the script. This is what lets the
+    /// real-hardware executor run pgrank over ≥1M-line stores in bounded
+    /// memory alongside the capacity-bounded privatized buffers.
+    fn for_each_step(&self, thread: usize, threads: usize, f: &mut dyn FnMut(KernelStep)) {
         let w = self.workload;
         let initial = w.initial_rank();
-        let mut steps = Vec::new();
         for _iter in 0..w.iterations {
             for u in w.vertices_for(thread, threads) {
                 let out = w.graph.neighbours(u);
                 if out.is_empty() {
                     continue;
                 }
-                steps.push(KernelStep::LoadInput { index: u });
-                steps.push(KernelStep::Compute(4));
+                f(KernelStep::LoadInput { index: u });
+                f(KernelStep::Compute(4));
                 let share = initial / out.len() as u64;
                 for &v in out {
-                    steps.push(KernelStep::Update {
+                    f(KernelStep::Update {
                         slot: v,
                         value: share,
                     });
@@ -136,9 +150,8 @@ impl UpdateKernel for PageRankKernel<'_> {
             }
             // Iteration boundary: all threads synchronise before the next
             // scatter phase, as real implementations do.
-            steps.push(KernelStep::Barrier);
+            f(KernelStep::Barrier);
         }
-        steps
     }
 
     fn expected(&self, _threads: usize) -> Vec<u64> {

@@ -164,36 +164,70 @@ impl Graph {
     /// High-degree vertices concentrate updates on a few cache lines, which is
     /// the contention pattern of Wikipedia/pagerank-style graphs.
     ///
+    /// The build is two deterministic passes over the same seeded edge
+    /// stream — count out-degrees, then place edges straight into CSR
+    /// storage — instead of an intermediate Vec-of-Vecs adjacency. That
+    /// costs a second generation run but keeps peak memory at a few words
+    /// per vertex/edge, which is what makes multi-million-vertex graphs
+    /// (the regime the capacity-bounded runtime buffers target) practical
+    /// to generate inside a test.
+    ///
     /// # Panics
     ///
     /// Panics if `vertices` is zero.
     #[must_use]
     pub fn power_law(vertices: usize, avg_degree: usize, seed: u64) -> Self {
         assert!(vertices > 0, "graph must have vertices");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); vertices];
         let edges_total = vertices * avg_degree.max(1);
-        for _ in 0..edges_total {
+        let gen_edge = |rng: &mut StdRng| -> Option<(usize, usize)> {
             let src = rng.gen_range(0..vertices);
             // Destination biased toward low vertex ids (hubs).
             let r: f64 = rng.gen();
             let dst = ((r * r) * vertices as f64) as usize % vertices;
-            if src != dst {
-                adjacency[src].push(dst);
+            (src != dst).then_some((src, dst))
+        };
+        // Pass 1: count each vertex's main-stream out-degree and decide the
+        // connectivity fix-ups (an edge v-1 → v when chance or a zero degree
+        // demands it, so BFS from vertex 0 reaches most vertices). The
+        // fix-up decision for v sees only main-stream degrees, never earlier
+        // fix-ups — those land on v-2 and below.
+        let mut degree = vec![0u32; vertices];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..edges_total {
+            if let Some((src, _)) = gen_edge(&mut rng) {
+                degree[src] += 1;
             }
         }
-        // Ensure weak connectivity from vertex 0 so BFS reaches most vertices.
+        let mut fixup = vec![false; vertices];
         for v in 1..vertices {
-            if rng.gen_bool(0.05) || adjacency[v - 1].is_empty() {
-                adjacency[v - 1].push(v);
+            let forced = rng.gen_bool(0.05);
+            fixup[v] = forced || degree[v - 1] == 0;
+        }
+        // CSR offsets: main degree plus the at-most-one fix-up edge v → v+1.
+        let mut offsets = Vec::with_capacity(vertices + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for (v, &deg) in degree.iter().enumerate() {
+            total += deg as usize + usize::from(v + 1 < vertices && fixup[v + 1]);
+            offsets.push(total);
+        }
+        // Pass 2: replay the identical stream, placing each vertex's edges
+        // in generation order followed by its fix-up — the same per-vertex
+        // order the Vec-of-Vecs builder produced.
+        let mut cursor: Vec<usize> = offsets[..vertices].to_vec();
+        let mut edges = vec![0usize; total];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..edges_total {
+            if let Some((src, dst)) = gen_edge(&mut rng) {
+                edges[cursor[src]] = dst;
+                cursor[src] += 1;
             }
         }
-        let mut offsets = Vec::with_capacity(vertices + 1);
-        let mut edges = Vec::new();
-        offsets.push(0);
-        for adj in &adjacency {
-            edges.extend_from_slice(adj);
-            offsets.push(edges.len());
+        for (v, &fix) in fixup.iter().enumerate().skip(1) {
+            if fix {
+                edges[cursor[v - 1]] = v;
+                cursor[v - 1] += 1;
+            }
         }
         Graph {
             vertices,

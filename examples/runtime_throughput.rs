@@ -7,16 +7,21 @@
 //! privatized per-thread line buffers written with plain stores, reduced
 //! on demand by readers) behind the same [`UpdateBackend`] trait.
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! 1. a raw contended-counter sweep over thread counts,
 //! 2. an update/read-mix sweep across thread counts (reads are COUP's
 //!    expensive operation — each one reduces the buffers of the line's
 //!    active writers, tracked by a per-line writer bitmap),
-//! 3. the real workload kernels (`hist`, `pgrank`, `refcount`) executed
+//! 3. a buffer-capacity sweep: the privatized buffers are sparse and
+//!    capacity-bounded (software U-state evictions), and this section
+//!    locates the eviction-rate crossover against the atomic baseline,
+//! 4. the real workload kernels (`hist`, `pgrank`, `refcount`) executed
 //!    through the backend-neutral [`ExecutionBackend`] abstraction — the
 //!    same kernel definitions the timing simulator runs, now on silicon,
-//!    with every run verified against the sequential reference.
+//!    with every run verified against the sequential reference — including
+//!    pgrank over a million-line store with per-thread buffer memory capped
+//!    at a few KiB.
 //!
 //! On a many-core machine the COUP advantage grows with the core count
 //! (private buffers eliminate the coherence ping-pong of the hot lines); on
@@ -26,7 +31,10 @@
 //! Run with: `cargo run --release --example runtime_throughput`
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{run_contended, AtomicBackend, ContendedSpec, CoupBackend, UpdateBackend};
+use coup_runtime::{
+    run_contended, AtomicBackend, BufferConfig, ContendedSpec, CoupBackend, UpdateBackend,
+    DEFAULT_FLUSH_THRESHOLD,
+};
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
 use coup_workloads::pgrank::PageRankWorkload;
@@ -83,6 +91,59 @@ fn sweep_read_mix(threads: usize, updates_per_thread: usize) {
     println!();
 }
 
+fn sweep_capacity(threads: usize, updates_per_thread: usize) {
+    println!(
+        "buffer-capacity sweep at {threads} threads, 4096 lanes (512 lines): \
+         evictions migrate victims store-ward (software U-state evictions)"
+    );
+    println!(
+        "{:>14} | {:>14} | {:>8} | {:>10} | {:>12}",
+        "capacity", "coup (Mops)", "speedup", "evictions", "evict/update"
+    );
+    let spec = ContendedSpec {
+        lanes: 4096,
+        updates_per_thread,
+        reads_per_1000: 2,
+        seed: 0x5EED,
+    };
+    let atomic = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
+    let ra = run_contended(&atomic, threads, &spec);
+    for capacity in [
+        Some(8usize),
+        Some(32),
+        Some(128),
+        Some(256),
+        Some(512),
+        None,
+    ] {
+        let config = BufferConfig {
+            capacity_lines: capacity,
+            ..BufferConfig::default()
+        };
+        let coup = CoupBackend::with_config(
+            CommutativeOp::AddU64,
+            spec.lanes,
+            threads,
+            DEFAULT_FLUSH_THRESHOLD,
+            config,
+        );
+        let rc = run_contended(&coup, threads, &spec);
+        assert_eq!(atomic.snapshot(), coup.snapshot(), "backends must agree");
+        let label = match capacity {
+            Some(c) => format!("{c} lines"),
+            None => "unbounded".to_string(),
+        };
+        println!(
+            "{label:>14} | {:>14.1} | {:>7.2}x | {:>10} | {:>12.3}",
+            rc.mops(),
+            rc.mops() / ra.mops(),
+            rc.buffer_stats.evictions,
+            rc.buffer_stats.eviction_rate(rc.updates),
+        );
+    }
+    println!();
+}
+
 fn run_kernel(name: &str, kernel: &dyn UpdateKernel, threads: usize) {
     let atomic = RuntimeBackend::new(RuntimeKind::Atomic, threads)
         .execute(kernel)
@@ -100,6 +161,46 @@ fn run_kernel(name: &str, kernel: &dyn UpdateKernel, threads: usize) {
     );
 }
 
+/// The bounded-footprint demonstration: pgrank over a million-line store
+/// (2²³ vertices, a 64 MiB rank array) where a dense per-thread mirror would
+/// cost 64 MiB × threads. The sparse buffers cap each worker at
+/// `capacity` lines (~6 KiB at 64) and drain conflicts through evictions.
+fn run_big_pgrank(threads: usize) {
+    let vertices = 1usize << 23;
+    let capacity = 64;
+    let pgrank = PageRankWorkload::new(vertices, 1, 1, 42);
+    let kernel = pgrank.kernel();
+    let probe = CoupBackend::with_config(
+        CommutativeOp::AddU64,
+        vertices,
+        threads,
+        DEFAULT_FLUSH_THRESHOLD,
+        BufferConfig::bounded(capacity),
+    );
+    println!(
+        "pgrank at {vertices} vertices ({} store lines, {} MiB store): \
+         {capacity}-line buffers = {} bytes/thread (dense mirror: {} MiB/thread)",
+        probe.store().num_lines(),
+        probe.store().num_lines() * 64 / (1 << 20),
+        probe.buffer_bytes_per_thread(),
+        probe.store().num_lines() * 64 / (1 << 20),
+    );
+    drop(probe);
+    let report = RuntimeBackend::new(RuntimeKind::Coup, threads)
+        .with_buffer_config(BufferConfig::bounded(capacity))
+        .execute(&kernel)
+        .expect("million-line pgrank verifies against the sequential reference");
+    println!(
+        "{:>20} | {:>14} | {:>14.1} | {:>8} | {:>9} updates, {:>7} evictions — verified",
+        "pgrank (8.4M v)",
+        "-",
+        report.mops(),
+        "-",
+        report.updates,
+        report.buffer_stats.evictions,
+    );
+}
+
 fn main() {
     let threads = 8;
 
@@ -112,6 +213,7 @@ fn main() {
     for threads in [2usize, 4, 8, 16] {
         sweep_read_mix(threads, 400_000);
     }
+    sweep_capacity(4, 400_000);
 
     println!("workload kernels through ExecutionBackend at {threads} threads");
     println!(
@@ -124,4 +226,5 @@ fn main() {
     run_kernel("pgrank (2k v, x4)", &pgrank.kernel(), threads);
     let refcount = ImmediateRefcount::new(64, 150_000, false, RefcountScheme::Coup, 42);
     run_kernel("refcount (64 ctrs)", &refcount.kernel(), threads);
+    run_big_pgrank(threads);
 }
