@@ -1,64 +1,47 @@
-//! Criterion benches for the real-hardware runtime: atomic baseline versus
-//! software COUP as thread count and update/read mix vary, plus the workload
+//! Criterion benches for the real-hardware runtime behind the service
+//! facade: atomic baseline versus software COUP as producer count and
+//! update/read mix vary, the sparse-buffer capacity sweep (uniform and
+//! Zipf-skewed), the batched-submission batch-size sweep, plus the workload
 //! kernels through the backend-neutral `ExecutionBackend`.
 //!
 //! The interesting output is the *ratio* between the `atomic/...` and
 //! `coup/...` lines of each group: the wall-clock advantage of privatizing
-//! commutative updates on the machine actually running this bench.
+//! commutative updates on the machine actually running this bench. The
+//! `submission_batch_sweep` group reports ops/s directly (`Throughput`
+//! units) so the batched-vs-per-op submission crossover reads off the
+//! `thrpt` column.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{
-    run_contended, AtomicBackend, BufferConfig, ContendedSpec, CoupBackend, DEFAULT_FLUSH_THRESHOLD,
-};
+use coup_runtime::{run_contended, BackendKind, BufferConfig, ContendedSpec, RuntimeBuilder};
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind};
 use coup_workloads::refcount::{ImmediateRefcount, RefcountScheme};
 
 const UPDATES_PER_THREAD: usize = 100_000;
 
+/// A fresh service runtime for one bench iteration.
+fn make_runtime(kind: BackendKind, lanes: usize, workers: usize) -> coup_runtime::CoupRuntime {
+    RuntimeBuilder::new(CommutativeOp::AddU64, lanes)
+        .backend(kind)
+        .workers(workers)
+        .build()
+}
+
 fn bench_contended_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_contended_threads");
     group.sample_size(10);
-    for threads in [1usize, 2, 4, 8] {
+    for producers in [1usize, 2, 4, 8] {
         let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(2);
-        group.bench_function(format!("atomic/{threads}t"), |b| {
-            b.iter(|| {
-                let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
-                run_contended(&backend, threads, &spec)
-            });
-        });
-        group.bench_function(format!("coup/{threads}t"), |b| {
-            b.iter(|| {
-                let backend = CoupBackend::new(CommutativeOp::AddU64, spec.lanes, threads);
-                run_contended(&backend, threads, &spec)
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_read_mix(c: &mut Criterion) {
-    // The read-mix crossover as thread count varies: the writer-bitmap read
-    // path makes a coup read O(active writers), so the crossover should move
-    // toward read-heavier mixes as more of each read's former O(threads)
-    // reduction cost disappears.
-    let mut group = c.benchmark_group("runtime_read_mix");
-    group.sample_size(10);
-    for threads in [2usize, 4, 8] {
-        for reads_per_1000 in [0u32, 10, 100, 300] {
-            let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(reads_per_1000);
-            group.bench_function(format!("atomic/{threads}t/r{reads_per_1000}"), |b| {
+        group.throughput(Throughput::Elements(
+            (producers * UPDATES_PER_THREAD) as u64,
+        ));
+        for (kind, label) in [(BackendKind::Atomic, "atomic"), (BackendKind::Coup, "coup")] {
+            group.bench_function(format!("{label}/{producers}p"), |b| {
                 b.iter(|| {
-                    let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
-                    run_contended(&backend, threads, &spec)
-                });
-            });
-            group.bench_function(format!("coup/{threads}t/r{reads_per_1000}"), |b| {
-                b.iter(|| {
-                    let backend = CoupBackend::new(CommutativeOp::AddU64, spec.lanes, threads);
-                    run_contended(&backend, threads, &spec)
+                    let rt = make_runtime(kind, spec.lanes, 2);
+                    run_contended(&rt, producers, &spec)
                 });
             });
         }
@@ -66,58 +49,134 @@ fn bench_read_mix(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_read_mix(c: &mut Criterion) {
+    // The read-mix crossover as producer count varies: the writer-bitmap
+    // read path makes a coup read O(active writers), so the crossover should
+    // move toward read-heavier mixes as more of each read's former
+    // O(threads) reduction cost disappears.
+    let mut group = c.benchmark_group("runtime_read_mix");
+    group.sample_size(10);
+    for producers in [2usize, 4, 8] {
+        for reads_per_1000 in [0u32, 10, 100, 300] {
+            let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(reads_per_1000);
+            for (kind, label) in [(BackendKind::Atomic, "atomic"), (BackendKind::Coup, "coup")] {
+                group.bench_function(format!("{label}/{producers}p/r{reads_per_1000}"), |b| {
+                    b.iter(|| {
+                        let rt = make_runtime(kind, spec.lanes, 2);
+                        run_contended(&rt, producers, &spec)
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
 fn bench_capacity_sweep(c: &mut Criterion) {
     // The eviction-rate crossover of the sparse privatized buffers: a
-    // uniform scatter over 4096 lanes (512 store lines at AddU64) with the
-    // per-worker capacity swept from far-too-small to unbounded. Tiny
-    // capacities evict on almost every line switch (every eviction is a
-    // store migration — CAS work an AtomicBackend update does anyway), so
-    // coup approaches atomic from below; once the capacity covers the
-    // working set, evictions vanish and the full privatization win returns.
-    // Compare each `coup/c*` line against `atomic` to find the crossover.
-    let mut group = c.benchmark_group("runtime_capacity_sweep_4t");
+    // scatter over 4096 lanes (512 store lines at AddU64) with the
+    // per-worker capacity swept from far-too-small to unbounded. Uniform
+    // traffic evicts on almost every line switch at tiny capacities (every
+    // eviction is a store migration — CAS work an AtomicBackend update does
+    // anyway), so coup approaches atomic from below; once the capacity
+    // covers the working set, evictions vanish and the full privatization
+    // win returns. The `zipf/...` rows show the locality-friendly middle
+    // ground: with Zipf(0.99)-skewed lanes the hot head stays resident, so
+    // even a tiny capacity behaves like a much larger one. Compare each
+    // `coup/...` line against `atomic` to find the crossover.
+    let mut group = c.benchmark_group("runtime_capacity_sweep_4p");
     group.sample_size(10);
-    let threads = 4;
-    let spec = ContendedSpec {
+    let producers = 4;
+    let uniform = ContendedSpec {
         lanes: 4096,
         updates_per_thread: UPDATES_PER_THREAD,
         reads_per_1000: 2,
         seed: 0x5EED,
+        theta: 0.0,
     };
+    group.throughput(Throughput::Elements(
+        (producers * UPDATES_PER_THREAD) as u64,
+    ));
     group.bench_function("atomic", |b| {
         b.iter(|| {
-            let backend = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
-            run_contended(&backend, threads, &spec)
+            let rt = make_runtime(BackendKind::Atomic, uniform.lanes, 2);
+            run_contended(&rt, producers, &uniform)
         });
     });
-    for capacity in [
-        Some(8usize),
-        Some(32),
-        Some(128),
-        Some(256),
-        Some(512),
-        None,
-    ] {
-        let label = match capacity {
-            Some(c) => format!("coup/c{c}"),
-            None => "coup/unbounded".to_string(),
-        };
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let config = BufferConfig {
-                    capacity_lines: capacity,
-                    ..BufferConfig::default()
-                };
-                let backend = CoupBackend::with_config(
-                    CommutativeOp::AddU64,
-                    spec.lanes,
-                    threads,
-                    DEFAULT_FLUSH_THRESHOLD,
-                    config,
-                );
-                run_contended(&backend, threads, &spec)
+    for (spec, skew) in [(uniform, "uniform"), (uniform.zipf(0.99), "zipf")] {
+        for capacity in [
+            Some(8usize),
+            Some(32),
+            Some(128),
+            Some(256),
+            Some(512),
+            None,
+        ] {
+            let label = match capacity {
+                Some(c) => format!("coup/{skew}/c{c}"),
+                None => format!("coup/{skew}/unbounded"),
+            };
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let config = BufferConfig {
+                        capacity_lines: capacity,
+                        ..BufferConfig::default()
+                    };
+                    let rt = RuntimeBuilder::new(CommutativeOp::AddU64, spec.lanes)
+                        .workers(2)
+                        .buffer_config(config)
+                        .build();
+                    run_contended(&rt, producers, &spec)
+                });
             });
-        });
+        }
+    }
+    group.finish();
+}
+
+fn bench_submission_batch_sweep(c: &mut Criterion) {
+    // The batched MPSC frontend's raison d'être: per-op submission (batch
+    // capacity 1 — every push takes the queue mutex) versus batched
+    // submission from the same external producer threads. The `thrpt`
+    // column is end-to-end submitted-updates per second, including the final
+    // drain; the crossover batch size (where batching first beats per-op)
+    // is recorded in the README.
+    let mut group = c.benchmark_group("submission_batch_sweep");
+    group.sample_size(10);
+    let producers = 4usize;
+    let per_producer = 50_000usize;
+    let lanes = 256;
+    group.throughput(Throughput::Elements((producers * per_producer) as u64));
+    for kind in [BackendKind::Atomic, BackendKind::Coup] {
+        for batch in [1usize, 8, 64, 256, 1024] {
+            let label = match kind {
+                BackendKind::Atomic => format!("atomic/b{batch}"),
+                BackendKind::Coup => format!("coup/b{batch}"),
+            };
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let rt = RuntimeBuilder::new(CommutativeOp::AddU64, lanes)
+                        .backend(kind)
+                        .workers(2)
+                        .batch_capacity(batch)
+                        .build();
+                    std::thread::scope(|scope| {
+                        for p in 0..producers {
+                            let mut sub = rt.submitter();
+                            scope.spawn(move || {
+                                let mut lane = p;
+                                for _ in 0..per_producer {
+                                    lane = (lane.wrapping_mul(25) + 7) % lanes;
+                                    sub.push(lane, 1);
+                                }
+                            });
+                        }
+                    });
+                    rt.drain();
+                    rt
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -149,6 +208,7 @@ criterion_group!(
     bench_contended_threads,
     bench_read_mix,
     bench_capacity_sweep,
+    bench_submission_batch_sweep,
     bench_workload_kernels
 );
 criterion_main!(runtime);

@@ -211,13 +211,20 @@ impl BufferConfig {
     }
 
     /// The configuration the `COUP_BUFFER_CAPACITY` / `COUP_BUFFER_POLICY`
-    /// environment variables select, falling back to the default (unbounded,
-    /// CLOCK) when unset or unparsable. `COUP_BUFFER_CAPACITY` takes a line
-    /// count, or `0`/`unbounded` for no bound; `COUP_BUFFER_POLICY` takes
-    /// `clock` or `lru`. [`CoupBackend::new`] and
-    /// [`CoupBackend::with_flush_threshold`] consult this, so an entire test
-    /// suite can be rerun under tiny capacities (CI does, at capacity 2) to
-    /// exercise the eviction path without any code change.
+    /// environment variables select; unset variables leave the default
+    /// (unbounded, CLOCK). `COUP_BUFFER_CAPACITY` takes a line count, or
+    /// `0`/`unbounded` for no bound; `COUP_BUFFER_POLICY` takes `clock` or
+    /// `lru`. [`CoupBackend::new`] and [`CoupBackend::with_flush_threshold`]
+    /// consult this, so an entire test suite can be rerun under tiny
+    /// capacities (CI does, at capacity 2) to exercise the eviction path
+    /// without any code change.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a *set but invalid* value (see [`BufferConfig::parse`]):
+    /// a typo'd capacity or policy silently falling back to the default
+    /// would run the suite in a different regime than the operator asked
+    /// for, which is far worse than failing loudly.
     #[must_use]
     pub fn from_env() -> Self {
         Self::parse(
@@ -227,22 +234,34 @@ impl BufferConfig {
     }
 
     /// Parses the environment-variable forms (see [`BufferConfig::from_env`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when a provided value is invalid —
+    /// `capacity` must be a non-negative line count or `unbounded`, and
+    /// `policy` must be `clock` or `lru`. `None` (variable unset) keeps the
+    /// default.
     #[must_use]
     pub fn parse(capacity: Option<&str>, policy: Option<&str>) -> Self {
         let mut cfg = BufferConfig::default();
         match capacity {
             Some("0" | "unbounded") => cfg.capacity_lines = None,
-            Some(text) => {
-                if let Ok(lines) = text.parse::<usize>() {
-                    cfg.capacity_lines = Some(lines);
-                }
-            }
+            Some(text) => match text.parse::<usize>() {
+                Ok(lines) => cfg.capacity_lines = Some(lines),
+                Err(_) => panic!(
+                    "invalid COUP_BUFFER_CAPACITY {text:?}: expected a line count \
+                     (e.g. \"64\") or \"0\"/\"unbounded\" for no bound"
+                ),
+            },
             None => {}
         }
         match policy {
             Some("lru") => cfg.policy = EvictionPolicy::Lru,
             Some("clock") => cfg.policy = EvictionPolicy::Clock,
-            _ => {}
+            Some(other) => {
+                panic!("invalid COUP_BUFFER_POLICY {other:?}: expected \"clock\" or \"lru\"")
+            }
+            None => {}
         }
         cfg
     }
@@ -1396,10 +1415,18 @@ mod tests {
             BufferConfig::parse(Some("0"), Some("clock")),
             BufferConfig::unbounded()
         );
-        assert_eq!(
-            BufferConfig::parse(Some("not-a-number"), Some("not-a-policy")),
-            BufferConfig::unbounded()
-        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid COUP_BUFFER_CAPACITY \"not-a-number\"")]
+    fn invalid_capacity_env_value_panics_instead_of_falling_back() {
+        let _ = BufferConfig::parse(Some("not-a-number"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid COUP_BUFFER_POLICY \"fifo\"")]
+    fn invalid_policy_env_value_panics_instead_of_falling_back() {
+        let _ = BufferConfig::parse(None, Some("fifo"));
     }
 
     #[test]

@@ -1,10 +1,9 @@
-//! The worker engine: scoped threads plus the per-run synchronisation the
-//! workload kernels need (thread index, barrier, backend handle).
+//! The worker engine: scoped threads plus the per-run synchronisation
+//! worker jobs need (thread index, barrier). Internal since the facade
+//! redesign — [`crate::CoupRuntime::run_workers`] is the public way to run
+//! worker-style code.
 
 use std::sync::Barrier;
-use std::time::{Duration, Instant};
-
-use crate::backend::UpdateBackend;
 
 /// Per-worker context handed to the closure run by [`Engine::run`].
 #[derive(Debug)]
@@ -46,12 +45,6 @@ impl Engine {
         Engine { threads }
     }
 
-    /// Number of workers per run.
-    #[must_use]
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
     /// Runs `worker` once per thread and returns the per-thread results in
     /// thread order. A panic in a worker propagates once the other workers
     /// finish — but a worker that panics while others are blocked in
@@ -86,24 +79,6 @@ impl Engine {
             }
             results
         })
-    }
-
-    /// Like [`Engine::run`], but also runs `backend.flush(thread)` as each
-    /// worker finishes and reports the wall-clock time of the whole run
-    /// (including the flushes, so backends cannot hide work in buffers).
-    pub fn run_on_backend<R, F>(&self, backend: &dyn UpdateBackend, worker: F) -> (Vec<R>, Duration)
-    where
-        R: Send,
-        F: Fn(WorkerCtx<'_>) -> R + Sync,
-    {
-        let start = Instant::now();
-        let results = self.run(|ctx| {
-            let thread = ctx.thread;
-            let result = worker(ctx);
-            backend.flush(thread);
-            result
-        });
-        (results, start.elapsed())
     }
 }
 
@@ -157,18 +132,18 @@ mod tests {
     }
 
     #[test]
-    fn run_on_backend_flushes_each_worker() {
+    fn run_borrows_a_backend_across_workers() {
         let threads = 3;
         let engine = Engine::new(threads);
         let backend = CoupBackend::new(CommutativeOp::AddU64, 4, threads);
-        let (_, elapsed) = engine.run_on_backend(&backend, |ctx| {
+        engine.run(|ctx| {
             for _ in 0..100 {
                 backend.update(ctx.thread, 1, 1);
             }
+            backend.flush(ctx.thread);
         });
         // Every worker flushed on exit, so the *store* (not just a reducing
         // read) already holds the full total.
         assert_eq!(backend.store().load_lane(1), 300);
-        assert!(elapsed > Duration::ZERO);
     }
 }

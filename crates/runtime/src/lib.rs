@@ -8,14 +8,25 @@
 //! can run at native speed on actual silicon instead of only inside the
 //! timing simulator.
 //!
+//! The public face of the crate is the service facade: a [`CoupRuntime`]
+//! (built by [`RuntimeBuilder`]) owns resident worker threads and hands out
+//! cheap, clonable, `Send` handles — the raw [`LaneHandle`], the typed
+//! [`CounterHandle`], or the bare write-only [`Submitter`] — through which
+//! any thread submits updates in batches. Resident workers drain the batches
+//! into per-worker privatized buffers; reads stay synchronous on the calling
+//! thread. The scoped-thread engine that executes worker jobs is an internal
+//! detail ([`CoupRuntime::run_workers`] is the supported way to run
+//! worker-style kernels).
+//!
 //! The mapping from the protocol onto the runtime:
 //!
 //! | COUP (hardware)                      | `coup-runtime` (software)                              |
 //! |--------------------------------------|--------------------------------------------------------|
 //! | shared cache holding the data value  | [`SharedStore`]: sharded, 64-byte-aligned atomic lanes |
-//! | private line in U state              | tagged slot in a per-thread [`CoupBackend`] buffer (identity-initialised, single-writer) |
+//! | private line in U state              | tagged slot in a per-worker [`CoupBackend`] buffer (identity-initialised, single-writer) |
 //! | bounded private cache capacity       | [`BufferConfig::capacity_lines`]: at most that many privatized lines per worker |
 //! | commutative-update instruction       | [`UpdateBackend::update`]: plain load/combine/store, no lock prefix |
+//! | update-request message from any core | an [`UpdateBatch`] travelling the MPSC submission queue from a [`Submitter`] to a resident worker |
 //! | read triggering a reduction          | [`UpdateBackend::read`]: reader folds the partials of the line's *active writers* (per-line writer bitmap) |
 //! | directory sharer list                | per-line writer-presence bitmap (`LineMeta`)           |
 //! | eviction of a U line                 | capacity eviction ([`EvictionPolicy`]): the victim slot's delta migrates into the store, then the slot is re-tagged |
@@ -32,27 +43,38 @@
 //!
 //! ```
 //! use coup_protocol::ops::CommutativeOp;
-//! use coup_runtime::{AtomicBackend, CoupBackend, Engine, UpdateBackend};
+//! use coup_runtime::{tag, BackendKind, RuntimeBuilder};
 //!
-//! let threads = 4;
-//! let coup = CoupBackend::new(CommutativeOp::AddU64, 16, threads);
-//! let engine = Engine::new(threads);
-//! engine.run_on_backend(&coup, |ctx| {
-//!     for _ in 0..1000 {
-//!         coup.update(ctx.thread, 7, 1); // contended counter, no atomics
+//! // A service runtime: 2 resident workers absorbing batched updates from
+//! // any number of producer threads, no atomics on the producer side.
+//! let runtime = RuntimeBuilder::new(CommutativeOp::AddU64, 16)
+//!     .workers(2)
+//!     .build();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let mut counter = runtime.counter::<tag::Add64>();
+//!         scope.spawn(move || {
+//!             for _ in 0..1000 {
+//!                 counter.add(7, 1); // contended counter, batched
+//!             }
+//!         });
 //!     }
 //! });
-//! assert_eq!(coup.read(0, 7), 4000);
+//! let result = runtime.shutdown();
+//! assert_eq!(result.snapshot[7], 4000);
 //!
 //! // The conventional baseline gives the same answer, one lock-prefixed
-//! // instruction per update.
-//! let atomic = AtomicBackend::new(CommutativeOp::AddU64, 16);
-//! engine.run_on_backend(&atomic, |ctx| {
-//!     for _ in 0..1000 {
-//!         atomic.update(ctx.thread, 7, 1);
-//!     }
-//! });
-//! assert_eq!(atomic.snapshot(), coup.snapshot());
+//! // instruction per update applied.
+//! let baseline = RuntimeBuilder::new(CommutativeOp::AddU64, 16)
+//!     .backend(BackendKind::Atomic)
+//!     .workers(2)
+//!     .build();
+//! let mut handle = baseline.handle();
+//! for _ in 0..4000 {
+//!     handle.push(7, 1);
+//! }
+//! drop(handle);
+//! assert_eq!(baseline.shutdown().snapshot, result.snapshot);
 //! ```
 
 #![deny(missing_docs)]
@@ -60,14 +82,20 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
-pub mod engine;
+mod engine;
 pub mod harness;
+pub mod runtime;
 pub mod store;
 
 pub use backend::{
     AtomicBackend, BufferConfig, BufferStats, CoupBackend, EvictionPolicy, ReadCost, UpdateBackend,
     DEFAULT_FLUSH_THRESHOLD, MAX_COUP_THREADS, PROBE_WINDOW, READ_RETRY_LIMIT,
 };
-pub use engine::{Engine, WorkerCtx};
-pub use harness::{expected_counts, run_contended, ContendedSpec, ThroughputReport};
+pub use harness::{
+    expected_counts, run_contended, splitmix64, ContendedSpec, LaneSampler, ThroughputReport,
+};
+pub use runtime::{
+    tag, BackendKind, CounterHandle, CoupRuntime, JobCtx, LaneHandle, RuntimeBuilder,
+    RuntimeResult, Submitter, UpdateBatch, DEFAULT_BATCH_CAPACITY, DEFAULT_QUEUE_CAPACITY,
+};
 pub use store::SharedStore;

@@ -1,0 +1,1284 @@
+//! The service facade: [`CoupRuntime`], its [`RuntimeBuilder`], and the
+//! batched MPSC submission frontend.
+//!
+//! Everything below `coup-runtime`'s backends assumes a *worker* discipline:
+//! a fixed set of threads, each owning one privatized buffer, driving
+//! [`UpdateBackend::update`] with its own thread index. That is the right
+//! shape for kernels, but not for a service: a network handler or request
+//! thread cannot be a pinned worker. The facade closes the gap the same way
+//! the COUP hardware does — in the paper, *any* core may issue an
+//! update-request message and the coherence fabric routes it to wherever the
+//! line's U-state copy lives. Here, any thread may hold a [`Submitter`] (or a
+//! typed view such as [`CounterHandle`]) and push updates into a batch; full
+//! batches travel over an MPSC queue to the runtime's *resident workers*,
+//! which apply them through the existing privatized-buffer path. The batch is
+//! the software analogue of the update-request message, and batching is what
+//! amortises the per-op dispatch cost that a queue would otherwise add to
+//! every single update.
+//!
+//! Reads never queue: they run synchronously on the caller's thread through
+//! the O(active-writers) reduction path, exactly like a COUP read collecting
+//! U-state copies.
+//!
+//! # Consistency
+//!
+//! The facade inherits the backends' quiescent consistency and weakens the
+//! submission side by the queue: an update pushed into a handle becomes
+//! visible to reads once its batch has been flushed (by size, by an explicit
+//! [`Submitter::flush`], or by dropping the handle) *and* a resident worker
+//! has applied it. [`CoupRuntime::drain`] blocks until every batch flushed so
+//! far is applied; [`CoupRuntime::shutdown`] quiesces the whole runtime and
+//! returns an exact final snapshot. Commutativity is what makes this safe:
+//! batches from different producers may be applied in any order and the final
+//! state is the same.
+//!
+//! # Example
+//!
+//! ```
+//! use coup_protocol::ops::CommutativeOp;
+//! use coup_runtime::{tag, RuntimeBuilder};
+//!
+//! let runtime = RuntimeBuilder::new(CommutativeOp::AddU64, 16)
+//!     .workers(2)
+//!     .batch_capacity(64)
+//!     .build();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let mut counter = runtime.counter::<tag::Add64>();
+//!         scope.spawn(move || {
+//!             for _ in 0..1000 {
+//!                 counter.add(7, 1); // batched, no atomics on this thread
+//!             }
+//!         }); // dropping the handle flushes its final partial batch
+//!     }
+//! });
+//! let result = runtime.shutdown();
+//! assert_eq!(result.snapshot[7], 4000);
+//! assert_eq!(result.report.updates, 4000);
+//! ```
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use coup_protocol::ops::CommutativeOp;
+
+use crate::backend::{
+    AtomicBackend, BufferConfig, BufferStats, CoupBackend, ReadCost, UpdateBackend,
+    DEFAULT_FLUSH_THRESHOLD,
+};
+use crate::engine::Engine;
+use crate::harness::ThroughputReport;
+
+/// Default number of updates a [`Submitter`] accumulates before handing its
+/// batch to the runtime. Large enough to amortise the queue's mutex over
+/// hundreds of plain `Vec` pushes, small enough that a producer's updates do
+/// not linger unseen for long.
+pub const DEFAULT_BATCH_CAPACITY: usize = 256;
+
+/// Which update backend a [`CoupRuntime`] applies submissions to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Conventional baseline: one atomic RMW per update ([`AtomicBackend`]).
+    Atomic,
+    /// Software COUP: privatized buffers, on-read reduction
+    /// ([`CoupBackend`]) — the default.
+    #[default]
+    Coup,
+}
+
+/// Builds a [`CoupRuntime`]: one place for every knob that used to be spread
+/// over the three overlapping `CoupBackend` constructors
+/// (`new` / `with_flush_threshold` / `with_config`) plus the engine's thread
+/// count.
+///
+/// Defaults: COUP backend, 1 resident worker, [`DEFAULT_FLUSH_THRESHOLD`],
+/// buffer configuration from the environment ([`BufferConfig::from_env`]),
+/// [`DEFAULT_BATCH_CAPACITY`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeBuilder {
+    kind: BackendKind,
+    op: CommutativeOp,
+    lanes: usize,
+    workers: usize,
+    flush_threshold: u32,
+    buffer_config: Option<BufferConfig>,
+    batch_capacity: usize,
+    queue_capacity: usize,
+}
+
+/// Default bound on the submission queue, in batches. Producers that outrun
+/// the resident workers by this much block in `flush()` until a batch is
+/// applied — backpressure, so a long-lived service cannot grow the queue
+/// without limit. At the default batch capacity this is ~256k updates of
+/// slack.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+impl RuntimeBuilder {
+    /// Starts a builder for a runtime of `lanes` lanes of `op`'s width.
+    #[must_use]
+    pub fn new(op: CommutativeOp, lanes: usize) -> Self {
+        RuntimeBuilder {
+            kind: BackendKind::Coup,
+            op,
+            lanes,
+            workers: 1,
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            buffer_config: None,
+            batch_capacity: DEFAULT_BATCH_CAPACITY,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+
+    /// Selects the backend kind (default: [`BackendKind::Coup`]).
+    #[must_use]
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Number of resident worker threads (default 1). Each worker owns one
+    /// privatized buffer, drains submission batches, and runs one thread of
+    /// every [`CoupRuntime::run_workers`] job.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Per-line flush budget of the COUP backend (minimum 1; ignored by the
+    /// atomic backend).
+    #[must_use]
+    pub fn flush_threshold(mut self, flush_threshold: u32) -> Self {
+        self.flush_threshold = flush_threshold;
+        self
+    }
+
+    /// Sparse-buffer sizing and replacement of the COUP backend. Without this
+    /// the runtime honours `COUP_BUFFER_CAPACITY` / `COUP_BUFFER_POLICY`
+    /// (see [`BufferConfig::from_env`]) and defaults to unbounded buffers.
+    #[must_use]
+    pub fn buffer_config(mut self, config: BufferConfig) -> Self {
+        self.buffer_config = Some(config);
+        self
+    }
+
+    /// Updates a [`Submitter`] accumulates per batch before enqueueing it
+    /// (minimum 1; 1 means every push is its own message — the unbatched
+    /// baseline the batch-size sweep bench compares against).
+    #[must_use]
+    pub fn batch_capacity(mut self, batch_capacity: usize) -> Self {
+        self.batch_capacity = batch_capacity;
+        self
+    }
+
+    /// Bound on the submission queue, in batches (minimum 1; default
+    /// [`DEFAULT_QUEUE_CAPACITY`]). A producer flushing into a full queue
+    /// blocks until a resident worker frees a slot — the backpressure that
+    /// keeps a long-lived service's memory bounded when producers outrun
+    /// the workers.
+    #[must_use]
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Builds the runtime and starts its resident workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, or (for the COUP backend) exceeds
+    /// [`crate::backend::MAX_COUP_THREADS`], or if the environment's buffer
+    /// configuration is invalid ([`BufferConfig::from_env`]).
+    #[must_use]
+    pub fn build(self) -> CoupRuntime {
+        assert!(self.workers > 0, "CoupRuntime needs at least one worker");
+        let backend: Box<dyn UpdateBackend> = match self.kind {
+            BackendKind::Atomic => Box::new(AtomicBackend::new(self.op, self.lanes)),
+            BackendKind::Coup => {
+                let config = self.buffer_config.unwrap_or_else(BufferConfig::from_env);
+                Box::new(CoupBackend::with_config(
+                    self.op,
+                    self.lanes,
+                    self.workers,
+                    self.flush_threshold,
+                    config,
+                ))
+            }
+        };
+        let shared = Arc::new(Shared {
+            backend,
+            queue: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            space: Condvar::new(),
+            batch_capacity: self.batch_capacity.max(1),
+            queue_capacity: self.queue_capacity.max(1),
+            workers: self.workers,
+            handle_reads: AtomicU64::new(0),
+        });
+        let drainers = (0..self.workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("coup-worker-{worker}"))
+                    .spawn(move || shared.drain_loop(worker))
+                    .expect("spawning a resident worker thread")
+            })
+            .collect();
+        CoupRuntime {
+            shared,
+            drainers,
+            job: Mutex::new(()),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// One producer's accumulated updates, travelling as a unit through the
+/// submission queue — the software analogue of the paper's update-request
+/// message, carrying many updates instead of one so the queue's
+/// synchronisation cost is paid once per batch.
+#[derive(Debug, Default)]
+pub struct UpdateBatch {
+    ops: Vec<(usize, u64)>,
+}
+
+impl UpdateBatch {
+    /// Number of updates in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the batch holds no updates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    batches: VecDeque<UpdateBatch>,
+    /// Set once by shutdown/Drop; workers drain the queue and exit.
+    closed: bool,
+    /// Set while a [`CoupRuntime::run_workers`] job borrows the worker
+    /// thread indices; workers stop popping so the job threads are the only
+    /// writers of the per-worker buffers.
+    paused: bool,
+    /// Resident workers currently applying a popped batch.
+    active: usize,
+    /// Updates enqueued over the runtime's lifetime.
+    submitted: u64,
+    /// Updates applied by resident workers over the runtime's lifetime.
+    applied: u64,
+}
+
+/// State shared by the runtime, its resident workers, and every handle.
+struct Shared {
+    backend: Box<dyn UpdateBackend>,
+    queue: Mutex<QueueState>,
+    /// Wakes resident workers: a batch arrived, the queue closed, or a pause
+    /// was lifted.
+    work: Condvar,
+    /// Wakes waiters in [`CoupRuntime::drain`] / pause: the queue went empty
+    /// with no batch mid-application.
+    idle: Condvar,
+    /// Wakes producers blocked on a full queue: a batch was popped (or the
+    /// queue closed).
+    space: Condvar,
+    batch_capacity: usize,
+    queue_capacity: usize,
+    workers: usize,
+    /// Reads served through handles (the runtime's synchronous read path).
+    handle_reads: AtomicU64,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("backend", &self.backend.name())
+            .field("workers", &self.workers)
+            .field("batch_capacity", &self.batch_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shared {
+    /// Locks the queue, recovering from poisoning: every critical section
+    /// either leaves the state consistent before any panic (`submit`'s
+    /// closed assert fires before mutating) or is restored by a guard
+    /// (`run_workers`' pause), so continuing past a poisoned lock is safe —
+    /// and a worker must never crash the whole service because one producer
+    /// panicked mid-section.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Body of resident worker `worker`: pop batches, apply them through the
+    /// privatized-buffer path, flush and exit when the queue closes. Returns
+    /// the number of updates this worker applied.
+    fn drain_loop(&self, worker: usize) -> u64 {
+        let mut applied = 0u64;
+        loop {
+            let batch = {
+                let mut q = self.lock_queue();
+                loop {
+                    if q.closed || !q.paused {
+                        if let Some(batch) = q.batches.pop_front() {
+                            q.active += 1;
+                            // A slot freed: wake one producer blocked on a
+                            // full queue.
+                            self.space.notify_one();
+                            break Some(batch);
+                        }
+                        if q.closed {
+                            break None;
+                        }
+                    }
+                    q = self
+                        .work
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let Some(batch) = batch else {
+                // Closed and drained: publish this worker's remaining
+                // buffered deltas so the post-join snapshot is exact.
+                self.backend.flush(worker);
+                return applied;
+            };
+            for &(lane, value) in &batch.ops {
+                self.backend.update(worker, lane, value);
+            }
+            applied += batch.ops.len() as u64;
+            let mut q = self.lock_queue();
+            q.active -= 1;
+            q.applied += batch.ops.len() as u64;
+            if q.active == 0 && q.batches.is_empty() {
+                self.idle.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until the queue has a free slot (backpressure) or closes,
+    /// returning the guard. While a [`CoupRuntime::run_workers`] job has
+    /// the queue paused, enqueued batches are not popped, so a producer
+    /// hitting the bound simply waits out the job.
+    fn wait_for_space(&self) -> MutexGuard<'_, QueueState> {
+        let mut q = self.lock_queue();
+        while q.batches.len() >= self.queue_capacity && !q.closed {
+            q = self
+                .space
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        q
+    }
+
+    /// The one enqueue path, blocking while the queue is full. `panic_if_
+    /// closed` selects the closed-queue reaction: panic (explicit
+    /// submissions — the runtime shut down under a live handle) or silently
+    /// discard ([`Submitter`]'s `Drop`, where panicking would abort).
+    fn enqueue(&self, ops: Vec<(usize, u64)>, panic_if_closed: bool) {
+        let mut q = self.wait_for_space();
+        if q.closed {
+            assert!(
+                !panic_if_closed,
+                "update submitted to a CoupRuntime that has shut down \
+                 (flush or drop all handles before shutdown())"
+            );
+            return;
+        }
+        q.submitted += ops.len() as u64;
+        q.batches.push_back(UpdateBatch { ops });
+        drop(q);
+        self.work.notify_one();
+    }
+
+    /// Blocks until every batch enqueued so far has been applied, then
+    /// returns the guard (so callers can atomically follow up — e.g. pause).
+    fn wait_idle(&self) -> MutexGuard<'_, QueueState> {
+        let mut q = self.lock_queue();
+        while q.active > 0 || !q.batches.is_empty() {
+            q = self
+                .idle
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        q
+    }
+
+    fn read(&self, lane: usize) -> u64 {
+        self.handle_reads.fetch_add(1, Ordering::Relaxed);
+        // usize::MAX lands in the backend's shared out-of-band cost slot —
+        // handle readers are not workers and own no counter block.
+        self.backend.read(usize::MAX, lane)
+    }
+}
+
+/// The batched MPSC write frontend: accumulates `(lane, value)` updates into
+/// a private [`UpdateBatch`] and enqueues it when full (or on
+/// [`Submitter::flush`] / drop). Cheap to clone — each clone is an
+/// independent producer with its own batch.
+///
+/// A `Submitter` is write-only; [`LaneHandle`] adds the synchronous read
+/// path, and [`CounterHandle`] adds operation typing on top of that.
+#[derive(Debug)]
+pub struct Submitter {
+    shared: Arc<Shared>,
+    batch: Vec<(usize, u64)>,
+}
+
+impl Submitter {
+    fn new(shared: Arc<Shared>) -> Self {
+        let capacity = shared.batch_capacity;
+        Submitter {
+            shared,
+            batch: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one update to the current batch; enqueues the batch when it
+    /// reaches the runtime's batch capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range, or if the batch fills after the
+    /// runtime has shut down.
+    pub fn push(&mut self, lane: usize, value: u64) {
+        assert!(
+            lane < self.shared.backend.len(),
+            "lane {lane} out of range ({} lanes)",
+            self.shared.backend.len()
+        );
+        self.batch.push((lane, value));
+        if self.batch.len() >= self.shared.batch_capacity {
+            self.flush();
+        }
+    }
+
+    /// Enqueues the current batch (no-op when empty). The updates become
+    /// visible to reads once a resident worker applies the batch; use
+    /// [`CoupRuntime::drain`] to wait for that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has shut down.
+    pub fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let ops = std::mem::replace(
+            &mut self.batch,
+            Vec::with_capacity(self.shared.batch_capacity),
+        );
+        self.shared.enqueue(ops, true);
+    }
+
+    /// Updates accumulated but not yet enqueued.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.batch.len()
+    }
+}
+
+impl Clone for Submitter {
+    /// A fresh producer over the same runtime, starting with an empty batch.
+    fn clone(&self) -> Self {
+        Submitter::new(Arc::clone(&self.shared))
+    }
+}
+
+impl Drop for Submitter {
+    /// Flushes the final partial batch so dropping a handle never loses
+    /// updates. (If the runtime already shut down the batch is discarded —
+    /// flush explicitly before `shutdown()` to be certain.)
+    fn drop(&mut self) {
+        if !self.batch.is_empty() {
+            let ops = std::mem::take(&mut self.batch);
+            self.shared.enqueue(ops, false);
+        }
+    }
+}
+
+/// The raw (untyped) per-lane view of a runtime: batched writes via the
+/// embedded [`Submitter`], synchronous reads via the backend's
+/// O(active-writers) reduction path. Clonable and `Send` — hand one to every
+/// producer thread.
+#[derive(Debug, Clone)]
+pub struct LaneHandle {
+    submitter: Submitter,
+}
+
+impl LaneHandle {
+    /// Submits `op(current, value)` to `lane` (batched; see
+    /// [`Submitter::push`]).
+    pub fn push(&mut self, lane: usize, value: u64) {
+        self.submitter.push(lane, value);
+    }
+
+    /// Enqueues the current partial batch (see [`Submitter::flush`]).
+    pub fn flush(&mut self) {
+        self.submitter.flush();
+    }
+
+    /// Reads `lane` synchronously on the calling thread. Sees every applied
+    /// update; batches still queued (including this handle's own un-flushed
+    /// batch) may be missing — read-your-writes requires
+    /// [`LaneHandle::flush`] plus [`CoupRuntime::drain`].
+    #[must_use]
+    pub fn read(&self, lane: usize) -> u64 {
+        self.submitter.shared.read(lane)
+    }
+
+    /// Number of lanes of the underlying runtime.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.submitter.shared.backend.len()
+    }
+
+    /// The commutative operation of the underlying runtime.
+    #[must_use]
+    pub fn op(&self) -> CommutativeOp {
+        self.submitter.shared.backend.op()
+    }
+}
+
+/// Marker types naming each [`CommutativeOp`] at the type level, for
+/// [`CounterHandle`]'s compile-time operation typing.
+pub mod tag {
+    use coup_protocol::ops::CommutativeOp;
+
+    /// Names a [`CommutativeOp`] at the type level. A
+    /// [`CounterHandle<K>`](super::CounterHandle) can only be obtained from a
+    /// runtime whose operation equals `K::OP`, so code holding the handle
+    /// knows statically which arithmetic its lanes obey.
+    pub trait OpTag: Send + Sync + 'static {
+        /// The operation this tag names.
+        const OP: CommutativeOp;
+    }
+
+    /// Tags whose operation is an integer addition, enabling the
+    /// counter-flavoured convenience methods
+    /// ([`CounterHandle::add`](super::CounterHandle::add) /
+    /// [`increment`](super::CounterHandle::increment)).
+    pub trait AddTag: OpTag {}
+
+    macro_rules! tags {
+        ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+            $(
+                $(#[$doc])*
+                #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+                pub struct $name;
+                impl OpTag for $name {
+                    const OP: CommutativeOp = CommutativeOp::$op;
+                }
+            )+
+        };
+    }
+
+    tags! {
+        /// 16-bit wrapping addition.
+        Add16 => AddU16,
+        /// 32-bit wrapping addition.
+        Add32 => AddU32,
+        /// 64-bit wrapping addition.
+        Add64 => AddU64,
+        /// Single-precision float addition (lane values are raw IEEE-754
+        /// bits, as everywhere in the runtime).
+        AddF32 => AddF32,
+        /// Double-precision float addition (raw IEEE-754 bits).
+        AddF64 => AddF64,
+        /// 64-bit bitwise AND.
+        And64 => And64,
+        /// 64-bit bitwise OR.
+        Or64 => Or64,
+        /// 64-bit bitwise XOR.
+        Xor64 => Xor64,
+        /// 64-bit unsigned minimum.
+        Min64 => Min64,
+        /// 64-bit unsigned maximum.
+        Max64 => Max64,
+        /// 32-bit wrapping multiplication.
+        MulU32 => MulU32,
+    }
+
+    impl AddTag for Add16 {}
+    impl AddTag for Add32 {}
+    impl AddTag for Add64 {}
+}
+
+use tag::{AddTag, OpTag};
+
+/// A typed per-operation view of a runtime: a [`LaneHandle`] whose operation
+/// is pinned to `K::OP` at the type level, so `CounterHandle<tag::Add64>` in
+/// a signature says "these lanes are 64-bit counters" the way
+/// `Vec<u64>` says more than `Vec<u8>`. Obtained from
+/// [`CoupRuntime::counter`], which checks the runtime's operation once at
+/// acquisition instead of trusting every call site.
+#[derive(Debug, Clone)]
+pub struct CounterHandle<K: OpTag> {
+    raw: LaneHandle,
+    _op: PhantomData<K>,
+}
+
+impl<K: OpTag> CounterHandle<K> {
+    /// Submits `K::OP(current, value)` to `lane` (batched).
+    pub fn apply(&mut self, lane: usize, value: u64) {
+        self.raw.push(lane, value);
+    }
+
+    /// Reads `lane` synchronously (see [`LaneHandle::read`]).
+    #[must_use]
+    pub fn get(&self, lane: usize) -> u64 {
+        self.raw.read(lane)
+    }
+
+    /// Enqueues the current partial batch (see [`Submitter::flush`]).
+    pub fn flush(&mut self) {
+        self.raw.flush();
+    }
+
+    /// The underlying raw handle.
+    #[must_use]
+    pub fn raw(&self) -> &LaneHandle {
+        &self.raw
+    }
+}
+
+impl<K: AddTag> CounterHandle<K> {
+    /// Adds `n` to the counter in `lane` (batched).
+    pub fn add(&mut self, lane: usize, n: u64) {
+        self.apply(lane, n);
+    }
+
+    /// Adds 1 to the counter in `lane` (batched).
+    pub fn increment(&mut self, lane: usize) {
+        self.apply(lane, 1);
+    }
+}
+
+/// Per-worker context of a [`CoupRuntime::run_workers`] job: the worker's
+/// index, a run-wide barrier, and direct (unbatched) backend access with the
+/// worker's thread identity already bound — kernels never juggle raw thread
+/// indices.
+pub struct JobCtx<'a> {
+    ctx: crate::engine::WorkerCtx<'a>,
+    backend: &'a dyn UpdateBackend,
+}
+
+impl std::fmt::Debug for JobCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobCtx")
+            .field("worker", &self.ctx.thread)
+            .field("workers", &self.ctx.threads)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+impl JobCtx<'_> {
+    /// This worker's index in `0..workers`.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.ctx.thread
+    }
+
+    /// Total workers in the job.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.ctx.threads
+    }
+
+    /// Blocks until every worker of the job reaches the barrier. Every
+    /// worker must execute the same number of barrier steps.
+    pub fn barrier(&self) {
+        self.ctx.barrier();
+    }
+
+    /// Applies `op(current, value)` to `lane` through this worker's
+    /// privatized buffer — the direct path, no queue.
+    pub fn update(&self, lane: usize, value: u64) {
+        self.backend.update(self.ctx.thread, lane, value);
+    }
+
+    /// Update immediately followed by a read of the same lane (see
+    /// [`UpdateBackend::update_read`] for the backends' atomicity contract).
+    pub fn update_read(&self, lane: usize, value: u64) -> u64 {
+        self.backend.update_read(self.ctx.thread, lane, value)
+    }
+
+    /// Reads `lane`, reducing buffered partials as needed.
+    #[must_use]
+    pub fn read(&self, lane: usize) -> u64 {
+        self.backend.read(self.ctx.thread, lane)
+    }
+}
+
+/// What [`CoupRuntime::shutdown`] returns: the exact final state and the
+/// merged whole-life counters.
+#[derive(Debug)]
+pub struct RuntimeResult {
+    /// Every lane's final value — exact: all workers flushed before the
+    /// snapshot was taken.
+    pub snapshot: Vec<u64>,
+    /// Merged lifetime report: `updates` applied through the submission
+    /// frontend, `reads` served through handles, `elapsed` from build to
+    /// shutdown, plus the backend's cumulative [`ReadCost`] and
+    /// [`BufferStats`] (which also cover [`CoupRuntime::run_workers`] jobs).
+    pub report: ThroughputReport,
+}
+
+/// The long-lived service runtime: owns the backend and its resident worker
+/// threads, hands out submission handles to any number of producer threads,
+/// and runs synchronous worker jobs on the side.
+///
+/// Built by [`RuntimeBuilder`]. Three ways in:
+///
+/// * **Handles** ([`CoupRuntime::submitter`] / [`handle`](Self::handle) /
+///   [`counter`](Self::counter)): clonable, `Send`, batched — the service
+///   write path for non-worker threads.
+/// * **Synchronous reads** ([`CoupRuntime::read`] / [`snapshot`](Self::snapshot),
+///   or through any handle): the existing O(active-writers) reduction.
+/// * **Worker jobs** ([`CoupRuntime::run_workers`]): a closure run once per
+///   resident-worker identity with direct backend access — the kernel
+///   executor's path, with barriers and read-your-writes.
+///
+/// [`CoupRuntime::shutdown`] (or `Drop`) quiesces: the queue closes, workers
+/// drain every remaining batch, flush their buffers, and exit.
+#[derive(Debug)]
+pub struct CoupRuntime {
+    shared: Arc<Shared>,
+    drainers: Vec<std::thread::JoinHandle<u64>>,
+    /// Serialises [`CoupRuntime::run_workers`] jobs: two jobs sharing worker
+    /// thread identities concurrently would break the buffers'
+    /// single-writer discipline.
+    job: Mutex<()>,
+    started: Instant,
+}
+
+impl CoupRuntime {
+    /// The commutative operation of the runtime's lanes.
+    #[must_use]
+    pub fn op(&self) -> CommutativeOp {
+        self.shared.backend.op()
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.shared.backend.len()
+    }
+
+    /// Number of resident worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Short name of the underlying backend ("atomic", "coup").
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.shared.backend.name()
+    }
+
+    /// A new write-only batched producer.
+    #[must_use]
+    pub fn submitter(&self) -> Submitter {
+        Submitter::new(Arc::clone(&self.shared))
+    }
+
+    /// A new raw read/write handle.
+    #[must_use]
+    pub fn handle(&self) -> LaneHandle {
+        LaneHandle {
+            submitter: self.submitter(),
+        }
+    }
+
+    /// A new typed handle for operation tag `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K::OP` is not the runtime's operation — the one dynamic
+    /// check that makes every later use statically typed.
+    #[must_use]
+    pub fn counter<K: OpTag>(&self) -> CounterHandle<K> {
+        assert_eq!(
+            K::OP,
+            self.op(),
+            "typed handle mismatch: runtime applies {}, tag names {}",
+            self.op(),
+            K::OP
+        );
+        CounterHandle {
+            raw: self.handle(),
+            _op: PhantomData,
+        }
+    }
+
+    /// Reads `lane` synchronously on the calling thread (quiescently
+    /// consistent; see [`LaneHandle::read`]).
+    #[must_use]
+    pub fn read(&self, lane: usize) -> u64 {
+        self.shared.read(lane)
+    }
+
+    /// Every lane's current value. Exact at quiescence (e.g. after
+    /// [`CoupRuntime::drain`] with no producer holding an un-flushed batch);
+    /// concurrent activity may or may not be included.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.shared.backend.snapshot()
+    }
+
+    /// Cumulative read-side cost counters of the backend.
+    #[must_use]
+    pub fn read_cost(&self) -> ReadCost {
+        self.shared.backend.read_cost()
+    }
+
+    /// Cumulative privatized-buffer counters of the backend.
+    #[must_use]
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.shared.backend.buffer_stats()
+    }
+
+    /// Updates enqueued and applied so far (both monotone; equal when the
+    /// queue is drained).
+    #[must_use]
+    pub fn queue_depth(&self) -> (u64, u64) {
+        let q = self.shared.lock_queue();
+        (q.submitted, q.applied)
+    }
+
+    /// Blocks until every batch enqueued so far has been applied by the
+    /// resident workers. After `drain()`, reads observe every update whose
+    /// batch was flushed before the call — the runtime's quiescence point
+    /// short of a full shutdown.
+    pub fn drain(&self) {
+        drop(self.shared.wait_idle());
+    }
+
+    /// Runs `job` once per resident-worker identity on dedicated threads and
+    /// returns the per-worker results in worker order plus the job's
+    /// wall-clock time (including each worker's final buffer flush, so
+    /// backends cannot hide work).
+    ///
+    /// The submission queue is drained and paused for the duration — job
+    /// threads temporarily *are* the workers, with exclusive ownership of
+    /// the per-worker privatized buffers — and resumes when the job ends.
+    /// Jobs serialise against each other. Batches submitted concurrently
+    /// with a job are applied after it finishes.
+    pub fn run_workers<R, F>(&self, job: F) -> (Vec<R>, Duration)
+    where
+        R: Send,
+        F: Fn(JobCtx<'_>) -> R + Sync,
+    {
+        // Poison recovery: a previous job's panic already ran the resume
+        // guard below, so the runtime's invariants hold and the next job may
+        // proceed.
+        let _job = self
+            .job
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        {
+            // Drain, then pause under the same guard so no batch can slip
+            // between the two: once `paused` is up, the job threads are the
+            // only writers of the worker buffers.
+            let mut q = self.shared.wait_idle();
+            q.paused = true;
+        }
+        // Resume draining even if the job panics — otherwise a caught panic
+        // would leave the queue paused forever and wedge every later
+        // submission and drain().
+        struct ResumeDraining<'a>(&'a Shared);
+        impl Drop for ResumeDraining<'_> {
+            fn drop(&mut self) {
+                let mut q = self.0.lock_queue();
+                q.paused = false;
+                drop(q);
+                self.0.work.notify_all();
+            }
+        }
+        let _resume = ResumeDraining(self.shared.as_ref());
+        let backend = self.shared.backend.as_ref();
+        let engine = Engine::new(self.shared.workers);
+        let start = Instant::now();
+        let results = engine.run(|ctx| {
+            let worker = ctx.thread;
+            let result = job(JobCtx { ctx, backend });
+            backend.flush(worker);
+            result
+        });
+        (results, start.elapsed())
+    }
+
+    /// Closes the queue and joins the resident workers: they drain every
+    /// remaining batch, flush their privatized buffers, and exit. Returns
+    /// the total updates they applied. Safe to call twice (Drop after
+    /// shutdown). With `propagate_panics` false (the `Drop` path) a
+    /// panicked worker is ignored — re-raising during an unwind would
+    /// double-panic.
+    fn close_and_join(&mut self, propagate_panics: bool) -> u64 {
+        {
+            let mut q = self.shared.lock_queue();
+            q.closed = true;
+        }
+        self.shared.work.notify_all();
+        // Wake producers blocked on a full queue so their submit can fail
+        // loudly (or their Drop can discard) instead of waiting forever.
+        self.shared.space.notify_all();
+        let mut applied = 0u64;
+        for drainer in self.drainers.drain(..) {
+            match drainer.join() {
+                Ok(count) => applied += count,
+                Err(payload) if propagate_panics => std::panic::resume_unwind(payload),
+                Err(_) => {}
+            }
+        }
+        applied
+    }
+
+    /// Quiesces the runtime and returns the exact final snapshot plus the
+    /// merged lifetime report. Producer handles should be flushed or dropped
+    /// first; a handle that submits after shutdown panics (its `Drop`
+    /// discards instead).
+    #[must_use]
+    pub fn shutdown(mut self) -> RuntimeResult {
+        let applied = self.close_and_join(true);
+        let workers = self.shared.workers;
+        let reads = self.shared.handle_reads.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        // Counters before the snapshot: the verifying snapshot below would
+        // otherwise add its own per-lane reads to the tallies it reports.
+        let read_cost = self.shared.backend.read_cost();
+        let buffer_stats = self.shared.backend.buffer_stats();
+        let snapshot = self.shared.backend.snapshot();
+        RuntimeResult {
+            snapshot,
+            report: ThroughputReport {
+                threads: workers,
+                updates: applied,
+                reads,
+                elapsed,
+                read_cost,
+                buffer_stats,
+            },
+        }
+    }
+}
+
+impl Drop for CoupRuntime {
+    /// Dropping without [`CoupRuntime::shutdown`] still quiesces: remaining
+    /// batches are applied and workers join, so no enqueued update is ever
+    /// lost — only the final report is forfeited.
+    fn drop(&mut self) {
+        if !self.drainers.is_empty() {
+            let _ = self.close_and_join(false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_runtime(lanes: usize, workers: usize, batch: usize) -> CoupRuntime {
+        RuntimeBuilder::new(CommutativeOp::AddU64, lanes)
+            .workers(workers)
+            .batch_capacity(batch)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_and_accessors() {
+        let rt = RuntimeBuilder::new(CommutativeOp::AddU32, 64).build();
+        assert_eq!(rt.op(), CommutativeOp::AddU32);
+        assert_eq!(rt.lanes(), 64);
+        assert_eq!(rt.workers(), 1);
+        assert_eq!(rt.backend_name(), "coup");
+        let rt = RuntimeBuilder::new(CommutativeOp::AddU64, 8)
+            .backend(BackendKind::Atomic)
+            .workers(3)
+            .build();
+        assert_eq!(rt.backend_name(), "atomic");
+        assert_eq!(rt.workers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let _ = RuntimeBuilder::new(CommutativeOp::AddU64, 8)
+            .workers(0)
+            .build();
+    }
+
+    #[test]
+    fn full_batches_flush_by_size_alone() {
+        let rt = counting_runtime(8, 2, 4);
+        let mut sub = rt.submitter();
+        for _ in 0..8 {
+            sub.push(3, 1); // two full batches, no explicit flush
+        }
+        assert_eq!(sub.pending(), 0, "full batches were enqueued");
+        rt.drain();
+        assert_eq!(rt.read(3), 8);
+        let (submitted, applied) = rt.queue_depth();
+        assert_eq!((submitted, applied), (8, 8));
+    }
+
+    #[test]
+    fn explicit_flush_publishes_partial_batches() {
+        let rt = counting_runtime(8, 1, 1024);
+        let mut handle = rt.handle();
+        handle.push(0, 5);
+        handle.push(1, 7);
+        assert_eq!(handle.submitter.pending(), 2);
+        handle.flush();
+        rt.drain();
+        assert_eq!(rt.read(0), 5);
+        assert_eq!(handle.read(1), 7);
+    }
+
+    #[test]
+    fn dropping_a_handle_flushes_its_batch() {
+        let rt = counting_runtime(8, 2, 1024);
+        let mut sub = rt.submitter();
+        sub.push(2, 9);
+        drop(sub); // far below batch capacity: only Drop can publish this
+        rt.drain();
+        assert_eq!(rt.read(2), 9);
+    }
+
+    #[test]
+    fn clones_are_independent_producers() {
+        let rt = counting_runtime(8, 2, 16);
+        let mut a = rt.submitter();
+        a.push(0, 1);
+        let b = a.clone();
+        assert_eq!(b.pending(), 0, "a clone starts with an empty batch");
+        drop(a);
+        drop(b);
+        rt.drain();
+        assert_eq!(rt.read(0), 1);
+    }
+
+    #[test]
+    fn typed_handles_check_the_operation_once() {
+        let rt = RuntimeBuilder::new(CommutativeOp::Or64, 8).build();
+        let mut bits = rt.counter::<tag::Or64>();
+        bits.apply(1, 0b1010);
+        bits.apply(1, 0b0101);
+        bits.flush();
+        rt.drain();
+        assert_eq!(bits.get(1), 0b1111);
+    }
+
+    #[test]
+    #[should_panic(expected = "typed handle mismatch")]
+    fn mismatched_typed_handle_is_rejected() {
+        let rt = RuntimeBuilder::new(CommutativeOp::AddU64, 8).build();
+        let _ = rt.counter::<tag::Or64>();
+    }
+
+    #[test]
+    fn counter_convenience_methods_add() {
+        let rt = counting_runtime(8, 1, 4);
+        let mut counter = rt.counter::<tag::Add64>();
+        counter.add(5, 41);
+        counter.increment(5);
+        counter.flush();
+        rt.drain();
+        assert_eq!(counter.get(5), 42);
+        assert_eq!(counter.raw().lanes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_lane_is_rejected_at_push() {
+        let rt = counting_runtime(8, 1, 4);
+        rt.submitter().push(8, 1);
+    }
+
+    #[test]
+    fn shutdown_returns_exact_snapshot_and_merged_report() {
+        let rt = counting_runtime(4, 2, 3);
+        let mut h = rt.handle();
+        for lane in 0..4 {
+            for _ in 0..5 {
+                h.push(lane, 2);
+            }
+        }
+        h.flush();
+        let _ = h.read(0);
+        drop(h);
+        let result = rt.shutdown();
+        assert_eq!(result.snapshot, vec![10, 10, 10, 10]);
+        assert_eq!(result.report.updates, 20);
+        assert_eq!(result.report.reads, 1);
+        assert_eq!(result.report.threads, 2);
+    }
+
+    #[test]
+    fn shutdown_drains_batches_still_queued() {
+        // A burst larger than the workers can have applied by the time
+        // shutdown is called: closing the queue must still apply everything.
+        let rt = counting_runtime(16, 1, 8);
+        let mut sub = rt.submitter();
+        for i in 0..4096 {
+            sub.push(i % 16, 1);
+        }
+        drop(sub);
+        let result = rt.shutdown();
+        assert_eq!(result.snapshot, vec![256u64; 16]);
+        assert_eq!(result.report.updates, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "shut down")]
+    fn submitting_after_shutdown_panics() {
+        let rt = counting_runtime(8, 1, 2);
+        let mut sub = rt.submitter();
+        let result = rt.shutdown();
+        assert_eq!(result.report.updates, 0);
+        sub.push(0, 1);
+        sub.push(0, 1); // fills the batch → submit → panic
+    }
+
+    #[test]
+    fn atomic_and_coup_runtimes_agree_through_the_frontend() {
+        let totals: Vec<Vec<u64>> = [BackendKind::Atomic, BackendKind::Coup]
+            .into_iter()
+            .map(|kind| {
+                let rt = RuntimeBuilder::new(CommutativeOp::AddU64, 32)
+                    .backend(kind)
+                    .workers(2)
+                    .batch_capacity(7)
+                    .build();
+                std::thread::scope(|scope| {
+                    for p in 0..3 {
+                        let mut sub = rt.submitter();
+                        scope.spawn(move || {
+                            for i in 0..500 {
+                                sub.push((p * 7 + i) % 32, 1 + (i as u64 % 3));
+                            }
+                        });
+                    }
+                });
+                rt.shutdown().snapshot
+            })
+            .collect();
+        assert_eq!(totals[0], totals[1]);
+    }
+
+    #[test]
+    fn run_workers_gives_barriers_and_read_your_writes() {
+        let rt = counting_runtime(8, 4, 16);
+        let (results, elapsed) = rt.run_workers(|ctx| {
+            ctx.update(ctx.worker(), 7);
+            assert_eq!(ctx.read(ctx.worker()), 7, "read-your-writes");
+            ctx.barrier();
+            // After the barrier every worker's lane is visible to everyone.
+            for w in 0..ctx.workers() {
+                assert_eq!(ctx.read(w), 7);
+            }
+            ctx.worker()
+        });
+        assert_eq!(results, vec![0, 1, 2, 3]);
+        assert!(elapsed > Duration::ZERO);
+        // Workers flushed on job exit: the snapshot is exact with no drain.
+        assert_eq!(rt.snapshot(), vec![7, 7, 7, 7, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn jobs_and_submissions_interleave_safely() {
+        let rt = counting_runtime(4, 2, 4);
+        let mut sub = rt.submitter();
+        for _ in 0..8 {
+            sub.push(0, 1);
+        }
+        rt.run_workers(|ctx| {
+            // The queue was drained before the job started.
+            if ctx.worker() == 0 {
+                assert_eq!(ctx.read(0), 8);
+            }
+            ctx.update(1, 1);
+        });
+        for _ in 0..8 {
+            sub.push(0, 1);
+        }
+        drop(sub);
+        let result = rt.shutdown();
+        assert_eq!(result.snapshot, vec![16, 2, 0, 0]);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_wedge_the_queue() {
+        let rt = counting_runtime(4, 2, 2);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run_workers(|ctx| {
+                if ctx.worker() == 0 {
+                    panic!("job assertion failed");
+                }
+            });
+        }));
+        assert!(panicked.is_err(), "the job panic must propagate");
+        // Draining must have resumed: submissions still flow end to end.
+        let mut sub = rt.submitter();
+        for _ in 0..6 {
+            sub.push(1, 1);
+        }
+        drop(sub);
+        rt.drain();
+        assert_eq!(rt.read(1), 6);
+        // And a later job still runs.
+        let (results, _) = rt.run_workers(|ctx| ctx.worker());
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn a_tiny_queue_capacity_applies_backpressure_without_losing_updates() {
+        // queue_capacity 1: producers constantly block on a full queue and
+        // must be woken by worker pops — every update still lands.
+        let rt = RuntimeBuilder::new(CommutativeOp::AddU64, 8)
+            .workers(1)
+            .batch_capacity(2)
+            .queue_capacity(1)
+            .build();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let mut sub = rt.submitter();
+                scope.spawn(move || {
+                    for i in 0..400 {
+                        sub.push(i % 8, 1);
+                    }
+                });
+            }
+        });
+        let result = rt.shutdown();
+        assert_eq!(result.snapshot, vec![150u64; 8]);
+        assert_eq!(result.report.updates, 1200);
+    }
+
+    #[test]
+    fn update_read_through_job_ctx_matches_backends() {
+        for kind in [BackendKind::Atomic, BackendKind::Coup] {
+            let rt = RuntimeBuilder::new(CommutativeOp::AddU64, 2)
+                .backend(kind)
+                .workers(1)
+                .build();
+            let (values, _) = rt.run_workers(|ctx| {
+                ctx.update(0, 5);
+                ctx.update_read(0, 3)
+            });
+            assert_eq!(values, vec![8], "{kind:?}");
+        }
+    }
+}

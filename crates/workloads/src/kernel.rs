@@ -9,10 +9,10 @@
 //!   [`ThreadOp`]s (with the workload's historical address layout, so cycle
 //!   numbers are directly comparable with the pre-kernel code), runs them on
 //!   a simulated machine, and verifies the result in simulated memory.
-//! * [`RuntimeBackend`] executes the steps on real OS threads against a
-//!   `coup-runtime` [`UpdateBackend`] — the conventional atomic baseline or
-//!   the software-COUP privatized buffers — and verifies the backend's final
-//!   snapshot.
+//! * [`RuntimeBackend`] executes the steps as a worker job on a
+//!   `coup-runtime` [`CoupRuntime`](coup_runtime::CoupRuntime) — the
+//!   conventional atomic baseline or the software-COUP privatized buffers —
+//!   and verifies the shutdown snapshot.
 //!
 //! `hist` (shared scheme), `pgrank`, and `refcount` (immediate, XADD/COUP
 //! schemes) define kernels; their legacy [`Workload`] implementations now
@@ -20,9 +20,7 @@
 //! real-hardware path execute one definition of each workload.
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{
-    AtomicBackend, BufferConfig, CoupBackend, Engine, UpdateBackend, DEFAULT_FLUSH_THRESHOLD,
-};
+use coup_runtime::{BackendKind, BufferConfig, RuntimeBuilder};
 use coup_sim::config::SystemConfig;
 use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
 use coup_sim::stats::RunStats;
@@ -302,9 +300,11 @@ impl ExecutionBackend for SimBackend {
 /// Which `coup-runtime` backend a [`RuntimeBackend`] drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeKind {
-    /// Conventional atomic read-modify-writes ([`AtomicBackend`]).
+    /// Conventional atomic read-modify-writes
+    /// ([`coup_runtime::AtomicBackend`]).
     Atomic,
-    /// Software COUP: privatized buffers, on-read reduction ([`CoupBackend`]).
+    /// Software COUP: privatized buffers, on-read reduction
+    /// ([`coup_runtime::CoupBackend`]).
     Coup,
 }
 
@@ -314,8 +314,11 @@ pub enum RuntimeKind {
 /// microbenchmark runs are directly comparable.
 pub type RuntimeReport = coup_runtime::ThroughputReport;
 
-/// The real-hardware executor: runs kernels on OS threads against a
-/// `coup-runtime` backend.
+/// The real-hardware executor: runs kernels as a worker job on a
+/// [`coup_runtime::CoupRuntime`] built per `execute` call — the same facade
+/// the service frontends use, with the kernel's steps driven through the
+/// job's direct (unbatched) backend path so barriers and the
+/// decrement-and-test idiom keep their synchronous semantics.
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeBackend {
     kind: RuntimeKind,
@@ -358,31 +361,22 @@ impl RuntimeBackend {
         self
     }
 
-    /// Builds the concrete `coup-runtime` backend for `kernel`.
+    /// The runtime builder this executor configures for `kernel`.
     #[must_use]
-    pub fn make_backend(&self, kernel: &dyn UpdateKernel) -> Box<dyn UpdateBackend> {
-        let (op, slots) = (kernel.op(), kernel.slots());
-        match self.kind {
-            RuntimeKind::Atomic => Box::new(AtomicBackend::new(op, slots)),
-            RuntimeKind::Coup => {
-                let threshold = self.flush_threshold.unwrap_or(DEFAULT_FLUSH_THRESHOLD);
-                match self.buffer_config {
-                    Some(config) => Box::new(CoupBackend::with_config(
-                        op,
-                        slots,
-                        self.threads,
-                        threshold,
-                        config,
-                    )),
-                    None => Box::new(CoupBackend::with_flush_threshold(
-                        op,
-                        slots,
-                        self.threads,
-                        threshold,
-                    )),
-                }
-            }
+    pub fn builder(&self, kernel: &dyn UpdateKernel) -> RuntimeBuilder {
+        let mut builder = RuntimeBuilder::new(kernel.op(), kernel.slots())
+            .backend(match self.kind {
+                RuntimeKind::Atomic => BackendKind::Atomic,
+                RuntimeKind::Coup => BackendKind::Coup,
+            })
+            .workers(self.threads);
+        if let Some(threshold) = self.flush_threshold {
+            builder = builder.flush_threshold(threshold);
         }
+        if let Some(config) = self.buffer_config {
+            builder = builder.buffer_config(config);
+        }
+        builder
     }
 }
 
@@ -390,37 +384,34 @@ impl ExecutionBackend for RuntimeBackend {
     type Report = RuntimeReport;
 
     fn execute(&self, kernel: &dyn UpdateKernel) -> Result<RuntimeReport, String> {
-        let backend = self.make_backend(kernel);
-        let backend_ref: &dyn UpdateBackend = backend.as_ref();
-        let engine = Engine::new(self.threads);
-        let cost_before = backend.read_cost();
-        let buffers_before = backend.buffer_stats();
+        let runtime = self.builder(kernel).build();
+        let cost_before = runtime.read_cost();
+        let buffers_before = runtime.buffer_stats();
         // Each worker *streams* its script straight from the kernel
         // (`for_each_step`) instead of materialising a Vec of steps: a
         // multi-million-vertex pgrank scatter emits one step per edge, and
         // holding those scripts would dwarf the backend itself. Both
         // backends pay the same generation cost, so ratios stay fair.
-        let (counts, elapsed) = engine.run_on_backend(backend_ref, |ctx| {
+        let (counts, elapsed) = runtime.run_workers(|ctx| {
             let mut updates = 0u64;
             let mut reads = 0u64;
             let mut checksum = 0u64;
-            kernel.for_each_step(ctx.thread, ctx.threads, &mut |step| match step {
+            kernel.for_each_step(ctx.worker(), ctx.workers(), &mut |step| match step {
                 // Input values are baked into the update steps and compute
                 // delays model core cycles real cores spend elsewhere in
                 // this loop — both are simulator-only.
                 KernelStep::LoadInput { .. } | KernelStep::Compute(_) => {}
                 KernelStep::Update { slot, value } => {
-                    backend_ref.update(ctx.thread, slot, value);
+                    ctx.update(slot, value);
                     updates += 1;
                 }
                 KernelStep::UpdateRead { slot, value } => {
-                    checksum =
-                        checksum.wrapping_add(backend_ref.update_read(ctx.thread, slot, value));
+                    checksum = checksum.wrapping_add(ctx.update_read(slot, value));
                     updates += 1;
                     reads += 1;
                 }
                 KernelStep::Read { slot } => {
-                    checksum = checksum.wrapping_add(backend_ref.read(ctx.thread, slot));
+                    checksum = checksum.wrapping_add(ctx.read(slot));
                     reads += 1;
                 }
                 KernelStep::Barrier => ctx.barrier(),
@@ -429,9 +420,10 @@ impl ExecutionBackend for RuntimeBackend {
         });
         // Capture the read cost before the verifying snapshot below adds its
         // own per-lane reductions to the counters.
-        let read_cost = backend.read_cost().since(&cost_before);
-        let buffer_stats = backend.buffer_stats().since(&buffers_before);
-        let snapshot = backend.snapshot();
+        let read_cost = runtime.read_cost().since(&cost_before);
+        let buffer_stats = runtime.buffer_stats().since(&buffers_before);
+        let backend_name = runtime.backend_name();
+        let snapshot = runtime.shutdown().snapshot;
         let expected = kernel.expected(self.threads);
         if expected.len() != snapshot.len() {
             return Err(format!(
@@ -446,7 +438,7 @@ impl ExecutionBackend for RuntimeBackend {
                 return Err(format!(
                     "{} on {}: slot {slot} is {got}, expected {want}",
                     kernel.name(),
-                    backend.name()
+                    backend_name
                 ));
             }
         }

@@ -1,27 +1,31 @@
-//! Real-hardware software-COUP throughput demonstration.
+//! Real-hardware software-COUP throughput demonstration, through the
+//! service facade.
 //!
 //! Everything the rest of the repository *simulates*, this example *runs*:
-//! the `coup-runtime` engine executes contended commutative-update workloads
-//! on real OS threads, comparing the conventional baseline (one atomic RMW
-//! per update, [`AtomicBackend`]) against software COUP ([`CoupBackend`]:
-//! privatized per-thread line buffers written with plain stores, reduced
-//! on demand by readers) behind the same [`UpdateBackend`] trait.
+//! a [`CoupRuntime`] (built by [`RuntimeBuilder`]) owns resident workers and
+//! absorbs contended commutative-update traffic from external producer
+//! threads via batched submission handles, comparing the conventional
+//! baseline (one atomic RMW per applied update, `BackendKind::Atomic`)
+//! against software COUP (`BackendKind::Coup`: privatized per-worker line
+//! buffers written with plain stores, reduced on demand by readers) behind
+//! the same facade.
 //!
 //! Four sections:
 //!
-//! 1. a raw contended-counter sweep over thread counts,
-//! 2. an update/read-mix sweep across thread counts (reads are COUP's
+//! 1. a raw contended-counter sweep over producer counts,
+//! 2. an update/read-mix sweep across producer counts (reads are COUP's
 //!    expensive operation — each one reduces the buffers of the line's
 //!    active writers, tracked by a per-line writer bitmap),
-//! 3. a buffer-capacity sweep: the privatized buffers are sparse and
-//!    capacity-bounded (software U-state evictions), and this section
-//!    locates the eviction-rate crossover against the atomic baseline,
+//! 3. a buffer-capacity sweep, uniform and Zipf-skewed: the privatized
+//!    buffers are sparse and capacity-bounded (software U-state evictions);
+//!    this locates the eviction-rate crossover against the atomic baseline
+//!    and shows how key-popularity skew moves it,
 //! 4. the real workload kernels (`hist`, `pgrank`, `refcount`) executed
 //!    through the backend-neutral [`ExecutionBackend`] abstraction — the
-//!    same kernel definitions the timing simulator runs, now on silicon,
-//!    with every run verified against the sequential reference — including
-//!    pgrank over a million-line store with per-thread buffer memory capped
-//!    at a few KiB.
+//!    same kernel definitions the timing simulator runs, now on silicon as
+//!    facade worker jobs, with every run verified against the sequential
+//!    reference — including pgrank over a million-line store with
+//!    per-thread buffer memory capped at a few KiB.
 //!
 //! On a many-core machine the COUP advantage grows with the core count
 //! (private buffers eliminate the coherence ping-pong of the hot lines); on
@@ -32,29 +36,43 @@
 
 use coup_protocol::ops::CommutativeOp;
 use coup_runtime::{
-    run_contended, AtomicBackend, BufferConfig, ContendedSpec, CoupBackend, UpdateBackend,
-    DEFAULT_FLUSH_THRESHOLD,
+    run_contended, BackendKind, BufferConfig, ContendedSpec, CoupBackend, CoupRuntime,
+    RuntimeBuilder, DEFAULT_FLUSH_THRESHOLD,
 };
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
 use coup_workloads::pgrank::PageRankWorkload;
 use coup_workloads::refcount::{ImmediateRefcount, RefcountScheme};
 
-fn sweep_threads(op: CommutativeOp, updates_per_thread: usize) {
-    println!("contended updates, 64 shared lanes ({op}), {updates_per_thread} updates/thread, 2/1000 reads");
+/// Resident workers of every runtime in this example: the service's fixed
+/// thread pool, independent of how many producers feed it.
+const WORKERS: usize = 2;
+
+fn runtime(kind: BackendKind, op: CommutativeOp, lanes: usize) -> CoupRuntime {
+    RuntimeBuilder::new(op, lanes)
+        .backend(kind)
+        .workers(WORKERS)
+        .build()
+}
+
+fn sweep_producers(op: CommutativeOp, updates_per_thread: usize) {
     println!(
-        "{:>8} | {:>14} | {:>14} | {:>8}",
-        "threads", "atomic (Mops)", "coup (Mops)", "speedup"
+        "contended updates, 64 shared lanes ({op}), {updates_per_thread} updates/producer, \
+         2/1000 reads, {WORKERS} resident workers"
     );
-    for threads in [1usize, 2, 4, 8, 16] {
+    println!(
+        "{:>9} | {:>14} | {:>14} | {:>8}",
+        "producers", "atomic (Mops)", "coup (Mops)", "speedup"
+    );
+    for producers in [1usize, 2, 4, 8, 16] {
         let spec = ContendedSpec::contended(updates_per_thread).with_reads(2);
-        let atomic = AtomicBackend::new(op, spec.lanes);
-        let coup = CoupBackend::new(op, spec.lanes, threads);
-        let ra = run_contended(&atomic, threads, &spec);
-        let rc = run_contended(&coup, threads, &spec);
+        let atomic = runtime(BackendKind::Atomic, op, spec.lanes);
+        let coup = runtime(BackendKind::Coup, op, spec.lanes);
+        let ra = run_contended(&atomic, producers, &spec);
+        let rc = run_contended(&coup, producers, &spec);
         assert_eq!(atomic.snapshot(), coup.snapshot(), "backends must agree");
         println!(
-            "{threads:>8} | {:>14.1} | {:>14.1} | {:>7.2}x",
+            "{producers:>9} | {:>14.1} | {:>14.1} | {:>7.2}x",
             ra.mops(),
             rc.mops(),
             rc.mops() / ra.mops()
@@ -63,9 +81,9 @@ fn sweep_threads(op: CommutativeOp, updates_per_thread: usize) {
     println!();
 }
 
-fn sweep_read_mix(threads: usize, updates_per_thread: usize) {
+fn sweep_read_mix(producers: usize, updates_per_thread: usize) {
     println!(
-        "update/read mix at {threads} threads (reads reduce only the buffers \
+        "update/read mix at {producers} producers (reads reduce only the buffers \
          in the line's writer bitmap)"
     );
     println!(
@@ -74,10 +92,10 @@ fn sweep_read_mix(threads: usize, updates_per_thread: usize) {
     );
     for reads_per_1000 in [0u32, 10, 100, 300] {
         let spec = ContendedSpec::contended(updates_per_thread).with_reads(reads_per_1000);
-        let atomic = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
-        let coup = CoupBackend::new(CommutativeOp::AddU64, spec.lanes, threads);
-        let ra = run_contended(&atomic, threads, &spec);
-        let rc = run_contended(&coup, threads, &spec);
+        let atomic = runtime(BackendKind::Atomic, CommutativeOp::AddU64, spec.lanes);
+        let coup = runtime(BackendKind::Coup, CommutativeOp::AddU64, spec.lanes);
+        let ra = run_contended(&atomic, producers, &spec);
+        let rc = run_contended(&coup, producers, &spec);
         assert_eq!(atomic.snapshot(), coup.snapshot(), "backends must agree");
         println!(
             "{reads_per_1000:>12} | {:>14.1} | {:>14.1} | {:>7.2}x | {:>12.2} | {:>9}",
@@ -91,55 +109,61 @@ fn sweep_read_mix(threads: usize, updates_per_thread: usize) {
     println!();
 }
 
-fn sweep_capacity(threads: usize, updates_per_thread: usize) {
+fn sweep_capacity(producers: usize, updates_per_thread: usize) {
     println!(
-        "buffer-capacity sweep at {threads} threads, 4096 lanes (512 lines): \
-         evictions migrate victims store-ward (software U-state evictions)"
+        "buffer-capacity sweep at {producers} producers, 4096 lanes (512 lines): \
+         evictions migrate victims store-ward (software U-state evictions); \
+         zipf(0.99) keeps the hot head resident"
     );
     println!(
-        "{:>14} | {:>14} | {:>8} | {:>10} | {:>12}",
-        "capacity", "coup (Mops)", "speedup", "evictions", "evict/update"
+        "{:>9} | {:>14} | {:>14} | {:>8} | {:>10} | {:>12}",
+        "skew", "capacity", "coup (Mops)", "speedup", "evictions", "evict/update"
     );
-    let spec = ContendedSpec {
+    let uniform = ContendedSpec {
         lanes: 4096,
         updates_per_thread,
         reads_per_1000: 2,
         seed: 0x5EED,
+        theta: 0.0,
     };
-    let atomic = AtomicBackend::new(CommutativeOp::AddU64, spec.lanes);
-    let ra = run_contended(&atomic, threads, &spec);
-    for capacity in [
-        Some(8usize),
-        Some(32),
-        Some(128),
-        Some(256),
-        Some(512),
-        None,
-    ] {
-        let config = BufferConfig {
-            capacity_lines: capacity,
-            ..BufferConfig::default()
+    for spec in [uniform, uniform.zipf(0.99)] {
+        let skew = if spec.theta == 0.0 {
+            "uniform"
+        } else {
+            "zipf.99"
         };
-        let coup = CoupBackend::with_config(
-            CommutativeOp::AddU64,
-            spec.lanes,
-            threads,
-            DEFAULT_FLUSH_THRESHOLD,
-            config,
-        );
-        let rc = run_contended(&coup, threads, &spec);
-        assert_eq!(atomic.snapshot(), coup.snapshot(), "backends must agree");
-        let label = match capacity {
-            Some(c) => format!("{c} lines"),
-            None => "unbounded".to_string(),
-        };
-        println!(
-            "{label:>14} | {:>14.1} | {:>7.2}x | {:>10} | {:>12.3}",
-            rc.mops(),
-            rc.mops() / ra.mops(),
-            rc.buffer_stats.evictions,
-            rc.buffer_stats.eviction_rate(rc.updates),
-        );
+        let atomic = runtime(BackendKind::Atomic, CommutativeOp::AddU64, spec.lanes);
+        let ra = run_contended(&atomic, producers, &spec);
+        for capacity in [
+            Some(8usize),
+            Some(32),
+            Some(128),
+            Some(256),
+            Some(512),
+            None,
+        ] {
+            let config = BufferConfig {
+                capacity_lines: capacity,
+                ..BufferConfig::default()
+            };
+            let coup = RuntimeBuilder::new(CommutativeOp::AddU64, spec.lanes)
+                .workers(WORKERS)
+                .buffer_config(config)
+                .build();
+            let rc = run_contended(&coup, producers, &spec);
+            assert_eq!(atomic.snapshot(), coup.snapshot(), "backends must agree");
+            let label = match capacity {
+                Some(c) => format!("{c} lines"),
+                None => "unbounded".to_string(),
+            };
+            println!(
+                "{skew:>9} | {label:>14} | {:>14.1} | {:>7.2}x | {:>10} | {:>12.3}",
+                rc.mops(),
+                rc.mops() / ra.mops(),
+                rc.buffer_stats.evictions,
+                rc.buffer_stats.eviction_rate(rc.updates),
+            );
+        }
     }
     println!();
 }
@@ -204,14 +228,14 @@ fn run_big_pgrank(threads: usize) {
 fn main() {
     let threads = 8;
 
-    println!("== software COUP on real hardware ==\n");
-    sweep_threads(CommutativeOp::AddU64, 400_000);
-    sweep_threads(CommutativeOp::AddU32, 400_000);
-    // The read-mix crossover across thread counts: the writer-bitmap read
+    println!("== software COUP on real hardware (CoupRuntime facade) ==\n");
+    sweep_producers(CommutativeOp::AddU64, 400_000);
+    sweep_producers(CommutativeOp::AddU32, 400_000);
+    // The read-mix crossover across producer counts: the writer-bitmap read
     // path pays O(active writers) per read, so where the crossover lands
-    // depends on how many writers stay hot, not on the worker count.
-    for threads in [2usize, 4, 8, 16] {
-        sweep_read_mix(threads, 400_000);
+    // depends on how many writers stay hot, not on the producer count.
+    for producers in [2usize, 4, 8, 16] {
+        sweep_read_mix(producers, 400_000);
     }
     sweep_capacity(4, 400_000);
 

@@ -25,8 +25,8 @@ use coup_protocol::line::{LineData, LINE_BYTES};
 use coup_protocol::ops::CommutativeOp;
 use coup_protocol::state::ProtocolKind;
 use coup_runtime::{
-    expected_counts, run_contended, AtomicBackend, BufferConfig, ContendedSpec, CoupBackend,
-    EvictionPolicy, UpdateBackend, DEFAULT_FLUSH_THRESHOLD,
+    expected_counts, run_contended, tag, AtomicBackend, BackendKind, BufferConfig, ContendedSpec,
+    CoupBackend, EvictionPolicy, RuntimeBuilder, UpdateBackend, DEFAULT_FLUSH_THRESHOLD,
 };
 use coup_sim::config::SystemConfig;
 use coup_workloads::hist::{HistScheme, HistWorkload};
@@ -149,24 +149,66 @@ proptest! {
         prop_assert_eq!(atomic.snapshot(), coup.snapshot(), "final state mismatch for {}", op);
     }
 
-    /// After a real multithreaded contended run, both backends hold exactly
-    /// the sequential reference counts.
+    /// After a real multi-producer contended run through the service facade,
+    /// both runtimes hold exactly the sequential reference counts.
     #[test]
     fn multithreaded_runs_match_the_sequential_reference(
-        threads in 1usize..6,
+        producers in 1usize..6,
         lanes in 1usize..32,
         reads_per_1000 in 0u32..200,
         seed: u64,
     ) {
         let op = CommutativeOp::AddU64;
-        let spec = ContendedSpec { lanes, updates_per_thread: 500, reads_per_1000, seed };
-        let atomic = AtomicBackend::new(op, lanes);
-        let coup = CoupBackend::new(op, lanes, threads);
-        run_contended(&atomic, threads, &spec);
-        run_contended(&coup, threads, &spec);
-        let want = expected_counts(&spec, threads, op);
+        let spec = ContendedSpec { lanes, updates_per_thread: 500, reads_per_1000, seed, theta: 0.0 };
+        let atomic = RuntimeBuilder::new(op, lanes).backend(BackendKind::Atomic).workers(2).build();
+        let coup = RuntimeBuilder::new(op, lanes).workers(2).build();
+        run_contended(&atomic, producers, &spec);
+        run_contended(&coup, producers, &spec);
+        let want = expected_counts(&spec, producers, op);
         prop_assert_eq!(atomic.snapshot(), want.clone());
         prop_assert_eq!(coup.snapshot(), want);
+    }
+
+    /// Batched submission through handles is (quiescently) linearizably
+    /// equivalent to the atomic baseline: for any integer operation, any
+    /// batch capacity, and any deterministic partition of an update stream
+    /// over concurrent producer threads, the runtime's shutdown snapshot
+    /// equals the sequential application of the same multiset on
+    /// [`AtomicBackend`]. (Floating-point adds are excluded exactly as in
+    /// the other equivalence properties: reordering rounds differently.)
+    #[test]
+    fn batched_handle_submission_equals_atomic(
+        op in integer_op(),
+        lanes in 1usize..40,
+        workers in 1usize..4,
+        batch in 1usize..24,
+        ops in prop::collection::vec((any::<u64>(), any::<u64>()), 0..120),
+    ) {
+        let reference = AtomicBackend::new(op, lanes);
+        for &(lane_bits, value) in &ops {
+            reference.update(0, (lane_bits as usize) % lanes, value);
+        }
+        let runtime = RuntimeBuilder::new(op, lanes)
+            .workers(workers)
+            .batch_capacity(batch)
+            .build();
+        let producers = 3usize;
+        std::thread::scope(|scope| {
+            for producer in 0..producers {
+                let mut submitter = runtime.submitter();
+                let ops = &ops;
+                scope.spawn(move || {
+                    // Deterministic round-robin partition of the stream.
+                    for (lane_bits, value) in ops.iter().skip(producer).step_by(producers) {
+                        submitter.push((*lane_bits as usize) % lanes, *value);
+                    }
+                }); // dropped without an explicit flush on purpose
+            }
+        });
+        let result = runtime.shutdown();
+        prop_assert_eq!(result.snapshot, reference.snapshot(),
+            "batched submission diverged for {} (batch {})", op, batch);
+        prop_assert_eq!(result.report.updates, ops.len() as u64);
     }
 
     /// The migrating-delta interleavings again, but with capacity-bounded
@@ -230,22 +272,25 @@ proptest! {
 #[test]
 fn quiescent_equivalence_holds_across_buffer_capacities() {
     let op = CommutativeOp::AddU64;
-    let threads = 4;
+    let producers = 4;
     let spec = ContendedSpec {
         lanes: 1024, // 128 store lines
         updates_per_thread: 20_000,
         reads_per_1000: 20,
         seed: 0xC0FFEE,
+        theta: 0.0,
     };
-    let want = expected_counts(&spec, threads, op);
+    let want = expected_counts(&spec, producers, op);
     for capacity in [Some(1), Some(2), Some(64), None] {
         let config = BufferConfig {
             capacity_lines: capacity,
             ..BufferConfig::default()
         };
-        let coup =
-            CoupBackend::with_config(op, spec.lanes, threads, DEFAULT_FLUSH_THRESHOLD, config);
-        let report = run_contended(&coup, threads, &spec);
+        let coup = RuntimeBuilder::new(op, spec.lanes)
+            .workers(4)
+            .buffer_config(config)
+            .build();
+        let report = run_contended(&coup, producers, &spec);
         assert_eq!(
             coup.snapshot(),
             want,
@@ -264,6 +309,82 @@ fn quiescent_equivalence_holds_across_buffer_capacities() {
             ),
         }
     }
+}
+
+/// The same quiescent equivalence under a Zipf-skewed access stream (the
+/// PR 3 follow-on): a bounded buffer under skew evicts far less than under a
+/// uniform scatter of the same width, because the hot head of the
+/// distribution stays resident — the locality-friendly middle ground the
+/// capacity sweep demonstrates.
+#[test]
+fn zipf_skew_matches_reference_and_cuts_eviction_pressure() {
+    let op = CommutativeOp::AddU64;
+    let producers = 4;
+    let uniform = ContendedSpec {
+        lanes: 1024, // 128 store lines
+        updates_per_thread: 20_000,
+        reads_per_1000: 0,
+        seed: 0x5CA1E,
+        theta: 0.0,
+    };
+    let skewed = uniform.zipf(0.99);
+    let mut eviction_rates = Vec::new();
+    for spec in [uniform, skewed] {
+        let coup = RuntimeBuilder::new(op, spec.lanes)
+            .workers(2)
+            .buffer_config(BufferConfig::bounded(16))
+            .build();
+        let report = run_contended(&coup, producers, &spec);
+        assert_eq!(
+            coup.snapshot(),
+            expected_counts(&spec, producers, op),
+            "theta {} diverged from the sequential reference",
+            spec.theta
+        );
+        eviction_rates.push(report.buffer_stats.eviction_rate(report.updates));
+    }
+    assert!(
+        eviction_rates[1] < eviction_rates[0] / 2.0,
+        "zipf(0.99) should at least halve the eviction rate of a 16-line \
+         buffer over 128 lines: uniform {:.3} vs zipf {:.3}",
+        eviction_rates[0],
+        eviction_rates[1]
+    );
+}
+
+/// No buffered update is lost on shutdown: producers fill batches only
+/// partially (far below the batch capacity) and drop their handles without
+/// ever calling `flush()`; `shutdown()` must still apply every update —
+/// handle `Drop` enqueues the final partial batch and the closing queue
+/// drains it before the workers flush and exit.
+#[test]
+fn dropped_unflushed_handles_lose_nothing_on_shutdown() {
+    let producers = 8usize;
+    let per_producer = 100usize;
+    let runtime = RuntimeBuilder::new(CommutativeOp::AddU64, 16)
+        .workers(2)
+        .batch_capacity(1 << 20) // no batch ever fills by size
+        .build();
+    std::thread::scope(|scope| {
+        for _ in 0..producers {
+            let mut counter = runtime.counter::<tag::Add64>();
+            scope.spawn(move || {
+                for i in 0..per_producer {
+                    counter.add(i % 16, 1);
+                }
+                assert!(
+                    counter.raw().lanes() == 16,
+                    "handle stays usable to the end"
+                );
+            }); // no flush: Drop must publish the batch
+        }
+    });
+    let result = runtime.shutdown();
+    let want: Vec<u64> = (0..16)
+        .map(|lane| (producers * (0..per_producer).filter(|i| i % 16 == lane).count()) as u64)
+        .collect();
+    assert_eq!(result.snapshot, want);
+    assert_eq!(result.report.updates, (producers * per_producer) as u64);
 }
 
 /// Every executor agrees on every kernelized workload: the simulator under
@@ -428,27 +549,23 @@ fn pgrank_on_a_million_line_store_stays_within_buffer_capacity() {
     );
 }
 
-/// The runtime honours program order within a thread: a read immediately
-/// after that thread's own update sees it (read-your-writes), and barriers
-/// publish across threads.
+/// The runtime honours program order within a worker job: a read immediately
+/// after that worker's own update sees it (read-your-writes), and barriers
+/// publish across workers.
 #[test]
-fn coup_backend_reads_its_own_writes_and_respects_barriers() {
-    let threads = 4;
-    let coup = CoupBackend::new(CommutativeOp::AddU64, 8, threads);
-    let engine = coup_runtime::Engine::new(threads);
-    engine.run_on_backend(&coup, |ctx| {
-        coup.update(ctx.thread, ctx.thread, 7);
-        assert_eq!(coup.read(ctx.thread, ctx.thread), 7, "read-your-writes");
+fn coup_runtime_jobs_read_their_own_writes_and_respect_barriers() {
+    let runtime = RuntimeBuilder::new(CommutativeOp::AddU64, 8)
+        .workers(4)
+        .build();
+    runtime.run_workers(|ctx| {
+        ctx.update(ctx.worker(), 7);
+        assert_eq!(ctx.read(ctx.worker()), 7, "read-your-writes");
         ctx.barrier();
-        // After the barrier every thread's lane holds its 7 (single writer
+        // After the barrier every worker's lane holds its 7 (single writer
         // per lane, so the reduction over all buffers is exact).
-        for t in 0..ctx.threads {
-            assert_eq!(
-                coup.read(ctx.thread, t),
-                7,
-                "cross-thread visibility after barrier"
-            );
+        for w in 0..ctx.workers() {
+            assert_eq!(ctx.read(w), 7, "cross-worker visibility after barrier");
         }
     });
-    assert_eq!(coup.snapshot(), vec![7, 7, 7, 7, 0, 0, 0, 0]);
+    assert_eq!(runtime.snapshot(), vec![7, 7, 7, 7, 0, 0, 0, 0]);
 }
