@@ -7,17 +7,28 @@
 //! The interesting output is the *ratio* between the `atomic/...` and
 //! `coup/...` lines of each group: the wall-clock advantage of privatizing
 //! commutative updates on the machine actually running this bench. The
-//! `submission_batch_sweep` group reports ops/s directly (`Throughput`
-//! units) so the batched-vs-per-op submission crossover reads off the
-//! `thrpt` column.
+//! `submission_batch_sweep` group and the per-kernel `runtime_kernel_*`
+//! groups report ops/s directly (`Throughput` units) so crossovers read off
+//! the `thrpt` column.
+//!
+//! To track a change's effect across runs, save a baseline first and compare
+//! against it later (the shim mirrors Criterion's CLI):
+//!
+//! ```text
+//! cargo bench --bench runtime -- --save-baseline before
+//! # …hack…
+//! cargo bench --bench runtime -- --baseline before   # prints ±x.x% deltas
+//! ```
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use coup_protocol::ops::CommutativeOp;
 use coup_runtime::{run_contended, BackendKind, BufferConfig, ContendedSpec, RuntimeBuilder};
+use coup_workloads::bfs::BfsWorkload;
 use coup_workloads::hist::{HistScheme, HistWorkload};
-use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind};
-use coup_workloads::refcount::{ImmediateRefcount, RefcountScheme};
+use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
+use coup_workloads::refcount::{DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme};
+use coup_workloads::spmv::SpmvWorkload;
 
 const UPDATES_PER_THREAD: usize = 100_000;
 
@@ -182,25 +193,49 @@ fn bench_submission_batch_sweep(c: &mut Criterion) {
 }
 
 fn bench_workload_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("runtime_workload_kernels_8t");
-    group.sample_size(10);
+    // One group per kernel, each with its own Throughput::Elements (the
+    // kernel's update count), so the `thrpt` column is directly a
+    // verified-updates-per-second rate and the atomic/coup ratio of every
+    // workload reads off adjacent lines. These groups are the ones worth
+    // tracking with `--save-baseline` / `--baseline` across PRs.
     let threads = 8;
     let hist = HistWorkload::new(200_000, 256, HistScheme::Shared, 7);
     let refcount = ImmediateRefcount::new(64, 50_000, false, RefcountScheme::Coup, 7);
-    for (kind, label) in [(RuntimeKind::Atomic, "atomic"), (RuntimeKind::Coup, "coup")] {
-        let backend = RuntimeBackend::new(kind, threads);
-        group.bench_function(format!("{label}/hist"), |b| {
-            b.iter(|| backend.execute(&hist.kernel()).expect("hist verifies"));
-        });
-        group.bench_function(format!("{label}/refcount"), |b| {
-            b.iter(|| {
-                backend
-                    .execute(&refcount.kernel())
-                    .expect("refcount verifies")
+    let spmv = SpmvWorkload::new(4096, 8, 7);
+    let bfs = BfsWorkload::new(50_000, 8, 7);
+    let delayed = DelayedRefcount::new(1024, 4, 12_500, DelayedScheme::CoupBitmap, 7);
+    let hist_kernel = hist.kernel();
+    let refcount_kernel = refcount.kernel();
+    let spmv_kernel = spmv.kernel();
+    let bfs_kernel = bfs.kernel();
+    let delayed_kernel = delayed.kernel();
+    let kernels: [(&str, &dyn UpdateKernel, u64); 5] = [
+        ("hist", &hist_kernel, 200_000),
+        ("refcount", &refcount_kernel, (threads * 50_000) as u64),
+        ("spmv", &spmv_kernel, spmv.nnz() as u64),
+        ("bfs", &bfs_kernel, bfs.edges() as u64),
+        (
+            "refcount_delayed",
+            &delayed_kernel,
+            (threads * 4 * 12_500) as u64,
+        ),
+    ];
+    for (name, kernel, elements) in kernels {
+        let mut group = c.benchmark_group(format!("runtime_kernel_{name}_8t"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(elements));
+        for (kind, label) in [(RuntimeKind::Atomic, "atomic"), (RuntimeKind::Coup, "coup")] {
+            let backend = RuntimeBackend::new(kind, threads);
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    backend
+                        .execute(kernel)
+                        .unwrap_or_else(|e| panic!("{name} verifies: {e}"))
+                });
             });
-        });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
 criterion_group!(

@@ -182,7 +182,7 @@ impl CoupSystem {
         updates_per_core: usize,
     ) -> ComparisonReport {
         let counter_addr = 0x1000u64;
-        let build_programs = |cores: usize| -> Vec<BoxedProgram> {
+        let build_programs = |cores: usize| -> Vec<BoxedProgram<'_>> {
             (0..cores)
                 .map(|core| {
                     let mut ops = Vec::new();
@@ -201,7 +201,7 @@ impl CoupSystem {
                         ops.push(ThreadOp::Barrier);
                     }
                     ops.push(ThreadOp::Done);
-                    Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+                    Box::new(ScriptedProgram::new(ops)) as BoxedProgram<'_>
                 })
                 .collect()
         };

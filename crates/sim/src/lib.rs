@@ -31,7 +31,7 @@
 //!             ThreadOp::CommutativeUpdate { addr: 0x1000, op: CommutativeOp::AddU64, value: 1 },
 //!             ThreadOp::CommutativeUpdate { addr: 0x1000, op: CommutativeOp::AddU64, value: 1 },
 //!             ThreadOp::Done,
-//!         ])) as coup_sim::op::BoxedProgram
+//!         ])) as coup_sim::op::BoxedProgram<'_>
 //!     })
 //!     .collect();
 //! let stats = machine.run(programs);

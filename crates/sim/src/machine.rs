@@ -58,7 +58,7 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if more programs than cores are supplied.
-    pub fn run(&mut self, mut programs: Vec<BoxedProgram>) -> RunStats {
+    pub fn run(&mut self, mut programs: Vec<BoxedProgram<'_>>) -> RunStats {
         let cores = self.memsys.config().cores;
         assert!(
             programs.len() <= cores,
@@ -186,7 +186,7 @@ mod tests {
 
     const ADD: CommutativeOp = CommutativeOp::AddU64;
 
-    fn boxed(ops: Vec<ThreadOp>) -> BoxedProgram {
+    fn boxed(ops: Vec<ThreadOp>) -> BoxedProgram<'static> {
         Box::new(ScriptedProgram::new(ops))
     }
 
@@ -260,7 +260,7 @@ mod tests {
     fn coup_beats_mesi_on_a_contended_counter() {
         let run = |protocol| {
             let mut m = Machine::new(SystemConfig::test_system(8, protocol));
-            let programs: Vec<BoxedProgram> = (0..8)
+            let programs: Vec<BoxedProgram<'_>> = (0..8)
                 .map(|_| {
                     let mut ops = Vec::new();
                     for _ in 0..100 {
@@ -317,7 +317,7 @@ mod tests {
         let run = |seed| {
             let cfg = SystemConfig::test_system(4, ProtocolKind::Meusi).with_seed(seed);
             let mut m = Machine::new(cfg);
-            let programs: Vec<BoxedProgram> = (0..4)
+            let programs: Vec<BoxedProgram<'_>> = (0..4)
                 .map(|_| {
                     boxed(vec![
                         ThreadOp::CommutativeUpdate {

@@ -114,7 +114,12 @@ pub trait ThreadProgram {
 }
 
 /// A boxed thread program, the form workloads hand to the machine.
-pub type BoxedProgram = Box<dyn ThreadProgram + Send>;
+///
+/// The lifetime lets a program borrow the workload (or kernel) that built
+/// it — dynamic kernel programs stream a graph's CSR arrays instead of
+/// copying them — while fully owned programs coerce to any lifetime as
+/// before.
+pub type BoxedProgram<'a> = Box<dyn ThreadProgram + Send + 'a>;
 
 /// A trivial program that emits a fixed list of operations and then finishes.
 /// Useful in tests and microbenchmarks.

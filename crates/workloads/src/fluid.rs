@@ -85,7 +85,7 @@ impl Workload for FluidWorkload {
         // Accumulators start at zero (memory default).
     }
 
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
         let op = self.commutative_op();
         (0..threads)
             .map(|t| {
@@ -122,7 +122,7 @@ impl Workload for FluidWorkload {
                     ops.push(ThreadOp::Barrier);
                 }
                 ops.push(ThreadOp::Done);
-                Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+                Box::new(ScriptedProgram::new(ops)) as BoxedProgram<'_>
             })
             .collect()
     }

@@ -167,7 +167,7 @@ impl Workload for HistWorkload {
         // Bins start at zero (memory defaults to zero); nothing to poke.
     }
 
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
         // The shared scheme *is* the kernel: one definition drives the
         // simulator (here) and the real-hardware runtime (`kernel::
         // RuntimeBackend`). The privatized schemes keep their bespoke
@@ -234,7 +234,7 @@ impl Workload for HistWorkload {
                     }
                 }
                 ops.push(ThreadOp::Done);
-                Box::new(HistProgram::new(self, t, threads, ops)) as BoxedProgram
+                Box::new(HistProgram::new(self, t, threads, ops)) as BoxedProgram<'_>
             })
             .collect()
     }

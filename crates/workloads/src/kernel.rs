@@ -14,10 +14,27 @@
 //!   conventional atomic baseline or the software-COUP privatized buffers —
 //!   and verifies the shutdown snapshot.
 //!
-//! `hist` (shared scheme), `pgrank`, and `refcount` (immediate, XADD/COUP
-//! schemes) define kernels; their legacy [`Workload`] implementations now
-//! lower through [`sim_programs`], so the simulator path and the
-//! real-hardware path execute one definition of each workload.
+//! `hist` (shared scheme), `pgrank`, `spmv`, `bfs`, and `refcount`
+//! (immediate XADD/COUP schemes, and the delayed epoch scheme) define
+//! kernels; their legacy [`Workload`] implementations lower through
+//! [`sim_programs`], so the simulator path and the real-hardware path
+//! execute one definition of each workload.
+//!
+//! Two kinds of kernel share the contract:
+//!
+//! * **Static** kernels emit a script fixed by `(thread, threads)`
+//!   ([`UpdateKernel::steps`] / [`UpdateKernel::for_each_step`]). Multi-phase
+//!   static kernels (delayed refcount's update → scan epochs) separate their
+//!   phases with [`KernelStep::Barrier`]s.
+//! * **Dynamic** kernels ([`UpdateKernel::program`]) decide each step from
+//!   the values earlier [`KernelStep::Read`]s returned — level-synchronous
+//!   BFS derives every level's frontier from bitmap words read between two
+//!   barriers, where no update can be in flight.
+//!
+//! Verification is pluggable per kernel ([`UpdateKernel::tolerance`]):
+//! integer and bitwise kernels compare bit-exactly, while floating-point
+//! kernels (`spmv`'s AddF64 reductions are order-sensitive at the ULP level)
+//! relax to a per-lane relative-error bound.
 
 use coup_protocol::ops::CommutativeOp;
 use coup_runtime::{BackendKind, BufferConfig, RuntimeBuilder};
@@ -36,6 +53,14 @@ pub enum KernelStep {
     /// backends skip it, because kernel update values are precomputed.
     LoadInput {
         /// Input element index.
+        index: usize,
+    },
+    /// Read element `index` of the workload's *auxiliary* input array
+    /// (simulator address layout only, like [`KernelStep::LoadInput`]) —
+    /// e.g. spmv's streamed matrix values, which live in a separate region
+    /// from the `x` vector so the two streams never share lines.
+    LoadAux {
+        /// Auxiliary input element index.
         index: usize,
     },
     /// Pure compute delay of the given core cycles (simulator only).
@@ -68,17 +93,89 @@ pub enum KernelStep {
     Barrier,
 }
 
+/// How an executor compares an executed lane against the kernel's expected
+/// value — the verifier hook of the kernel contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Bit-exact equality: correct for every integer and bitwise operation,
+    /// whose reductions are fully commutative *and* associative, so no
+    /// execution order can change the result.
+    Exact,
+    /// Per-lane relative-error bound over f64 lanes: the comparison passes
+    /// when `|got − want| ≤ max(abs, rel · |want|)`. Floating-point addition
+    /// commutes but does not associate, so a parallel reduction legitimately
+    /// differs from the sequential reference at the ULP level — the bound
+    /// stops the verifier from pretending the rounding order is
+    /// deterministic, without letting a lost or duplicated update hide (one
+    /// missing contribution is many orders of magnitude above any rounding
+    /// residue at these bounds).
+    RelativeF64 {
+        /// Relative error bound, scaled by `|want|`.
+        rel: f64,
+        /// Absolute error floor, for expected values near zero.
+        abs: f64,
+    },
+}
+
+impl Tolerance {
+    /// Checks `got` against `want` (both raw lane bits), returning a
+    /// description of the discrepancy if the comparison fails.
+    #[must_use]
+    pub fn mismatch(&self, got: u64, want: u64) -> Option<String> {
+        match *self {
+            Tolerance::Exact => (got != want).then(|| format!("is {got}, expected exactly {want}")),
+            Tolerance::RelativeF64 { rel, abs } => {
+                let (g, w) = (f64::from_bits(got), f64::from_bits(want));
+                let bound = abs.max(w.abs() * rel);
+                let err = (g - w).abs();
+                if err <= bound {
+                    // Written as the positive comparison so a NaN `err`
+                    // falls through to the mismatch branch.
+                    None
+                } else {
+                    Some(format!("is {g}, expected {w} ± {bound:e} (error {err:e})"))
+                }
+            }
+        }
+    }
+}
+
+/// A per-thread instruction stream over abstract [`KernelStep`]s whose
+/// control flow may depend on the values earlier reads returned — the
+/// *dynamic* (multi-phase) generalisation of the static
+/// [`UpdateKernel::steps`] script, mirroring the simulator's
+/// [`coup_sim::op::ThreadProgram`] one level up.
+///
+/// Programs are owned (`'static`): a program that needs the kernel's input
+/// data shares it (e.g. via `Arc`) instead of borrowing, so executors can
+/// hold programs without pinning the kernel's lifetime.
+pub trait KernelProgram: Send {
+    /// The thread's next step, or `None` once its work is complete.
+    ///
+    /// `last_read` carries the lane value produced by the *immediately
+    /// preceding* [`KernelStep::Read`] or [`KernelStep::UpdateRead`] step of
+    /// this program; it is `None` on the first call and after every other
+    /// step kind.
+    fn next(&mut self, last_read: Option<u64>) -> Option<KernelStep>;
+}
+
 /// A workload's scattered-update phase, described independently of the
 /// executor.
 ///
 /// # Contract
 ///
 /// * `steps(t, n)` / [`UpdateKernel::for_each_step`] must be deterministic in
-///   `(t, n)`.
+///   `(t, n)`; a *dynamic* kernel supplies [`UpdateKernel::program`] instead
+///   and executors never touch its (unimplemented) static script.
 /// * Every thread's script must contain the *same number* of
-///   [`KernelStep::Barrier`]s (real barriers block until all threads arrive).
+///   [`KernelStep::Barrier`]s (real barriers block until all threads
+///   arrive). Dynamic kernels must *derive* the same phase count on every
+///   thread: any read feeding a control-flow decision must happen strictly
+///   between two barriers, where no update is in flight, so all threads
+///   observe identical lanes and reach identical decisions.
 /// * `expected(n)` is the per-lane result (raw lane bits) of applying every
-///   update of every thread sequentially to a zeroed array.
+///   update of every thread sequentially to a zeroed array, compared under
+///   [`UpdateKernel::tolerance`].
 ///
 /// Kernels are `Sync` because [`RuntimeBackend`] streams each worker's script
 /// on that worker's own OS thread.
@@ -99,11 +196,47 @@ pub trait UpdateKernel: Sync {
         8
     }
 
+    /// Base address of the input array in the simulated address space.
+    fn input_region(&self) -> u64 {
+        regions::INPUT
+    }
+
+    /// Element width of the auxiliary input array, in bytes (simulator
+    /// address layout only; see [`KernelStep::LoadAux`]).
+    fn aux_elem_bytes(&self) -> u64 {
+        8
+    }
+
+    /// Base address of the auxiliary input array in the simulated address
+    /// space.
+    fn aux_region(&self) -> u64 {
+        regions::INPUT_AUX
+    }
+
     /// Base address of the output array in the simulated address space.
     /// Workloads keep their historical region so timing results stay
     /// comparable.
     fn output_region(&self) -> u64 {
         regions::SHARED_OUTPUT
+    }
+
+    /// How executors compare executed lanes against [`UpdateKernel::expected`]
+    /// (default: bit-exact).
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::Exact
+    }
+
+    /// Thread `thread`'s *dynamic* program, for kernels whose control flow
+    /// depends on read values (e.g. level-synchronous BFS deriving each
+    /// frontier from bitmap reads). `Some` makes every executor drive the
+    /// program interactively — feeding each [`KernelStep::Read`] /
+    /// [`KernelStep::UpdateRead`] result into the next
+    /// [`KernelProgram::next`] call — and ignore the static script entirely.
+    /// Static kernels keep the default `None` and are driven through the
+    /// streaming [`UpdateKernel::for_each_step`] path.
+    fn program(&self, thread: usize, threads: usize) -> Option<Box<dyn KernelProgram>> {
+        let _ = (thread, threads);
+        None
     }
 
     /// Thread `thread`'s script, for a run of `threads` threads.
@@ -125,6 +258,28 @@ pub trait UpdateKernel: Sync {
     fn expected(&self, threads: usize) -> Vec<u64>;
 }
 
+/// The simulated-address-space layouts of a kernel's arrays, shared by the
+/// static and dynamic lowering paths.
+#[derive(Debug, Clone, Copy)]
+struct KernelLayouts {
+    op: CommutativeOp,
+    output: ArrayLayout,
+    input: ArrayLayout,
+    aux: ArrayLayout,
+}
+
+impl KernelLayouts {
+    fn of<K: UpdateKernel + ?Sized>(kernel: &K) -> Self {
+        let op = kernel.op();
+        KernelLayouts {
+            op,
+            output: ArrayLayout::new(kernel.output_region(), op.width().bytes() as u64),
+            input: ArrayLayout::new(kernel.input_region(), kernel.input_elem_bytes()),
+            aux: ArrayLayout::new(kernel.aux_region(), kernel.aux_elem_bytes()),
+        }
+    }
+}
+
 /// Lowers a kernel onto simulator thread programs.
 ///
 /// With `rmw` false, updates become COUP commutative-update instructions
@@ -132,27 +287,40 @@ pub trait UpdateKernel: Sync {
 /// conventional atomic read-modify-writes, which also serve the read half of
 /// [`KernelStep::UpdateRead`] for free — mirroring how `lock xadd` returns
 /// the value.
+///
+/// Static kernels lower to owned [`ScriptedProgram`]s; dynamic kernels
+/// ([`UpdateKernel::program`]) are wrapped in an adapter that feeds each
+/// simulated load's value back into the kernel program, so check-then-act
+/// decisions see the *simulated* memory contents.
 #[must_use]
 pub fn sim_programs<K: UpdateKernel + ?Sized>(
     kernel: &K,
     threads: usize,
     rmw: bool,
-) -> Vec<BoxedProgram> {
-    let op = kernel.op();
-    let output = ArrayLayout::new(kernel.output_region(), op.width().bytes() as u64);
-    let input = ArrayLayout::new(regions::INPUT, kernel.input_elem_bytes());
+) -> Vec<BoxedProgram<'static>> {
+    let layouts = KernelLayouts::of(kernel);
     (0..threads)
         .map(|t| {
+            if let Some(program) = kernel.program(t, threads) {
+                return Box::new(KernelSimProgram::new(program, layouts, rmw))
+                    as BoxedProgram<'static>;
+            }
             let mut ops = Vec::new();
             kernel.for_each_step(t, threads, &mut |step| match step {
                 KernelStep::LoadInput { index } => {
                     ops.push(ThreadOp::Load {
-                        addr: input.word_addr(index),
+                        addr: layouts.input.word_addr(index),
+                    });
+                }
+                KernelStep::LoadAux { index } => {
+                    ops.push(ThreadOp::Load {
+                        addr: layouts.aux.word_addr(index),
                     });
                 }
                 KernelStep::Compute(cycles) => ops.push(ThreadOp::Compute(cycles)),
                 KernelStep::Update { slot, value } => {
-                    let addr = output.addr(slot);
+                    let addr = layouts.output.addr(slot);
+                    let op = layouts.op;
                     if rmw {
                         ops.push(ThreadOp::AtomicRmw { addr, op, value });
                     } else {
@@ -160,27 +328,155 @@ pub fn sim_programs<K: UpdateKernel + ?Sized>(
                     }
                 }
                 KernelStep::UpdateRead { slot, value } => {
-                    let addr = output.addr(slot);
+                    let addr = layouts.output.addr(slot);
+                    let op = layouts.op;
                     if rmw {
                         ops.push(ThreadOp::AtomicRmw { addr, op, value });
                     } else {
                         ops.push(ThreadOp::CommutativeUpdate { addr, op, value });
                         ops.push(ThreadOp::Load {
-                            addr: output.word_addr(slot),
+                            addr: layouts.output.word_addr(slot),
                         });
                     }
                 }
                 KernelStep::Read { slot } => {
                     ops.push(ThreadOp::Load {
-                        addr: output.word_addr(slot),
+                        addr: layouts.output.word_addr(slot),
                     });
                 }
                 KernelStep::Barrier => ops.push(ThreadOp::Barrier),
             });
             ops.push(ThreadOp::Done);
-            Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+            Box::new(ScriptedProgram::new(ops)) as BoxedProgram<'static>
         })
         .collect()
+}
+
+/// What the simulated value arriving at the adapter's next call means.
+#[derive(Debug, Clone, Copy)]
+enum Feedback {
+    /// The previous operation was not a kernel-level read; discard.
+    Ignore,
+    /// The previous load served a [`KernelStep::Read`] (or the load half of a
+    /// lowered [`KernelStep::UpdateRead`]): extract `slot`'s lane from the
+    /// loaded word and hand it to the kernel program.
+    Lane {
+        /// Output lane the load targeted.
+        slot: usize,
+    },
+    /// The previous op was an `AtomicRmw` serving a [`KernelStep::UpdateRead`]:
+    /// the simulator returns the *old* word, but the runtime's fetch-op
+    /// returns the *new* lane value, so apply the operation once more to
+    /// normalise what the kernel program observes across executors.
+    RmwNew {
+        /// Output lane the RMW targeted.
+        slot: usize,
+        /// The RMW's operand.
+        value: u64,
+    },
+}
+
+/// Adapter driving a dynamic [`KernelProgram`] as a simulator
+/// [`coup_sim::op::ThreadProgram`]: lowers each abstract step exactly like
+/// the static path and routes every relevant loaded value back into the
+/// kernel program.
+struct KernelSimProgram {
+    program: Box<dyn KernelProgram>,
+    layouts: KernelLayouts,
+    rmw: bool,
+    /// Op queued by a step that lowers to two simulator ops (the non-rmw
+    /// [`KernelStep::UpdateRead`] expansion), with its feedback kind.
+    pending: Option<(ThreadOp, Feedback)>,
+    /// Meaning of the value arriving at the next `next()` call.
+    feedback: Feedback,
+    done: bool,
+}
+
+impl KernelSimProgram {
+    fn new(program: Box<dyn KernelProgram>, layouts: KernelLayouts, rmw: bool) -> Self {
+        KernelSimProgram {
+            program,
+            layouts,
+            rmw,
+            pending: None,
+            feedback: Feedback::Ignore,
+            done: false,
+        }
+    }
+}
+
+impl coup_sim::op::ThreadProgram for KernelSimProgram {
+    fn next(&mut self, last_value: Option<u64>) -> ThreadOp {
+        let fed = match std::mem::replace(&mut self.feedback, Feedback::Ignore) {
+            Feedback::Ignore => None,
+            Feedback::Lane { slot } => {
+                let word = last_value.expect("a kernel read lowers to a value-bearing op");
+                Some(self.layouts.output.extract(slot, word))
+            }
+            Feedback::RmwNew { slot, value } => {
+                let word = last_value.expect("an rmw returns its old word");
+                let old = self.layouts.output.extract(slot, word);
+                Some(self.layouts.op.apply_lane(old, value))
+            }
+        };
+        if let Some((op, feedback)) = self.pending.take() {
+            debug_assert!(fed.is_none(), "a queued op never follows a kernel read");
+            self.feedback = feedback;
+            return op;
+        }
+        if self.done {
+            return ThreadOp::Done;
+        }
+        let Some(step) = self.program.next(fed) else {
+            self.done = true;
+            return ThreadOp::Done;
+        };
+        let KernelLayouts {
+            op,
+            output,
+            input,
+            aux,
+        } = self.layouts;
+        match step {
+            KernelStep::LoadInput { index } => ThreadOp::Load {
+                addr: input.word_addr(index),
+            },
+            KernelStep::LoadAux { index } => ThreadOp::Load {
+                addr: aux.word_addr(index),
+            },
+            KernelStep::Compute(cycles) => ThreadOp::Compute(cycles),
+            KernelStep::Update { slot, value } => {
+                let addr = output.addr(slot);
+                if self.rmw {
+                    ThreadOp::AtomicRmw { addr, op, value }
+                } else {
+                    ThreadOp::CommutativeUpdate { addr, op, value }
+                }
+            }
+            KernelStep::UpdateRead { slot, value } => {
+                let addr = output.addr(slot);
+                if self.rmw {
+                    self.feedback = Feedback::RmwNew { slot, value };
+                    ThreadOp::AtomicRmw { addr, op, value }
+                } else {
+                    self.pending = Some((
+                        ThreadOp::Load {
+                            addr: output.word_addr(slot),
+                        },
+                        Feedback::Lane { slot },
+                    ));
+                    ThreadOp::CommutativeUpdate { addr, op, value }
+                }
+            }
+            KernelStep::Read { slot } => {
+                self.feedback = Feedback::Lane { slot };
+                ThreadOp::Load {
+                    addr: output.word_addr(slot),
+                }
+            }
+            KernelStep::Barrier => ThreadOp::Barrier,
+        }
+    }
 }
 
 /// Adapter running any [`UpdateKernel`] as a simulator [`Workload`].
@@ -219,7 +515,7 @@ impl<K: UpdateKernel + ?Sized> Workload for KernelWorkload<'_, K> {
         // the update steps), so there is nothing to poke.
     }
 
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
         sim_programs(self.kernel, threads, self.rmw)
     }
 
@@ -235,13 +531,11 @@ impl<K: UpdateKernel + ?Sized> Workload for KernelWorkload<'_, K> {
                 self.kernel.slots()
             ));
         }
+        let tolerance = self.kernel.tolerance();
         for (slot, &want) in expected.iter().enumerate() {
             let got = output.extract(slot, mem.peek(output.word_addr(slot)));
-            if got != want {
-                return Err(format!(
-                    "{}: slot {slot} is {got}, expected {want}",
-                    self.name()
-                ));
+            if let Some(mismatch) = tolerance.mismatch(got, want) {
+                return Err(format!("{}: slot {slot} {mismatch}", self.name()));
             }
         }
         Ok(())
@@ -380,43 +674,86 @@ impl RuntimeBackend {
     }
 }
 
-impl ExecutionBackend for RuntimeBackend {
-    type Report = RuntimeReport;
+/// Per-worker tallies of a kernel execution.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerCounts {
+    updates: u64,
+    reads: u64,
+    checksum: u64,
+}
 
-    fn execute(&self, kernel: &dyn UpdateKernel) -> Result<RuntimeReport, String> {
+impl WorkerCounts {
+    fn apply(&mut self, ctx: &coup_runtime::JobCtx<'_>, step: KernelStep) -> Option<u64> {
+        match step {
+            // Input values are baked into the update steps and compute
+            // delays model core cycles real cores spend elsewhere in this
+            // loop — all three are simulator-only.
+            KernelStep::LoadInput { .. } | KernelStep::LoadAux { .. } | KernelStep::Compute(_) => {
+                None
+            }
+            KernelStep::Update { slot, value } => {
+                ctx.update(slot, value);
+                self.updates += 1;
+                None
+            }
+            KernelStep::UpdateRead { slot, value } => {
+                let value = ctx.update_read(slot, value);
+                self.checksum = self.checksum.wrapping_add(value);
+                self.updates += 1;
+                self.reads += 1;
+                Some(value)
+            }
+            KernelStep::Read { slot } => {
+                let value = ctx.read(slot);
+                self.checksum = self.checksum.wrapping_add(value);
+                self.reads += 1;
+                Some(value)
+            }
+            KernelStep::Barrier => {
+                ctx.barrier();
+                None
+            }
+        }
+    }
+}
+
+impl RuntimeBackend {
+    /// Runs and verifies `kernel` like [`ExecutionBackend::execute`], and
+    /// additionally returns the verified final snapshot (every lane's raw
+    /// bits) — what cross-backend equivalence tests compare under the
+    /// kernel's [`Tolerance`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecutionBackend::execute`].
+    pub fn execute_with_snapshot(
+        &self,
+        kernel: &dyn UpdateKernel,
+    ) -> Result<(RuntimeReport, Vec<u64>), String> {
         let runtime = self.builder(kernel).build();
         let cost_before = runtime.read_cost();
         let buffers_before = runtime.buffer_stats();
-        // Each worker *streams* its script straight from the kernel
+        // Static kernels *stream* their script straight from the kernel
         // (`for_each_step`) instead of materialising a Vec of steps: a
         // multi-million-vertex pgrank scatter emits one step per edge, and
-        // holding those scripts would dwarf the backend itself. Both
-        // backends pay the same generation cost, so ratios stay fair.
+        // holding those scripts would dwarf the backend itself. Dynamic
+        // kernels are driven interactively, each worker feeding its own
+        // program the lane values its reads return. Both backends pay the
+        // same generation cost, so ratios stay fair.
         let (counts, elapsed) = runtime.run_workers(|ctx| {
-            let mut updates = 0u64;
-            let mut reads = 0u64;
-            let mut checksum = 0u64;
-            kernel.for_each_step(ctx.worker(), ctx.workers(), &mut |step| match step {
-                // Input values are baked into the update steps and compute
-                // delays model core cycles real cores spend elsewhere in
-                // this loop — both are simulator-only.
-                KernelStep::LoadInput { .. } | KernelStep::Compute(_) => {}
-                KernelStep::Update { slot, value } => {
-                    ctx.update(slot, value);
-                    updates += 1;
+            let mut counts = WorkerCounts::default();
+            if let Some(mut program) = kernel.program(ctx.worker(), ctx.workers()) {
+                let mut last_read = None;
+                while let Some(step) = program.next(last_read.take()) {
+                    last_read = counts.apply(&ctx, step);
                 }
-                KernelStep::UpdateRead { slot, value } => {
-                    checksum = checksum.wrapping_add(ctx.update_read(slot, value));
-                    updates += 1;
-                    reads += 1;
-                }
-                KernelStep::Read { slot } => {
-                    checksum = checksum.wrapping_add(ctx.read(slot));
-                    reads += 1;
-                }
-                KernelStep::Barrier => ctx.barrier(),
-            });
-            (updates, reads, std::hint::black_box(checksum))
+            } else {
+                kernel.for_each_step(ctx.worker(), ctx.workers(), &mut |step| {
+                    counts.apply(&ctx, step);
+                });
+            }
+            counts.checksum = std::hint::black_box(counts.checksum);
+            counts
         });
         // Capture the read cost before the verifying snapshot below adds its
         // own per-lane reductions to the counters.
@@ -433,25 +770,33 @@ impl ExecutionBackend for RuntimeBackend {
                 snapshot.len()
             ));
         }
+        let tolerance = kernel.tolerance();
         for (slot, (&got, &want)) in snapshot.iter().zip(expected.iter()).enumerate() {
-            if got != want {
+            if let Some(mismatch) = tolerance.mismatch(got, want) {
                 return Err(format!(
-                    "{} on {}: slot {slot} is {got}, expected {want}",
+                    "{} on {}: slot {slot} {mismatch}",
                     kernel.name(),
                     backend_name
                 ));
             }
         }
-        let updates = counts.iter().map(|(u, _, _)| u).sum();
-        let reads = counts.iter().map(|(_, r, _)| r).sum();
-        Ok(RuntimeReport {
+        let report = RuntimeReport {
             threads: self.threads,
-            updates,
-            reads,
+            updates: counts.iter().map(|c| c.updates).sum(),
+            reads: counts.iter().map(|c| c.reads).sum(),
             elapsed,
             read_cost,
             buffer_stats,
-        })
+        };
+        Ok((report, snapshot))
+    }
+}
+
+impl ExecutionBackend for RuntimeBackend {
+    type Report = RuntimeReport;
+
+    fn execute(&self, kernel: &dyn UpdateKernel) -> Result<RuntimeReport, String> {
+        self.execute_with_snapshot(kernel).map(|(report, _)| report)
     }
 }
 
@@ -555,7 +900,175 @@ mod tests {
         let err = RuntimeBackend::new(RuntimeKind::Coup, 2)
             .execute(&LyingKernel)
             .unwrap_err();
-        assert!(err.contains("expected 999"), "got: {err}");
+        assert!(err.contains("expected exactly 999"), "got: {err}");
+    }
+
+    #[test]
+    fn tolerance_exact_flags_any_difference() {
+        assert!(Tolerance::Exact.mismatch(5, 5).is_none());
+        let msg = Tolerance::Exact.mismatch(5, 6).expect("5 != 6");
+        assert!(msg.contains("expected exactly 6"), "got: {msg}");
+    }
+
+    #[test]
+    fn tolerance_relative_accepts_ulp_noise_and_rejects_lost_updates() {
+        let tol = Tolerance::RelativeF64 {
+            rel: 1e-9,
+            abs: 1e-9,
+        };
+        let want = 1000.0f64;
+        let close = want + want * 1e-12;
+        assert!(tol.mismatch(close.to_bits(), want.to_bits()).is_none());
+        // Near zero the absolute floor applies.
+        assert!(tol.mismatch(1e-12f64.to_bits(), 0.0f64.to_bits()).is_none());
+        // A whole missing contribution is far outside the bound.
+        let lost = want - 1.5;
+        let msg = tol
+            .mismatch(lost.to_bits(), want.to_bits())
+            .expect("a lost update must not hide in the tolerance");
+        assert!(msg.contains("expected 1000"), "got: {msg}");
+        // NaN never passes (the comparison is written not-less-or-equal).
+        assert!(tol.mismatch(f64::NAN.to_bits(), want.to_bits()).is_some());
+    }
+
+    /// A dynamic kernel: every thread adds 1 to lane 0, barriers, reads the
+    /// total (all threads must see `threads` — the derivation pattern of
+    /// level-synchronous BFS), and echoes the observed value into lane 1.
+    struct DynamicTotalKernel;
+
+    struct DynamicTotalProgram {
+        threads: usize,
+        stage: usize,
+    }
+
+    impl KernelProgram for DynamicTotalProgram {
+        fn next(&mut self, last_read: Option<u64>) -> Option<KernelStep> {
+            self.stage += 1;
+            match self.stage {
+                1 => Some(KernelStep::Update { slot: 0, value: 1 }),
+                2 => Some(KernelStep::Barrier),
+                3 => Some(KernelStep::Read { slot: 0 }),
+                4 => {
+                    let seen = last_read.expect("a Read feeds the next step");
+                    assert_eq!(
+                        seen, self.threads as u64,
+                        "post-barrier read must see every thread's update"
+                    );
+                    Some(KernelStep::Update {
+                        slot: 1,
+                        value: seen,
+                    })
+                }
+                _ => None,
+            }
+        }
+    }
+
+    impl UpdateKernel for DynamicTotalKernel {
+        fn name(&self) -> &'static str {
+            "dyn-total"
+        }
+        fn op(&self) -> CommutativeOp {
+            CommutativeOp::AddU64
+        }
+        fn slots(&self) -> usize {
+            2
+        }
+        fn steps(&self, _t: usize, _n: usize) -> Vec<KernelStep> {
+            unreachable!("dynamic kernels are driven through program()")
+        }
+        fn program(&self, _thread: usize, threads: usize) -> Option<Box<dyn KernelProgram>> {
+            Some(Box::new(DynamicTotalProgram { threads, stage: 0 }))
+        }
+        fn expected(&self, threads: usize) -> Vec<u64> {
+            let n = threads as u64;
+            vec![n, n * n]
+        }
+    }
+
+    #[test]
+    fn dynamic_programs_feed_read_values_on_every_executor() {
+        let kernel = DynamicTotalKernel;
+        for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
+            SimBackend::new(SystemConfig::test_system(4, protocol))
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("sim/{protocol}: {e}"));
+        }
+        SimBackend::with_rmw(SystemConfig::test_system(4, ProtocolKind::Mesi))
+            .execute(&kernel)
+            .expect("sim/rmw");
+        for kind in [RuntimeKind::Atomic, RuntimeKind::Coup] {
+            let report = RuntimeBackend::new(kind, 4)
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("runtime/{kind:?}: {e}"));
+            assert_eq!(report.updates, 8, "{kind:?}");
+            assert_eq!(report.reads, 4, "{kind:?}");
+        }
+    }
+
+    /// A dynamic kernel exercising [`KernelStep::UpdateRead`] feedback: the
+    /// program applies a fetch-add and must observe the *new* value on every
+    /// executor (the simulator's RMW returns the old word and the adapter
+    /// normalises it).
+    struct DynamicFetchAddKernel;
+
+    struct DynamicFetchAddProgram {
+        stage: usize,
+    }
+
+    impl KernelProgram for DynamicFetchAddProgram {
+        fn next(&mut self, last_read: Option<u64>) -> Option<KernelStep> {
+            self.stage += 1;
+            match self.stage {
+                1 => Some(KernelStep::UpdateRead { slot: 0, value: 7 }),
+                2 => {
+                    let seen = last_read.expect("UpdateRead feeds the next step");
+                    assert_eq!(seen, 7, "the fetch-op returns the new value");
+                    Some(KernelStep::Update {
+                        slot: 0,
+                        value: seen,
+                    })
+                }
+                _ => None,
+            }
+        }
+    }
+
+    impl UpdateKernel for DynamicFetchAddKernel {
+        fn name(&self) -> &'static str {
+            "dyn-fetch-add"
+        }
+        fn op(&self) -> CommutativeOp {
+            CommutativeOp::AddU64
+        }
+        fn slots(&self) -> usize {
+            1
+        }
+        fn steps(&self, _t: usize, _n: usize) -> Vec<KernelStep> {
+            unreachable!("dynamic kernels are driven through program()")
+        }
+        fn program(&self, _thread: usize, _threads: usize) -> Option<Box<dyn KernelProgram>> {
+            Some(Box::new(DynamicFetchAddProgram { stage: 0 }))
+        }
+        fn expected(&self, _threads: usize) -> Vec<u64> {
+            vec![14]
+        }
+    }
+
+    #[test]
+    fn dynamic_update_read_returns_the_new_value_on_every_executor() {
+        let kernel = DynamicFetchAddKernel;
+        SimBackend::new(SystemConfig::test_system(1, ProtocolKind::Meusi))
+            .execute(&kernel)
+            .expect("sim/coup lowering");
+        SimBackend::with_rmw(SystemConfig::test_system(1, ProtocolKind::Mesi))
+            .execute(&kernel)
+            .expect("sim/rmw lowering");
+        for kind in [RuntimeKind::Atomic, RuntimeKind::Coup] {
+            RuntimeBackend::new(kind, 1)
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("runtime/{kind:?}: {e}"));
+        }
     }
 
     #[test]

@@ -17,11 +17,15 @@
 //! paper's (unavailable) input sets; every workload verifies its parallel
 //! result against a sequential reference, under both MESI and MEUSI.
 //!
-//! The update-dominated workloads (`hist`, `pgrank`, `refcount`) additionally
-//! expose backend-neutral [`kernel::UpdateKernel`]s, so one workload
-//! definition drives both the timing simulator and the real-hardware
-//! `coup-runtime` engine through the [`kernel::ExecutionBackend`] trait —
-//! see [`kernel`].
+//! Every update-dominated workload (`hist`, `pgrank`, `spmv`, `bfs`, and
+//! both `refcount` schemes) exposes a backend-neutral
+//! [`kernel::UpdateKernel`], so one workload definition drives both the
+//! timing simulator and the real-hardware `coup-runtime` engine through the
+//! [`kernel::ExecutionBackend`] trait — see [`kernel`]. The kernel contract
+//! spans static streamed scripts (`hist`, `pgrank`, `spmv`), multi-phase
+//! barrier-separated epochs (delayed `refcount`), *dynamic* programs whose
+//! control flow depends on executed reads (level-synchronous `bfs`), and
+//! pluggable verification tolerances (`spmv`'s order-sensitive f64 adds).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,17 +43,18 @@ pub mod runner;
 pub mod spmv;
 pub mod synth;
 
-pub use bfs::BfsWorkload;
+pub use bfs::{BfsKernel, BfsWorkload};
 pub use characteristics::{table2, BenchmarkCharacteristics};
 pub use fluid::FluidWorkload;
 pub use hist::{HistKernel, HistScheme, HistWorkload};
 pub use kernel::{
-    ExecutionBackend, KernelStep, KernelWorkload, RuntimeBackend, RuntimeKind, RuntimeReport,
-    SimBackend, UpdateKernel,
+    ExecutionBackend, KernelProgram, KernelStep, KernelWorkload, RuntimeBackend, RuntimeKind,
+    RuntimeReport, SimBackend, Tolerance, UpdateKernel,
 };
 pub use pgrank::{PageRankKernel, PageRankWorkload};
 pub use refcount::{
-    DelayedRefcount, DelayedScheme, ImmediateKernel, ImmediateRefcount, RefcountScheme,
+    DelayedKernel, DelayedRefcount, DelayedScheme, ImmediateKernel, ImmediateRefcount,
+    RefcountScheme,
 };
-pub use runner::{compare_protocols, run_workload, Workload};
-pub use spmv::SpmvWorkload;
+pub use runner::{compare_protocols, compare_runtime_backends, run_workload, Workload};
+pub use spmv::{SpmvKernel, SpmvWorkload, SPMV_TOLERANCE};

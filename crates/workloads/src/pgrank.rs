@@ -175,7 +175,7 @@ impl Workload for PageRankWorkload {
         }
     }
 
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
         // The whole workload *is* its kernel: one definition drives the
         // simulator (here) and the real-hardware runtime.
         sim_programs(&self.kernel(), threads, false)

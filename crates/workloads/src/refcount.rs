@@ -230,7 +230,7 @@ impl Workload for ImmediateRefcount {
         // Counters and SNZI nodes start at zero.
     }
 
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
         // The flat-counter schemes *are* the kernel, lowered either as COUP
         // commutative updates or as conventional RMWs; one definition drives
         // the simulator (here) and the real-hardware runtime. SNZI keeps its
@@ -253,7 +253,7 @@ impl Workload for ImmediateRefcount {
                         leaf: Self::snzi_leaf_node(t, threads),
                         nodes: Self::snzi_nodes(threads),
                     },
-                }) as BoxedProgram
+                }) as BoxedProgram<'_>
             })
             .collect()
     }
@@ -482,6 +482,93 @@ impl DelayedRefcount {
         }
         totals
     }
+
+    /// The epoch scheme as a backend-neutral multi-phase [`UpdateKernel`]:
+    /// the definition both the simulator and the real-hardware runtime
+    /// execute. See [`DelayedKernel`].
+    #[must_use]
+    pub fn kernel(&self) -> DelayedKernel<'_> {
+        DelayedKernel { workload: self }
+    }
+}
+
+/// The delayed-deallocation epoch kernel of a [`DelayedRefcount`] — the
+/// repo's first multi-phase *static* kernel. Each epoch runs in two
+/// barrier-separated phases:
+///
+/// 1. **Mutate** — the thread applies its epoch's increments and decrements
+///    as plain commutative adds, never reading (the whole point of delayed
+///    reclamation: no decrement-and-test on the hot path).
+/// 2. **Scan (epoch advance)** — after a barrier closes the epoch, the
+///    thread re-reads every counter it touched, performing the deferred zero
+///    checks while no update is in flight; a second barrier keeps the next
+///    epoch's updates from racing the scans.
+///
+/// At an epoch boundary the counter values are deterministic (every update
+/// of every thread through that epoch is applied, and adds commute), which
+/// is exactly why deferring the zero check to the boundary makes it sound —
+/// the property the epoch-invariant stress test pins down.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayedKernel<'a> {
+    workload: &'a DelayedRefcount,
+}
+
+impl UpdateKernel for DelayedKernel<'_> {
+    fn name(&self) -> &'static str {
+        "refcount-delayed"
+    }
+
+    fn op(&self) -> CommutativeOp {
+        ADD
+    }
+
+    fn slots(&self) -> usize {
+        self.workload.counters
+    }
+
+    fn output_region(&self) -> u64 {
+        // Keep the historical counter region so simulated timings stay
+        // comparable with the bespoke scheme programs.
+        regions::COUNTERS
+    }
+
+    fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep> {
+        let _ = threads;
+        let mut steps = Vec::new();
+        for epoch in self.workload.decisions(thread) {
+            let mut marked: Vec<usize> = epoch.iter().map(|&(c, _)| c).collect();
+            // Mutate phase: buffered adds only.
+            for (c, d) in epoch {
+                steps.push(KernelStep::Update {
+                    slot: c,
+                    value: d as u64,
+                });
+            }
+            // Epoch boundary: every thread's epoch updates are applied.
+            steps.push(KernelStep::Barrier);
+            // Scan phase: deferred zero checks of the counters this thread
+            // marked, each followed by the reclamation decision's compute.
+            marked.sort_unstable();
+            marked.dedup();
+            for c in marked {
+                steps.push(KernelStep::Read { slot: c });
+                steps.push(KernelStep::Compute(2));
+            }
+            // Epoch advance: scans complete before the next epoch mutates.
+            steps.push(KernelStep::Barrier);
+        }
+        steps
+    }
+
+    fn expected(&self, threads: usize) -> Vec<u64> {
+        // Counts may dip negative mid-stream and settle anywhere; two's
+        // complement wrapping makes the comparison exact either way.
+        self.workload
+            .expected_counts(threads)
+            .into_iter()
+            .map(|c| c as u64)
+            .collect()
+    }
 }
 
 impl Workload for DelayedRefcount {
@@ -495,7 +582,7 @@ impl Workload for DelayedRefcount {
 
     fn init(&self, _mem: &mut MemorySystem) {}
 
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
         (0..threads)
             .map(|t| {
                 let mut ops = Vec::new();
@@ -567,7 +654,7 @@ impl Workload for DelayedRefcount {
                     }
                 }
                 ops.push(ThreadOp::Done);
-                Box::new(coup_sim::op::ScriptedProgram::new(ops)) as BoxedProgram
+                Box::new(coup_sim::op::ScriptedProgram::new(ops)) as BoxedProgram<'_>
             })
             .collect()
     }
@@ -645,6 +732,65 @@ mod tests {
             let cfg = SystemConfig::test_system(4, protocol);
             run_workload(cfg, &w).unwrap_or_else(|e| panic!("{scheme:?} failed: {e}"));
         }
+    }
+
+    #[test]
+    fn delayed_kernel_verifies_on_every_executor() {
+        use crate::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, SimBackend};
+        let w = DelayedRefcount::new(32, 3, 40, DelayedScheme::CoupBitmap, 13);
+        let kernel = w.kernel();
+        for protocol in [ProtocolKind::Mesi, ProtocolKind::Meusi] {
+            SimBackend::new(SystemConfig::test_system(4, protocol))
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("sim/{protocol}: {e}"));
+        }
+        SimBackend::with_rmw(SystemConfig::test_system(4, ProtocolKind::Mesi))
+            .execute(&kernel)
+            .expect("sim/rmw");
+        for kind in [RuntimeKind::Atomic, RuntimeKind::Coup] {
+            let report = RuntimeBackend::new(kind, 4)
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("runtime/{kind:?}: {e}"));
+            // 4 threads × 3 epochs × 40 updates, plus one scan read per
+            // distinct counter a thread marked per epoch.
+            assert_eq!(report.updates, 4 * 3 * 40, "{kind:?}");
+            assert!(report.reads > 0, "{kind:?}: the scan phase reads");
+        }
+    }
+
+    #[test]
+    fn delayed_kernel_epochs_are_barrier_separated() {
+        let w = DelayedRefcount::new(16, 2, 10, DelayedScheme::CoupBitmap, 5);
+        let kernel = w.kernel();
+        let steps = kernel.steps(0, 4);
+        let barriers = steps
+            .iter()
+            .filter(|s| matches!(s, KernelStep::Barrier))
+            .count();
+        assert_eq!(barriers, 2 * 2, "two barriers per epoch");
+        // The scan of an epoch sits strictly between its two barriers.
+        let first_barrier = steps
+            .iter()
+            .position(|s| matches!(s, KernelStep::Barrier))
+            .unwrap();
+        assert!(
+            steps[..first_barrier]
+                .iter()
+                .all(|s| matches!(s, KernelStep::Update { .. })),
+            "the mutate phase never reads"
+        );
+        let second_barrier = first_barrier
+            + 1
+            + steps[first_barrier + 1..]
+                .iter()
+                .position(|s| matches!(s, KernelStep::Barrier))
+                .unwrap();
+        assert!(
+            steps[first_barrier + 1..second_barrier]
+                .iter()
+                .all(|s| matches!(s, KernelStep::Read { .. } | KernelStep::Compute(_))),
+            "the scan phase never mutates"
+        );
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! The [`Workload`] trait and helpers for running workloads on simulated systems.
+//! The [`Workload`] trait and helpers for running workloads on simulated
+//! systems, plus the real-hardware analogue of [`compare_protocols`] for
+//! [`UpdateKernel`]s.
 
 use coup_protocol::ops::CommutativeOp;
 use coup_protocol::state::ProtocolKind;
@@ -7,6 +9,8 @@ use coup_sim::machine::Machine;
 use coup_sim::memsys::MemorySystem;
 use coup_sim::op::BoxedProgram;
 use coup_sim::stats::RunStats;
+
+use crate::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, RuntimeReport, UpdateKernel};
 
 /// A multithreaded benchmark that can be run on the simulated machine.
 ///
@@ -25,7 +29,7 @@ pub trait Workload {
     fn init(&self, mem: &mut MemorySystem);
 
     /// Builds one program per thread; `threads` is the number of cores.
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram>;
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>>;
 
     /// Checks the result left in simulated memory after the run.
     ///
@@ -66,6 +70,25 @@ pub fn compare_protocols(
     Ok((mesi, meusi))
 }
 
+/// Runs `kernel` on the real-hardware runtime under the conventional atomic
+/// baseline and under software COUP with `threads` workers each, and returns
+/// `(atomic, coup)` throughput reports — the real-hardware analogue of
+/// [`compare_protocols`], with both runs verified against the kernel's
+/// sequential reference under its [`Tolerance`](crate::kernel::Tolerance).
+///
+/// # Errors
+///
+/// Returns an error (prefixed with the failing backend's name) if either
+/// run's verification fails — a lost or duplicated update.
+pub fn compare_runtime_backends(
+    kernel: &dyn UpdateKernel,
+    threads: usize,
+) -> Result<(RuntimeReport, RuntimeReport), String> {
+    let atomic = RuntimeBackend::new(RuntimeKind::Atomic, threads).execute(kernel)?;
+    let coup = RuntimeBackend::new(RuntimeKind::Coup, threads).execute(kernel)?;
+    Ok((atomic, coup))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,7 +109,7 @@ mod tests {
         fn init(&self, mem: &mut MemorySystem) {
             mem.poke(0x1000, 0);
         }
-        fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
+        fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
             (0..threads)
                 .map(|_| {
                     let mut ops = Vec::new();
@@ -98,7 +121,7 @@ mod tests {
                         });
                     }
                     ops.push(ThreadOp::Done);
-                    Box::new(ScriptedProgram::new(ops)) as BoxedProgram
+                    Box::new(ScriptedProgram::new(ops)) as BoxedProgram<'_>
                 })
                 .collect()
         }

@@ -7,11 +7,19 @@
 
 use coup_protocol::ops::{lanes, CommutativeOp};
 use coup_sim::memsys::MemorySystem;
-use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
+use coup_sim::op::BoxedProgram;
 
+use crate::kernel::{sim_programs, KernelStep, Tolerance, UpdateKernel};
 use crate::layout::{regions, ArrayLayout};
 use crate::runner::Workload;
 use crate::synth::CscMatrix;
+
+/// Relative per-lane error bound of the spmv verifier: parallel f64
+/// reductions reorder the rounding, so exact equality is replaced by
+/// `|got − want| ≤ max(SPMV_TOLERANCE, |want| · SPMV_TOLERANCE)` — tight
+/// enough that a single lost contribution (Ω(0.1) for these inputs) can
+/// never hide.
+pub const SPMV_TOLERANCE: f64 = 1e-9;
 
 /// The SpMV workload.
 #[derive(Debug, Clone)]
@@ -56,6 +64,85 @@ impl SpmvWorkload {
         let per = n.div_ceil(threads.max(1));
         (thread * per).min(n)..((thread + 1) * per).min(n)
     }
+
+    /// The scatter as a backend-neutral [`UpdateKernel`]: the definition both
+    /// the simulator and the real-hardware runtime execute. The kernel
+    /// carries the repo's first floating-point [`Tolerance`] — see
+    /// [`SPMV_TOLERANCE`].
+    #[must_use]
+    pub fn kernel(&self) -> SpmvKernel<'_> {
+        SpmvKernel { workload: self }
+    }
+}
+
+/// The scatter kernel of a [`SpmvWorkload`]: per column, load `x[col]`, then
+/// stream the column's non-zeros and scatter `value · x[col]` additions into
+/// the shared output vector — 64-bit floating-point commutative adds, the
+/// order-sensitive operation that exercises the tolerance-based verifier.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmvKernel<'a> {
+    workload: &'a SpmvWorkload,
+}
+
+impl UpdateKernel for SpmvKernel<'_> {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn op(&self) -> CommutativeOp {
+        CommutativeOp::AddF64
+    }
+
+    fn slots(&self) -> usize {
+        self.workload.matrix.rows
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::RelativeF64 {
+            rel: SPMV_TOLERANCE,
+            abs: SPMV_TOLERANCE,
+        }
+    }
+
+    fn steps(&self, thread: usize, threads: usize) -> Vec<KernelStep> {
+        let mut steps = Vec::new();
+        self.for_each_step(thread, threads, &mut |step| steps.push(step));
+        steps
+    }
+
+    /// Streams the scatter without materialising it — the CSC arrays already
+    /// *are* the script, exactly as in pgrank's streaming path.
+    fn for_each_step(&self, thread: usize, threads: usize, f: &mut dyn FnMut(KernelStep)) {
+        let w = self.workload;
+        for col in w.columns_for(thread, threads) {
+            // Load x[col] once per column.
+            f(KernelStep::LoadInput { index: col });
+            f(KernelStep::Compute(1));
+            for k in w.matrix.col_ptr[col]..w.matrix.col_ptr[col + 1] {
+                let row = w.matrix.row_idx[k];
+                let contribution = w.matrix.values[k] * w.x[col];
+                // Stream the matrix value and scatter-add into y[row].
+                f(KernelStep::LoadAux { index: k });
+                f(KernelStep::Compute(3));
+                f(KernelStep::Update {
+                    slot: row,
+                    value: lanes::f64_to_lane(contribution),
+                });
+            }
+        }
+    }
+
+    fn expected(&self, _threads: usize) -> Vec<u64> {
+        // The sequential reference applies the updates in ascending column
+        // order — exactly the order the threads' scripts concatenate to — so
+        // it *is* the sequential application the kernel contract asks for.
+        self.workload
+            .matrix
+            .spmv_reference(&self.workload.x)
+            .into_iter()
+            .map(lanes::f64_to_lane)
+            .collect()
+    }
 }
 
 impl Workload for SpmvWorkload {
@@ -77,46 +164,19 @@ impl Workload for SpmvWorkload {
         // y starts at zero (memory default).
     }
 
-    fn programs(&self, threads: usize) -> Vec<BoxedProgram> {
-        let op = self.commutative_op();
-        (0..threads)
-            .map(|t| {
-                let mut ops = Vec::new();
-                for col in self.columns_for(t, threads) {
-                    // Load x[col] once per column.
-                    ops.push(ThreadOp::Load {
-                        addr: self.x_layout.addr(col),
-                    });
-                    ops.push(ThreadOp::Compute(1));
-                    for k in self.matrix.col_ptr[col]..self.matrix.col_ptr[col + 1] {
-                        let row = self.matrix.row_idx[k];
-                        let contribution = self.matrix.values[k] * self.x[col];
-                        // Load the matrix value (streaming) and scatter-add the
-                        // contribution into y[row].
-                        ops.push(ThreadOp::Load {
-                            addr: self.values_layout.addr(k),
-                        });
-                        ops.push(ThreadOp::Compute(3));
-                        ops.push(ThreadOp::CommutativeUpdate {
-                            addr: self.y.addr(row),
-                            op,
-                            value: lanes::f64_to_lane(contribution),
-                        });
-                    }
-                }
-                ops.push(ThreadOp::Done);
-                Box::new(ScriptedProgram::new(ops)) as BoxedProgram
-            })
-            .collect()
+    fn programs(&self, threads: usize) -> Vec<BoxedProgram<'_>> {
+        // The whole workload *is* its kernel: one definition drives the
+        // simulator (here) and the real-hardware runtime.
+        sim_programs(&self.kernel(), threads, false)
     }
 
-    fn verify(&self, mem: &MemorySystem, _threads: usize) -> Result<(), String> {
-        let reference = self.matrix.spmv_reference(&self.x);
-        for (row, &want) in reference.iter().enumerate() {
-            let got = lanes::lane_to_f64(mem.peek(self.y.addr(row)));
-            let tolerance = 1e-9_f64.max(want.abs() * 1e-9);
-            if (got - want).abs() > tolerance {
-                return Err(format!("y[{row}] = {got}, expected {want}"));
+    fn verify(&self, mem: &MemorySystem, threads: usize) -> Result<(), String> {
+        let kernel = self.kernel();
+        let tolerance = kernel.tolerance();
+        for (row, &want) in kernel.expected(threads).iter().enumerate() {
+            let got = mem.peek(self.y.addr(row));
+            if let Some(mismatch) = tolerance.mismatch(got, want) {
+                return Err(format!("y[{row}] {mismatch}"));
             }
         }
         Ok(())
@@ -154,5 +214,39 @@ mod tests {
         assert_eq!(w.commutative_op(), CommutativeOp::AddF64);
         assert_eq!(w.dimension(), 10);
         assert!(w.nnz() >= 10);
+    }
+
+    #[test]
+    fn kernel_verifies_on_both_runtime_backends_under_tolerance() {
+        use crate::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, Tolerance};
+        let w = SpmvWorkload::new(150, 6, 21);
+        let kernel = w.kernel();
+        assert!(matches!(kernel.tolerance(), Tolerance::RelativeF64 { .. }));
+        for kind in [RuntimeKind::Atomic, RuntimeKind::Coup] {
+            let report = RuntimeBackend::new(kind, 4)
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(report.updates as usize, w.nnz(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn a_lost_update_cannot_hide_in_the_tolerance() {
+        use crate::kernel::UpdateKernel;
+        // Drop one contribution from the expected vector: the relative bound
+        // must flag it, not absorb it.
+        let w = SpmvWorkload::new(40, 3, 2);
+        let kernel = w.kernel();
+        let expected = kernel.expected(1);
+        let tol = kernel.tolerance();
+        let k = w.matrix.col_ptr[0]; // first non-zero's contribution
+        let row = w.matrix.row_idx[k];
+        let lost = lanes::lane_to_f64(expected[row]) - w.matrix.values[k] * w.x[0];
+        assert!(
+            tol.mismatch(lanes::f64_to_lane(lost), expected[row])
+                .is_some(),
+            "losing {} from y[{row}] must fail verification",
+            w.matrix.values[k] * w.x[0]
+        );
     }
 }

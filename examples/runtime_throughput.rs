@@ -39,10 +39,13 @@ use coup_runtime::{
     run_contended, BackendKind, BufferConfig, ContendedSpec, CoupBackend, CoupRuntime,
     RuntimeBuilder, DEFAULT_FLUSH_THRESHOLD,
 };
+use coup_workloads::bfs::BfsWorkload;
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
 use coup_workloads::pgrank::PageRankWorkload;
-use coup_workloads::refcount::{ImmediateRefcount, RefcountScheme};
+use coup_workloads::refcount::{DelayedRefcount, DelayedScheme, ImmediateRefcount, RefcountScheme};
+use coup_workloads::runner::compare_runtime_backends;
+use coup_workloads::spmv::SpmvWorkload;
 
 /// Resident workers of every runtime in this example: the service's fixed
 /// thread pool, independent of how many producers feed it.
@@ -169,12 +172,8 @@ fn sweep_capacity(producers: usize, updates_per_thread: usize) {
 }
 
 fn run_kernel(name: &str, kernel: &dyn UpdateKernel, threads: usize) {
-    let atomic = RuntimeBackend::new(RuntimeKind::Atomic, threads)
-        .execute(kernel)
-        .expect("atomic run verifies against the sequential reference");
-    let coup = RuntimeBackend::new(RuntimeKind::Coup, threads)
-        .execute(kernel)
-        .expect("coup run verifies against the sequential reference");
+    let (atomic, coup) = compare_runtime_backends(kernel, threads)
+        .expect("both runs verify against the sequential reference");
     println!(
         "{name:>20} | {:>14.1} | {:>14.1} | {:>7.2}x | {:>9} updates, {:>7} reads — verified",
         atomic.mops(),
@@ -250,5 +249,14 @@ fn main() {
     run_kernel("pgrank (2k v, x4)", &pgrank.kernel(), threads);
     let refcount = ImmediateRefcount::new(64, 150_000, false, RefcountScheme::Coup, 42);
     run_kernel("refcount (64 ctrs)", &refcount.kernel(), threads);
+    // The update-rich workloads this PR kernelized: floating-point scatter
+    // (verified under the relative tolerance), the dynamic level-synchronous
+    // visited bitmap, and the delayed-reclamation epoch scheme.
+    let spmv = SpmvWorkload::new(20_000, 16, 42);
+    run_kernel("spmv (20k², 16nnz)", &spmv.kernel(), threads);
+    let bfs = BfsWorkload::new(200_000, 8, 42);
+    run_kernel("bfs (200k v)", &bfs.kernel(), threads);
+    let delayed = DelayedRefcount::new(4_096, 8, 50_000, DelayedScheme::CoupBitmap, 42);
+    run_kernel("refcount-delayed", &delayed.kernel(), threads);
     run_big_pgrank(threads);
 }

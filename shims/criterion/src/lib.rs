@@ -5,14 +5,29 @@
 //! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
 //! `Bencher::iter`, `black_box` — and implements a small wall-clock harness
 //! behind it: each benchmark closure is timed for `sample_size` samples and
-//! the per-iteration min/mean are printed. Statistical machinery (outlier
-//! analysis, HTML reports, comparison against saved baselines) is out of
-//! scope; throughput numbers printed by the benches are directly comparable
-//! within one run, which is all the workspace's benches need.
+//! the per-iteration min/mean are printed. Two slices of Criterion's
+//! statistical machinery are implemented because the workspace's benches use
+//! them:
+//!
+//! * **Throughput units** ([`Throughput`], `group.throughput(..)`): an
+//!   elements- or bytes-per-second rate column next to the times.
+//! * **Baseline comparison** (`--save-baseline <name>` / `--baseline
+//!   <name>`, mirroring Criterion's CLI): `--save-baseline` records every
+//!   benchmark's mean under `target/criterion-shim/<name>.baseline`, and a
+//!   later run with `--baseline` prints the percentage delta against the
+//!   saved mean next to each benchmark — the saved-baseline workflow of the
+//!   real crate (`cargo bench -- --save-baseline before`, hack, `cargo
+//!   bench -- --baseline before`). Both flags may be combined to update a
+//!   baseline while comparing against it (the comparison reads the old
+//!   values first).
+//!
+//! Outlier analysis and HTML reports remain out of scope.
 //!
 //! Under `cargo test` (Criterion convention: the harness receives `--test`),
 //! every benchmark runs exactly one iteration as a smoke test.
 
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -33,35 +48,155 @@ pub enum Throughput {
 #[derive(Debug)]
 pub struct Criterion {
     test_mode: bool,
+    /// `--save-baseline <name>`: merge every mean into this baseline.
+    save_baseline: Option<Baseline>,
+    /// `--baseline <name>`: compare every mean against this loaded baseline.
+    baseline: Option<Baseline>,
+    baseline_dir: PathBuf,
+}
+
+/// A loaded baseline: its name and the saved per-benchmark mean seconds.
+#[derive(Debug)]
+struct Baseline {
+    name: String,
+    means: HashMap<String, f64>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode }
+        let args: Vec<String> = std::env::args().collect();
+        let flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        Criterion::configured(
+            args.iter().any(|a| a == "--test"),
+            flag("--save-baseline"),
+            flag("--baseline"),
+            default_baseline_dir(),
+        )
     }
 }
 
+/// `target/criterion-shim` under the cargo target directory — the shim's
+/// analogue of Criterion's `target/criterion` data directory.
+///
+/// Bench binaries run with the *package* directory as CWD, so a relative
+/// `target` would scatter per-crate baseline directories across a workspace;
+/// like the real crate, the workspace target directory is derived from the
+/// executable's own path (`target/<profile>/deps/<bench>`), with
+/// `CARGO_TARGET_DIR` taking precedence.
+fn default_baseline_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return Path::new(&dir).join("criterion-shim");
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(target) = exe
+            .ancestors()
+            .find(|dir| dir.file_name().is_some_and(|name| name == "target"))
+        {
+            return target.join("criterion-shim");
+        }
+    }
+    PathBuf::from("target").join("criterion-shim")
+}
+
 impl Criterion {
+    fn configured(
+        test_mode: bool,
+        save_baseline: Option<String>,
+        baseline: Option<String>,
+        baseline_dir: PathBuf,
+    ) -> Self {
+        // Both maps load *before* any benchmark records, so a combined
+        // `--save-baseline x --baseline x` run compares against the old
+        // values while overwriting them.
+        let load = |name: String| {
+            let means = load_baseline(&baseline_dir.join(format!("{name}.baseline")));
+            Baseline { name, means }
+        };
+        Criterion {
+            test_mode,
+            save_baseline: save_baseline.map(load),
+            baseline: baseline.map(load),
+            baseline_dir,
+        }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name} ==");
         let test_mode = self.test_mode;
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name,
             sample_size: 10,
             test_mode,
             throughput: None,
         }
     }
+
+    /// Records one benchmark's mean into the `--save-baseline` file (no-op
+    /// without the flag): the in-memory map — seeded from the existing file
+    /// — is updated and rewritten whole. Merge-and-rewrite rather than
+    /// truncate-and-append, because one `cargo bench -- --save-baseline x`
+    /// spans several processes (one per bench binary) and several `Criterion`
+    /// instances per process (one per `criterion_group!`): each records only
+    /// its own labels, and every other binary's entries must survive.
+    fn record(&mut self, label: &str, mean: Duration) {
+        let Some(saved) = &mut self.save_baseline else {
+            return;
+        };
+        saved.means.insert(label.to_string(), mean.as_secs_f64());
+        let path = self.baseline_dir.join(format!("{}.baseline", saved.name));
+        let mut lines: Vec<(&String, &f64)> = saved.means.iter().collect();
+        lines.sort_by_key(|&(label, _)| label);
+        let contents: String = lines
+            .into_iter()
+            .map(|(label, mean)| format!("{label}\t{mean:.9}\n"))
+            .collect();
+        let _ = std::fs::create_dir_all(&self.baseline_dir);
+        let _ = std::fs::write(&path, contents);
+    }
+
+    /// The comparison column against the `--baseline` file: percentage delta
+    /// of `mean` versus the saved mean, or a marker for new benchmarks.
+    fn compare(&self, label: &str, mean: Duration) -> String {
+        let Some(baseline) = &self.baseline else {
+            return String::new();
+        };
+        match baseline.means.get(label) {
+            Some(&base) if base > 0.0 => {
+                let delta = (mean.as_secs_f64() - base) / base * 100.0;
+                format!("  {delta:+7.1}% vs '{}'", baseline.name)
+            }
+            _ => format!("      new vs '{}'", baseline.name),
+        }
+    }
+}
+
+/// Parses a baseline file (`<label>\t<mean seconds>` per line). Missing or
+/// malformed files load as empty — every benchmark then reports as new.
+fn load_baseline(path: &Path) -> HashMap<String, f64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let (label, mean) = line.rsplit_once('\t')?;
+            Some((label.to_string(), mean.parse().ok()?))
+        })
+        .collect()
 }
 
 /// A named group of benchmarks sharing configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
     test_mode: bool,
@@ -107,8 +242,10 @@ impl BenchmarkGroup<'_> {
                     }
                     None => String::new(),
                 };
+                self.criterion.record(&label, mean);
+                let delta = self.criterion.compare(&label, mean);
                 println!(
-                    "{label:<48} min {:>12}  mean {:>12}{rate}",
+                    "{label:<48} min {:>12}  mean {:>12}{rate}{delta}",
                     fmt_duration(min),
                     fmt_duration(mean)
                 );
@@ -205,9 +342,13 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn plain() -> Criterion {
+        Criterion::configured(false, None, None, default_baseline_dir())
+    }
+
     #[test]
     fn bencher_runs_and_reports() {
-        let mut c = Criterion { test_mode: false };
+        let mut c = plain();
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
         let mut runs = 0usize;
@@ -223,7 +364,7 @@ mod tests {
 
     #[test]
     fn throughput_setting_survives_and_reports() {
-        let mut c = Criterion { test_mode: false };
+        let mut c = plain();
         let mut group = c.benchmark_group("shim-throughput");
         group.sample_size(2).throughput(Throughput::Elements(1000));
         assert_eq!(group.throughput, Some(Throughput::Elements(1000)));
@@ -252,5 +393,80 @@ mod tests {
         assert!(fmt_duration(Duration::from_micros(500)).ends_with("us"));
         assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
         assert!(fmt_duration(Duration::from_secs(500)).ends_with("s"));
+    }
+
+    #[test]
+    fn baselines_round_trip_and_compare() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        let path = dir.join("before.baseline");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-written baseline (labels may themselves contain slashes).
+        std::fs::write(&path, "g/fast\t0.000001000\ng/slow\t1.000000000\n").unwrap();
+
+        let mut c = Criterion::configured(false, None, Some("before".into()), dir.clone());
+        let baseline = c.baseline.as_ref().expect("baseline loaded");
+        assert_eq!(baseline.means.len(), 2);
+        assert_eq!(baseline.means["g/slow"], 1.0);
+
+        // A 2 ms routine against a 1 s baseline reads as a huge improvement…
+        let delta = c.compare("g/slow", Duration::from_millis(2));
+        assert!(delta.contains('%') && delta.contains('-'), "got: {delta}");
+        assert!(delta.contains("'before'"), "got: {delta}");
+        // …an unknown benchmark reports as new…
+        assert!(c
+            .compare("g/other", Duration::from_millis(2))
+            .contains("new"));
+        // …and the comparison column reaches the printed report.
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.bench_function("slow", |b| b.iter(|| std::hint::black_box(1 + 1)));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_baseline_writes_parseable_means() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-save-{}", std::process::id()));
+        let mut c = Criterion::configured(false, Some("after".into()), None, dir.clone());
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("timed", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(100)))
+        });
+        group.finish();
+        let means = load_baseline(&dir.join("after.baseline"));
+        let mean = means.get("g/timed").copied().expect("mean recorded");
+        assert!(mean > 0.0, "a positive mean is saved, got {mean}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_baseline_merges_with_other_binaries_records() {
+        // `cargo bench -- --save-baseline x` spans several bench binaries
+        // (separate processes) and several `criterion_group!`s: a record must
+        // update its own label and leave everything else in the file intact.
+        let dir = std::env::temp_dir().join(format!("criterion-shim-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("x.baseline"),
+            "figures/fig02\t0.25\nruntime/old\t1.0\n",
+        )
+        .unwrap();
+        let mut c = Criterion::configured(false, Some("x".into()), None, dir.clone());
+        c.record("runtime/old", Duration::from_millis(500));
+        c.record("runtime/new", Duration::from_millis(2));
+        let means = load_baseline(&dir.join("x.baseline"));
+        assert_eq!(
+            means["figures/fig02"], 0.25,
+            "another binary's record must survive"
+        );
+        assert_eq!(means["runtime/old"], 0.5, "own label updated");
+        assert_eq!(means["runtime/new"], 0.002, "new label added");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_baseline_files_load_empty() {
+        assert!(load_baseline(Path::new("/nonexistent/nope.baseline")).is_empty());
     }
 }
