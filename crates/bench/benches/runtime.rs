@@ -23,7 +23,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{run_contended, BackendKind, BufferConfig, ContendedSpec, RuntimeBuilder};
+use coup_runtime::{
+    run_contended, BackendKind, BufferConfig, ContendedSpec, RuntimeBuilder, TelemetryConfig,
+};
 use coup_workloads::bfs::BfsWorkload;
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
@@ -238,12 +240,42 @@ fn bench_workload_kernels(c: &mut Criterion) {
     }
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // What the live metrics registry costs on the hottest kernel: the same
+    // 8-thread hist run with telemetry enabled (default: full histograms,
+    // unsampled trace) versus runtime-disabled (registry allocates nothing,
+    // every record call is one predictable branch). The enabled/disabled
+    // ratio here is the number README.md quotes; the `--no-default-features`
+    // CI lane proves the compile-time path separately.
+    let threads = 8;
+    let hist = HistWorkload::new(200_000, 256, HistScheme::Shared, 7);
+    let kernel = hist.kernel();
+    let mut group = c.benchmark_group("telemetry_overhead_hist_8t");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(200_000));
+    for (label, config) in [
+        ("enabled", TelemetryConfig::default()),
+        ("disabled", TelemetryConfig::disabled()),
+    ] {
+        let backend = RuntimeBackend::new(RuntimeKind::Coup, threads).with_telemetry(config);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                backend
+                    .execute(&kernel)
+                    .unwrap_or_else(|e| panic!("hist verifies: {e}"))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     runtime,
     bench_contended_threads,
     bench_read_mix,
     bench_capacity_sweep,
     bench_submission_batch_sweep,
-    bench_workload_kernels
+    bench_workload_kernels,
+    bench_telemetry_overhead
 );
 criterion_main!(runtime);

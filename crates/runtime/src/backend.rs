@@ -44,11 +44,14 @@
 //!    bounded memory and reader progress both survive.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use coup_protocol::line::{LineData, WORDS_PER_LINE};
 use coup_protocol::ops::CommutativeOp;
 
 use crate::store::{LaneGeometry, LaneSlot, PaddedLine, SharedStore};
+use crate::telemetry::{Merge, TelemetryConfig, TelemetryRegistry};
+use crate::trace::TraceKind;
 
 /// Cumulative read-side cost counters, the observable price of a backend's
 /// read path. [`AtomicBackend`] reads are a single shared-store load, so its
@@ -456,13 +459,19 @@ struct ThreadBuffer {
     tick: AtomicU64,
     /// Lines privatized (slot claims). Owner-only.
     privatized: AtomicU64,
-    /// Dirty-victim migrations. Owner-only.
+    /// Dirty-victim migrations. Owner-only stores; the bump is Release and
+    /// [`CoupBackend::buffer_stats`] loads it with Acquire *before*
+    /// `privatized`, so a concurrent observer can never see an eviction
+    /// whose privatization it missed (`evictions ≤ privatized`, always).
     evictions: AtomicU64,
     /// Threshold + explicit drains. Owner-only.
     flushes: AtomicU64,
     /// Updates routed straight to the store because every victim candidate
     /// was read-held. Owner-only.
     held_bypasses: AtomicU64,
+    /// Currently claimed (non-empty) slots — the occupancy the telemetry
+    /// histogram samples at each privatization. Owner-only.
+    resident: AtomicU64,
     /// `capacity - 1`; capacity is a power of two.
     mask: usize,
     /// Probe window length: `min(PROBE_WINDOW, capacity)`.
@@ -491,6 +500,7 @@ impl ThreadBuffer {
             evictions: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             held_bypasses: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
             mask: capacity - 1,
             window: PROBE_WINDOW.min(capacity),
         }
@@ -557,6 +567,9 @@ pub struct CoupBackend {
     line_meta: Box<[crate::store::LineMeta]>,
     /// One padded counter block per worker; slot `t` is written by `t` only.
     read_costs: Box<[ReadCostCounters]>,
+    /// Histogram registry + trace rings, shared with the owning runtime (or
+    /// private to this backend when constructed standalone).
+    telemetry: Arc<TelemetryRegistry>,
     geometry: LaneGeometry,
     flush_threshold: u32,
     policy: EvictionPolicy,
@@ -633,6 +646,26 @@ impl CoupBackend {
         flush_threshold: u32,
         config: BufferConfig,
     ) -> Self {
+        let telemetry = Arc::new(TelemetryRegistry::new(threads, TelemetryConfig::default()));
+        Self::with_telemetry(op, len, threads, flush_threshold, config, telemetry)
+    }
+
+    /// Like [`CoupBackend::with_config`] with an externally owned telemetry
+    /// registry — the runtime facade shares one registry between the backend
+    /// and its submission queue so [`crate::CoupRuntime::metrics`] sees both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or exceeds [`MAX_COUP_THREADS`].
+    #[must_use]
+    pub fn with_telemetry(
+        op: CommutativeOp,
+        len: usize,
+        threads: usize,
+        flush_threshold: u32,
+        config: BufferConfig,
+        telemetry: Arc<TelemetryRegistry>,
+    ) -> Self {
         assert!(threads > 0, "CoupBackend needs at least one worker");
         assert!(
             threads <= MAX_COUP_THREADS,
@@ -655,10 +688,17 @@ impl CoupBackend {
                 .map(|_| crate::store::LineMeta::default())
                 .collect(),
             read_costs: (0..threads).map(|_| ReadCostCounters::default()).collect(),
+            telemetry,
             geometry,
             flush_threshold: flush_threshold.max(1),
             policy: config.policy,
         }
+    }
+
+    /// The telemetry registry this backend records into.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
     }
 
     /// Number of privatized worker buffers.
@@ -714,17 +754,30 @@ impl CoupBackend {
                     buf.privatized.load(Ordering::Relaxed) + 1,
                     Ordering::Relaxed,
                 );
+                let resident = buf.resident.load(Ordering::Relaxed) + 1;
+                buf.resident.store(resident, Ordering::Relaxed);
+                self.telemetry.record_occupancy(thread, resident);
+                self.telemetry.trace(thread, TraceKind::Privatize, line);
                 return Some(idx);
             }
         }
         let idx = self.choose_victim(thread, line)?;
+        // Count the claim *before* the eviction below: the eviction bump is
+        // Release and the stats fold loads `evictions` with Acquire first,
+        // so no observer — however racy — can see `evictions > privatized`.
+        buf.privatized.store(
+            buf.privatized.load(Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
         if buf.pending[idx].load(Ordering::Relaxed) > 0 {
             // Dirty victim: migrate its delta into the store under an odd
             // epoch, retiring its writer bit, then re-tag — the software
             // U-state eviction.
+            let victim_line = (buf.tags[idx].load(Ordering::Relaxed) - 1) as usize;
             self.migrate_slot(thread, idx, Some(line));
             buf.evictions
-                .store(buf.evictions.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                .store(buf.evictions.load(Ordering::Relaxed) + 1, Ordering::Release);
+            self.telemetry.trace(thread, TraceKind::Evict, victim_line);
         } else {
             // Clean victim: its words are already at identity and its writer
             // bit is clear, so a bare re-tag suffices. A reader that sampled
@@ -735,10 +788,9 @@ impl CoupBackend {
             // re-tag can happen.
             buf.tags[idx].store(tag_of(line), Ordering::Release);
         }
-        buf.privatized.store(
-            buf.privatized.load(Ordering::Relaxed) + 1,
-            Ordering::Relaxed,
-        );
+        self.telemetry
+            .record_occupancy(thread, buf.resident.load(Ordering::Relaxed));
+        self.telemetry.trace(thread, TraceKind::Privatize, line);
         Some(idx)
     }
 
@@ -827,8 +879,9 @@ impl CoupBackend {
             }
         }
         buf.pending[idx].store(0, Ordering::Relaxed);
+        let mut applied = 0;
         if dirty {
-            self.store.reduce_line(line, &partial);
+            applied = self.store.reduce_line(line, &partial);
         }
         // AcqRel + the bitmap's RMW release sequence: a reader whose acquire
         // load of the bitmap observes this clear (or any later RMW) also
@@ -846,6 +899,7 @@ impl CoupBackend {
             epoch.load(Ordering::Relaxed).wrapping_add(1),
             Ordering::Release,
         );
+        self.telemetry.record_flush_words(thread, applied as u64);
     }
 
     /// One optimistic reduction pass over `slot`'s line: snapshot the writer
@@ -936,10 +990,18 @@ impl CoupBackend {
     /// progress is preserved. Direct store RMWs slipping in under the hold
     /// are harmless to termination: they touch neither bitmap nor epochs,
     /// so they cannot invalidate a pass.
-    fn reduce_with_hold(&self, slot: LaneSlot, index: usize, cost: &mut ReadCost) -> u64 {
+    fn reduce_with_hold(
+        &self,
+        thread: usize,
+        slot: LaneSlot,
+        index: usize,
+        cost: &mut ReadCost,
+    ) -> u64 {
         let meta = &self.line_meta[slot.line];
         meta.read_holds.fetch_add(1, Ordering::AcqRel);
         cost.escalations += 1;
+        self.telemetry
+            .trace(thread, TraceKind::ReadHoldEscalate, slot.line);
         let value = loop {
             if let Some(value) = self.try_reduce(slot, index, cost) {
                 break value;
@@ -988,6 +1050,8 @@ impl UpdateBackend for CoupBackend {
                         buf.held_bypasses.load(Ordering::Relaxed) + 1,
                         Ordering::Relaxed,
                     );
+                    self.telemetry
+                        .trace(thread, TraceKind::HeldBypass, slot.line);
                     return;
                 }
             },
@@ -1027,6 +1091,7 @@ impl UpdateBackend for CoupBackend {
             self.migrate_slot(thread, idx, None);
             buf.flushes
                 .store(buf.flushes.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            self.telemetry.trace(thread, TraceKind::Flush, slot.line);
         } else {
             pending.store(count, Ordering::Relaxed);
         }
@@ -1057,7 +1122,7 @@ impl UpdateBackend for CoupBackend {
             cost.retries += 1;
             attempts += 1;
             if attempts >= READ_RETRY_LIMIT {
-                break self.reduce_with_hold(slot, index, &mut cost);
+                break self.reduce_with_hold(thread, slot, index, &mut cost);
             }
             std::hint::spin_loop();
         };
@@ -1073,6 +1138,8 @@ impl UpdateBackend for CoupBackend {
         counters
             .escalations
             .fetch_add(cost.escalations, Ordering::Relaxed);
+        self.telemetry
+            .record_read(thread, cost.buffer_words, cost.retries);
         value
     }
 
@@ -1080,9 +1147,11 @@ impl UpdateBackend for CoupBackend {
         let buf = &self.buffers[thread];
         for idx in 0..buf.capacity() {
             if buf.pending[idx].load(Ordering::Relaxed) > 0 {
+                let line = (buf.tags[idx].load(Ordering::Relaxed) - 1) as usize;
                 self.migrate_slot(thread, idx, None);
                 buf.flushes
                     .store(buf.flushes.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                self.telemetry.trace(thread, TraceKind::Flush, line);
             }
         }
     }
@@ -1102,10 +1171,12 @@ impl UpdateBackend for CoupBackend {
     fn read_cost(&self) -> ReadCost {
         let mut total = ReadCost::default();
         for counters in &self.read_costs {
-            total.reads += counters.reads.load(Ordering::Relaxed);
-            total.buffer_words += counters.buffer_words.load(Ordering::Relaxed);
-            total.retries += counters.retries.load(Ordering::Relaxed);
-            total.escalations += counters.escalations.load(Ordering::Relaxed);
+            total.merge(&ReadCost {
+                reads: counters.reads.load(Ordering::Relaxed),
+                buffer_words: counters.buffer_words.load(Ordering::Relaxed),
+                retries: counters.retries.load(Ordering::Relaxed),
+                escalations: counters.escalations.load(Ordering::Relaxed),
+            });
         }
         total
     }
@@ -1113,10 +1184,18 @@ impl UpdateBackend for CoupBackend {
     fn buffer_stats(&self) -> BufferStats {
         let mut total = BufferStats::default();
         for buf in &self.buffers {
-            total.privatized += buf.privatized.load(Ordering::Relaxed);
-            total.evictions += buf.evictions.load(Ordering::Relaxed);
-            total.flushes += buf.flushes.load(Ordering::Relaxed);
-            total.held_bypasses += buf.held_bypasses.load(Ordering::Relaxed);
+            // Acquire the eviction count *before* loading `privatized`: the
+            // owner bumps `privatized` first and publishes the eviction with
+            // Release, so every eviction this load observes has its claim in
+            // the `privatized` load below — `evictions ≤ privatized` holds
+            // for any observer, mid-run included.
+            let evictions = buf.evictions.load(Ordering::Acquire);
+            total.merge(&BufferStats {
+                privatized: buf.privatized.load(Ordering::Relaxed),
+                evictions,
+                flushes: buf.flushes.load(Ordering::Relaxed),
+                held_bypasses: buf.held_bypasses.load(Ordering::Relaxed),
+            });
         }
         total
     }
@@ -1694,7 +1773,7 @@ mod tests {
         b.update(2, 1, 31);
         let slot = b.geometry.slot(1);
         let mut cost = ReadCost::default();
-        assert_eq!(b.reduce_with_hold(slot, 1, &mut cost), 42);
+        assert_eq!(b.reduce_with_hold(0, slot, 1, &mut cost), 42);
         assert_eq!(cost.escalations, 1);
         assert_eq!(b.line_meta[slot.line].read_holds.load(Ordering::Relaxed), 0);
     }

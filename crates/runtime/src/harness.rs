@@ -23,6 +23,7 @@ use coup_protocol::ops::CommutativeOp;
 
 use crate::backend::{BufferStats, ReadCost};
 use crate::runtime::CoupRuntime;
+use crate::telemetry::MetricsSnapshot;
 
 /// Parameters of one contended run.
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +164,12 @@ pub struct ThroughputReport {
     /// were privatized, capacity-evicted, and flushed (all zero for backends
     /// without privatized buffers).
     pub buffer_stats: BufferStats,
+    /// The full telemetry snapshot covering the run (a
+    /// [`MetricsSnapshot::since`] delta for phase reports, the lifetime
+    /// snapshot for [`CoupRuntime::shutdown`](crate::CoupRuntime::shutdown)
+    /// reports). `read_cost` / `buffer_stats` above are copies of its
+    /// matching fields, kept for ergonomic access.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ThroughputReport {
@@ -211,8 +218,7 @@ pub fn run_contended(
     assert!(spec.lanes > 0, "spec needs at least one lane");
     assert!(spec.lanes <= runtime.lanes(), "spec wider than backend");
     let sampler = spec.sampler();
-    let cost_before = runtime.read_cost();
-    let buffers_before = runtime.buffer_stats();
+    let before = runtime.metrics();
     let start = Instant::now();
     let reads: u64 = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..producers)
@@ -250,13 +256,15 @@ pub fn run_contended(
     });
     runtime.drain();
     let elapsed = start.elapsed();
+    let metrics = runtime.metrics().since(&before);
     ThroughputReport {
         threads: producers,
         updates: producers as u64 * spec.updates_per_thread as u64 - reads,
         reads,
         elapsed,
-        read_cost: runtime.read_cost().since(&cost_before),
-        buffer_stats: runtime.buffer_stats().since(&buffers_before),
+        read_cost: metrics.read_cost,
+        buffer_stats: metrics.buffer_stats,
+        metrics,
     }
 }
 

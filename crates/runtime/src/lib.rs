@@ -86,6 +86,8 @@ mod engine;
 pub mod harness;
 pub mod runtime;
 pub mod store;
+pub mod telemetry;
+pub mod trace;
 
 pub use backend::{
     AtomicBackend, BufferConfig, BufferStats, CoupBackend, EvictionPolicy, ReadCost, UpdateBackend,
@@ -96,6 +98,11 @@ pub use harness::{
 };
 pub use runtime::{
     tag, BackendKind, CounterHandle, CoupRuntime, JobCtx, LaneHandle, RuntimeBuilder,
-    RuntimeResult, Submitter, UpdateBatch, DEFAULT_BATCH_CAPACITY, DEFAULT_QUEUE_CAPACITY,
+    RuntimeResult, Submitter, TelemetryHandle, UpdateBatch, DEFAULT_BATCH_CAPACITY,
+    DEFAULT_QUEUE_CAPACITY,
 };
 pub use store::SharedStore;
+pub use telemetry::{
+    HistogramSnapshot, Merge, MetricsSnapshot, TelemetryConfig, TelemetryRegistry, HIST_BUCKETS,
+};
+pub use trace::{TraceEvent, TraceKind};

@@ -71,6 +71,8 @@ use crate::backend::{
 };
 use crate::engine::Engine;
 use crate::harness::ThroughputReport;
+use crate::telemetry::{MetricsSnapshot, TelemetryConfig, TelemetryRegistry};
+use crate::trace::{TraceEvent, TraceKind};
 
 /// Default number of updates a [`Submitter`] accumulates before handing its
 /// batch to the runtime. Large enough to amortise the queue's mutex over
@@ -107,6 +109,7 @@ pub struct RuntimeBuilder {
     buffer_config: Option<BufferConfig>,
     batch_capacity: usize,
     queue_capacity: usize,
+    telemetry: TelemetryConfig,
 }
 
 /// Default bound on the submission queue, in batches. Producers that outrun
@@ -129,7 +132,19 @@ impl RuntimeBuilder {
             buffer_config: None,
             batch_capacity: DEFAULT_BATCH_CAPACITY,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            telemetry: TelemetryConfig::default(),
         }
+    }
+
+    /// Telemetry configuration: runtime kill-switch, trace-ring capacity,
+    /// and trace sampling rate (default: enabled, 1024-event rings, no
+    /// sampling). Pass [`TelemetryConfig::disabled`] for the zero-recording
+    /// baseline; compiling without the `telemetry` cargo feature removes
+    /// even the disabled-check branch.
+    #[must_use]
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
     }
 
     /// Selects the backend kind (default: [`BackendKind::Coup`]).
@@ -195,16 +210,21 @@ impl RuntimeBuilder {
     #[must_use]
     pub fn build(self) -> CoupRuntime {
         assert!(self.workers > 0, "CoupRuntime needs at least one worker");
+        // One registry shared by the backend (read/flush/occupancy metrics)
+        // and the queue side (dwell/batch/park metrics), so a single
+        // `metrics()` call sees the whole runtime.
+        let telemetry = Arc::new(TelemetryRegistry::new(self.workers, self.telemetry));
         let backend: Box<dyn UpdateBackend> = match self.kind {
             BackendKind::Atomic => Box::new(AtomicBackend::new(self.op, self.lanes)),
             BackendKind::Coup => {
                 let config = self.buffer_config.unwrap_or_else(BufferConfig::from_env);
-                Box::new(CoupBackend::with_config(
+                Box::new(CoupBackend::with_telemetry(
                     self.op,
                     self.lanes,
                     self.workers,
                     self.flush_threshold,
                     config,
+                    Arc::clone(&telemetry),
                 ))
             }
         };
@@ -218,6 +238,7 @@ impl RuntimeBuilder {
             queue_capacity: self.queue_capacity.max(1),
             workers: self.workers,
             handle_reads: AtomicU64::new(0),
+            telemetry,
         });
         let drainers = (0..self.workers)
             .map(|worker| {
@@ -241,9 +262,12 @@ impl RuntimeBuilder {
 /// submission queue — the software analogue of the paper's update-request
 /// message, carrying many updates instead of one so the queue's
 /// synchronisation cost is paid once per batch.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct UpdateBatch {
     ops: Vec<(usize, u64)>,
+    /// When the batch entered the queue — the start of the dwell interval
+    /// the telemetry `queue_dwell_us` histogram measures.
+    enqueued_at: Instant,
 }
 
 impl UpdateBatch {
@@ -295,6 +319,8 @@ struct Shared {
     workers: usize,
     /// Reads served through handles (the runtime's synchronous read path).
     handle_reads: AtomicU64,
+    /// The metrics registry + trace rings, shared with the backend.
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -328,7 +354,10 @@ impl Shared {
         loop {
             let batch = {
                 let mut q = self.lock_queue();
-                loop {
+                // One park episode per condvar sleep, however many spurious
+                // wakes it takes: counted on entry, traced on both edges.
+                let mut parked = false;
+                let batch = loop {
                     if q.closed || !q.paused {
                         if let Some(batch) = q.batches.pop_front() {
                             q.active += 1;
@@ -341,11 +370,19 @@ impl Shared {
                             break None;
                         }
                     }
+                    if !parked {
+                        parked = true;
+                        self.telemetry.record_park(worker);
+                    }
                     q = self
                         .work
                         .wait(q)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
+                };
+                if parked {
+                    self.telemetry.trace(worker, TraceKind::QueueUnpark, 0);
                 }
+                batch
             };
             let Some(batch) = batch else {
                 // Closed and drained: publish this worker's remaining
@@ -353,6 +390,11 @@ impl Shared {
                 self.backend.flush(worker);
                 return applied;
             };
+            self.telemetry.record_queue_pop(
+                worker,
+                batch.ops.len() as u64,
+                batch.enqueued_at.elapsed().as_micros() as u64,
+            );
             for &(lane, value) in &batch.ops {
                 self.backend.update(worker, lane, value);
             }
@@ -396,7 +438,10 @@ impl Shared {
             return;
         }
         q.submitted += ops.len() as u64;
-        q.batches.push_back(UpdateBatch { ops });
+        q.batches.push_back(UpdateBatch {
+            ops,
+            enqueued_at: Instant::now(),
+        });
         drop(q);
         self.work.notify_one();
     }
@@ -419,6 +464,65 @@ impl Shared {
         // usize::MAX lands in the backend's shared out-of-band cost slot —
         // handle readers are not workers and own no counter block.
         self.backend.read(usize::MAX, lane)
+    }
+
+    /// Assembles a full [`MetricsSnapshot`]: queue counters under the queue
+    /// lock, the backend's per-worker counter folds, and the registry's
+    /// histograms and trace totals. No stop-the-world — workers keep
+    /// running while this sums their blocks.
+    fn metrics(&self) -> MetricsSnapshot {
+        let (submitted, applied) = {
+            let q = self.lock_queue();
+            (q.submitted, q.applied)
+        };
+        let mut snap = MetricsSnapshot {
+            updates_submitted: submitted,
+            updates_applied: applied,
+            handle_reads: self.handle_reads.load(Ordering::Relaxed),
+            read_cost: self.backend.read_cost(),
+            buffer_stats: self.backend.buffer_stats(),
+            ..MetricsSnapshot::default()
+        };
+        self.telemetry.fill(&mut snap);
+        snap
+    }
+}
+
+/// The observer-side counterpart of [`Submitter`]: a clonable, `Send`
+/// handle a monitor thread can poll for live [`MetricsSnapshot`]s, rendered
+/// exports, and trace drains while producers and workers keep running.
+#[derive(Debug, Clone)]
+pub struct TelemetryHandle {
+    shared: Arc<Shared>,
+}
+
+impl TelemetryHandle {
+    /// A consistent live snapshot of every runtime counter (see
+    /// [`CoupRuntime::metrics`]).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics()
+    }
+
+    /// The current snapshot in the Prometheus text exposition format — the
+    /// scrape endpoint's body, minus the HTTP server.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+
+    /// The current snapshot as a JSON object.
+    #[must_use]
+    pub fn json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Drains the structured event trace accumulated since the last drain
+    /// (any drainer's — the rings have one shared cursor each), merged
+    /// across workers and sorted by timestamp.
+    #[must_use]
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.shared.telemetry.drain_trace()
     }
 }
 
@@ -858,6 +962,28 @@ impl CoupRuntime {
         (q.submitted, q.applied)
     }
 
+    /// A consistent live snapshot of every runtime counter — queue depth,
+    /// backend read/buffer counters, and the telemetry registry's
+    /// histograms — assembled by summing per-worker blocks, with no
+    /// stop-the-world. Safe and meaningful mid-run: every field is
+    /// individually monotone between observations on the same runtime, so
+    /// two snapshots diff into a phase report via
+    /// [`MetricsSnapshot::since`].
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics()
+    }
+
+    /// A new clonable telemetry observer handle (live metrics, Prometheus /
+    /// JSON exports, trace drain) — hand it to a monitor thread the way
+    /// [`CoupRuntime::submitter`] hands out producers.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetryHandle {
+        TelemetryHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Blocks until every batch enqueued so far has been applied by the
     /// resident workers. After `drain()`, reads observe every update whose
     /// batch was flushed before the call — the runtime's quiescence point
@@ -958,8 +1084,7 @@ impl CoupRuntime {
         let elapsed = self.started.elapsed();
         // Counters before the snapshot: the verifying snapshot below would
         // otherwise add its own per-lane reads to the tallies it reports.
-        let read_cost = self.shared.backend.read_cost();
-        let buffer_stats = self.shared.backend.buffer_stats();
+        let metrics = self.shared.metrics();
         let snapshot = self.shared.backend.snapshot();
         RuntimeResult {
             snapshot,
@@ -968,8 +1093,9 @@ impl CoupRuntime {
                 updates: applied,
                 reads,
                 elapsed,
-                read_cost,
-                buffer_stats,
+                read_cost: metrics.read_cost,
+                buffer_stats: metrics.buffer_stats,
+                metrics,
             },
         }
     }

@@ -264,13 +264,19 @@ impl SharedStore {
     ///
     /// Words equal to the identity element are skipped (they cannot change the
     /// stored value).
-    pub fn reduce_line(&self, line: usize, partial: &LineData) {
+    ///
+    /// Returns how many non-identity words were applied — the width of the
+    /// reduction, fed to the telemetry `flush_words` histogram (the software
+    /// analogue of the paper's reduction-traffic counters).
+    pub fn reduce_line(&self, line: usize, partial: &LineData) -> usize {
         let op = self.geometry.op;
         let identity = op.identity_word();
+        let mut applied = 0;
         for (word, &partial_word) in self.lines[line].words.iter().zip(partial.words()) {
             if partial_word == identity {
                 continue;
             }
+            applied += 1;
             let mut current = word.load(Ordering::Relaxed);
             loop {
                 let next = op.apply_word(current, partial_word);
@@ -281,6 +287,7 @@ impl SharedStore {
                 }
             }
         }
+        applied
     }
 
     /// Copies every lane out. Values are exact only at quiescence; concurrent

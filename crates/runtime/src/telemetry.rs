@@ -1,0 +1,1414 @@
+//! Live telemetry: a lock-free per-worker metrics registry, consistent
+//! snapshots, and machine-readable exporters.
+//!
+//! The registry holds one cache-line-aligned block of atomic histograms per
+//! worker. Hot-path sites in `backend.rs` / `runtime.rs` bump their own
+//! block with relaxed atomics — no locks, no sharing except for block 0,
+//! which doubles as the clamp target for out-of-range recorders (external
+//! producer threads doing synchronous handle reads). Reading is a per-worker
+//! sum with no stop-the-world: [`MetricsSnapshot`] is assembled any time by
+//! folding the blocks, so every counter in it is individually monotone
+//! between observations.
+//!
+//! The event-trace half lives in [`crate::trace`]; this module owns the
+//! sampling gate and the drain API. With the `telemetry` cargo feature
+//! disabled the registry allocates nothing and every recording call is an
+//! empty inline function — the zero-cost compile-out path — while
+//! [`MetricsSnapshot`], the [`Merge`] trait, and both exporters stay
+//! available so reports keep the same shape (histograms all zero).
+
+use std::time::Instant;
+
+use crate::backend::{BufferStats, ReadCost};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Number of buckets in every fixed-bucket histogram.
+///
+/// Bucket `i` (for `1 <= i < 15`) holds values in `[2^(i-1), 2^i - 1]`;
+/// bucket 0 holds exactly 0 and bucket 15 is the unbounded tail. Power-of-
+/// two buckets make recording a `leading_zeros` plus one relaxed RMW.
+pub const HIST_BUCKETS: usize = 16;
+
+/// Merging for per-worker (or per-run) counter aggregates.
+///
+/// Every counter struct the runtime reports — [`ReadCost`], [`BufferStats`],
+/// [`HistogramSnapshot`], [`MetricsSnapshot`], and the workload executor's
+/// per-worker counts — folds through this one trait, replacing the three
+/// hand-rolled merge loops that used to live in the harness, the runtime
+/// shutdown path, and the kernel executor.
+pub trait Merge {
+    /// Accumulates `other` into `self` field by field.
+    fn merge(&mut self, other: &Self);
+}
+
+impl Merge for ReadCost {
+    fn merge(&mut self, other: &Self) {
+        self.reads += other.reads;
+        self.buffer_words += other.buffer_words;
+        self.retries += other.retries;
+        self.escalations += other.escalations;
+    }
+}
+
+impl Merge for BufferStats {
+    fn merge(&mut self, other: &Self) {
+        self.privatized += other.privatized;
+        self.evictions += other.evictions;
+        self.flushes += other.flushes;
+        self.held_bypasses += other.held_bypasses;
+    }
+}
+
+/// Maps a recorded value to its histogram bucket.
+#[inline]
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// A point-in-time copy of one fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (non-cumulative).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of every recorded value.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index`, or `None` for the unbounded
+    /// tail bucket (rendered as `+Inf` by the Prometheus exporter).
+    pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+        if index + 1 < HIST_BUCKETS {
+            Some((1u64 << index) - 1)
+        } else {
+            None
+        }
+    }
+
+    /// The delta histogram since `base` (per-bucket saturating subtract).
+    pub fn since(&self, base: &Self) -> Self {
+        let mut delta = *self;
+        for (bucket, earlier) in delta.buckets.iter_mut().zip(base.buckets.iter()) {
+            *bucket = bucket.saturating_sub(*earlier);
+        }
+        delta.sum = delta.sum.saturating_sub(base.sum);
+        delta
+    }
+}
+
+impl Merge for HistogramSnapshot {
+    fn merge(&mut self, other: &Self) {
+        for (bucket, extra) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *bucket += extra;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// Configuration for the telemetry registry, set on
+/// [`crate::RuntimeBuilder::telemetry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Runtime kill-switch: when false the registry allocates nothing and
+    /// every recording call is one predictable branch. (The `telemetry`
+    /// cargo feature removes even that branch at compile time.)
+    pub enabled: bool,
+    /// Per-worker trace-ring capacity in events, rounded up to a power of
+    /// two; 0 disables event tracing while keeping the histograms.
+    pub trace_capacity: usize,
+    /// Trace sampling rate: record every `2^sample_shift`-th event per
+    /// worker. 0 records everything.
+    pub sample_shift: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            trace_capacity: 1024,
+            sample_shift: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off at runtime: no histogram blocks, no trace rings.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            trace_capacity: 0,
+            sample_shift: 0,
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod registry_impl {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::{bucket_index, HistogramSnapshot, TelemetryConfig, HIST_BUCKETS};
+    use crate::trace::TraceRing;
+
+    /// A histogram of relaxed atomics; recording is `leading_zeros` plus two
+    /// relaxed `fetch_add`s (RMW rather than plain store only because block
+    /// 0 is shared with clamped out-of-range recorders).
+    #[derive(Default)]
+    pub(super) struct AtomicHistogram {
+        buckets: [AtomicU64; HIST_BUCKETS],
+        sum: AtomicU64,
+    }
+
+    impl AtomicHistogram {
+        #[inline]
+        pub(super) fn record(&self, value: u64) {
+            self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+        }
+
+        pub(super) fn snapshot(&self) -> HistogramSnapshot {
+            let mut snap = HistogramSnapshot::default();
+            for (out, bucket) in snap.buckets.iter_mut().zip(self.buckets.iter()) {
+                *out = bucket.load(Ordering::Relaxed);
+            }
+            snap.sum = self.sum.load(Ordering::Relaxed);
+            snap
+        }
+    }
+
+    /// One worker's counters, padded to a cache line so neighbouring
+    /// workers' relaxed bumps never false-share.
+    #[derive(Default)]
+    #[repr(align(64))]
+    pub(super) struct WorkerBlock {
+        pub(super) read_width: AtomicHistogram,
+        pub(super) read_retries: AtomicHistogram,
+        pub(super) queue_dwell_us: AtomicHistogram,
+        pub(super) batch_size: AtomicHistogram,
+        pub(super) occupancy: AtomicHistogram,
+        pub(super) flush_words: AtomicHistogram,
+        pub(super) queue_parks: AtomicU64,
+        pub(super) trace_tick: AtomicU64,
+    }
+
+    pub(super) struct Inner {
+        pub(super) blocks: Box<[WorkerBlock]>,
+        pub(super) rings: Box<[TraceRing]>,
+        pub(super) sample_mask: u64,
+    }
+
+    impl Inner {
+        pub(super) fn new(workers: usize, config: TelemetryConfig) -> Self {
+            let workers = workers.max(1);
+            let rings = if config.trace_capacity == 0 {
+                Vec::new()
+            } else {
+                (0..workers)
+                    .map(|_| TraceRing::new(config.trace_capacity))
+                    .collect()
+            };
+            Inner {
+                blocks: (0..workers).map(|_| WorkerBlock::default()).collect(),
+                rings: rings.into_boxed_slice(),
+                sample_mask: (1u64 << config.sample_shift.min(63)) - 1,
+            }
+        }
+
+        /// Clamps out-of-range recorders (external handle readers pass
+        /// `usize::MAX`) onto block 0.
+        #[inline]
+        pub(super) fn block(&self, worker: usize) -> &WorkerBlock {
+            let index = if worker < self.blocks.len() {
+                worker
+            } else {
+                0
+            };
+            &self.blocks[index]
+        }
+    }
+}
+
+/// The lock-free metrics registry shared by a backend and its runtime.
+///
+/// Created once per [`crate::CoupRuntime`] (or implicitly per standalone
+/// [`crate::CoupBackend`]) and shared via `Arc`; recording methods are
+/// crate-internal, observation goes through [`crate::CoupRuntime::metrics`]
+/// / [`crate::TelemetryHandle`] or, for a standalone backend, the
+/// histograms folded by the owner.
+pub struct TelemetryRegistry {
+    config: TelemetryConfig,
+    anchor: Instant,
+    #[cfg(feature = "telemetry")]
+    inner: Option<registry_impl::Inner>,
+}
+
+impl std::fmt::Debug for TelemetryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryRegistry")
+            .field("config", &self.config)
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TelemetryRegistry {
+    /// Builds a registry with one padded counter block (and, if configured,
+    /// one trace ring) per worker.
+    pub fn new(workers: usize, config: TelemetryConfig) -> Self {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = workers;
+        TelemetryRegistry {
+            config,
+            anchor: Instant::now(),
+            #[cfg(feature = "telemetry")]
+            inner: config
+                .enabled
+                .then(|| registry_impl::Inner::new(workers, config)),
+        }
+    }
+
+    /// The configuration this registry was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+
+    /// True when recording actually happens: the `telemetry` cargo feature
+    /// is compiled in *and* the runtime kill-switch is on.
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
+        }
+    }
+
+    /// Nanoseconds since this registry was created (monotonic clock); the
+    /// timebase of every trace event timestamp.
+    pub fn uptime_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Drains every un-drained trace event across all worker rings, merged
+    /// and sorted by timestamp. Lossy by design: entries overwritten before
+    /// a drain reached them are counted in
+    /// [`MetricsSnapshot::trace_dropped`], not returned.
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        #[cfg(feature = "telemetry")]
+        {
+            let mut events = Vec::new();
+            if let Some(inner) = &self.inner {
+                for ring in inner.rings.iter() {
+                    ring.drain_into(&mut events);
+                }
+            }
+            events.sort_by_key(|event| (event.timestamp_ns, event.worker, event.seq));
+            events
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Records one synchronous read: how many buffer words it folded and
+    /// how many validation retries it burned.
+    #[inline]
+    pub(crate) fn record_read(&self, worker: usize, width: u64, retries: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            let block = inner.block(worker);
+            block.read_width.record(width);
+            block.read_retries.record(retries);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (worker, width, retries);
+    }
+
+    /// Records one popped submission batch: its size and queue dwell time.
+    #[inline]
+    pub(crate) fn record_queue_pop(&self, worker: usize, batch: u64, dwell_us: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            let block = inner.block(worker);
+            block.batch_size.record(batch);
+            block.queue_dwell_us.record(dwell_us);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (worker, batch, dwell_us);
+    }
+
+    /// Records the owner's resident-line count at a privatization.
+    #[inline]
+    pub(crate) fn record_occupancy(&self, worker: usize, resident: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            inner.block(worker).occupancy.record(resident);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (worker, resident);
+    }
+
+    /// Records the non-identity word count of one slot migration.
+    #[inline]
+    pub(crate) fn record_flush_words(&self, worker: usize, words: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            inner.block(worker).flush_words.record(words);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (worker, words);
+    }
+
+    /// Counts one drainer park (condvar sleep) and traces the park event.
+    #[inline]
+    pub(crate) fn record_park(&self, worker: usize) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            inner
+                .block(worker)
+                .queue_parks
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.trace(worker, TraceKind::QueuePark, 0);
+    }
+
+    /// Records one structured trace event, subject to the sampling rate.
+    #[inline]
+    pub(crate) fn trace(&self, worker: usize, kind: TraceKind, line: usize) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            if inner.rings.is_empty() {
+                return;
+            }
+            let block = inner.block(worker);
+            let tick = block
+                .trace_tick
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if tick & inner.sample_mask != 0 {
+                return;
+            }
+            let index = if worker < inner.rings.len() {
+                worker
+            } else {
+                0
+            };
+            inner.rings[index].record(self.uptime_ns(), worker, kind, line);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (worker, kind, line);
+    }
+
+    /// Folds the registry's own counters (histograms, parks, trace totals,
+    /// uptime) into `snap`; the caller supplies the backend and queue
+    /// counters.
+    pub(crate) fn fill(&self, snap: &mut MetricsSnapshot) {
+        snap.uptime_ns = self.uptime_ns();
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            for block in inner.blocks.iter() {
+                snap.read_width.merge(&block.read_width.snapshot());
+                snap.read_retries.merge(&block.read_retries.snapshot());
+                snap.queue_dwell_us.merge(&block.queue_dwell_us.snapshot());
+                snap.batch_size.merge(&block.batch_size.snapshot());
+                snap.occupancy.merge(&block.occupancy.snapshot());
+                snap.flush_words.merge(&block.flush_words.snapshot());
+                snap.queue_parks += block.queue_parks.load(std::sync::atomic::Ordering::Relaxed);
+            }
+            for ring in inner.rings.iter() {
+                snap.trace_recorded += ring.recorded();
+                snap.trace_dropped += ring.dropped();
+            }
+        }
+    }
+}
+
+/// A consistent point-in-time view of every runtime counter, assembled by
+/// [`crate::CoupRuntime::metrics`] (or carried on a
+/// [`crate::ThroughputReport`]) with a per-worker sum — no stop-the-world.
+///
+/// Every field is individually monotone between observations on the same
+/// runtime; [`MetricsSnapshot::since`] turns two observations into a phase
+/// delta. The whole struct is `Copy` (fixed-size bucket arrays) so reports
+/// stay cheap to pass around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Nanoseconds since the registry was created.
+    pub uptime_ns: u64,
+    /// Updates accepted into the submission queue.
+    pub updates_submitted: u64,
+    /// Updates applied to the backend by drainers and jobs.
+    pub updates_applied: u64,
+    /// Synchronous reads served through external handles.
+    pub handle_reads: u64,
+    /// Drainer condvar parks (empty or paused queue).
+    pub queue_parks: u64,
+    /// Trace events recorded into the rings (post-sampling).
+    pub trace_recorded: u64,
+    /// Trace events lost to ring overwrite before a drain reached them.
+    pub trace_dropped: u64,
+    /// Merged read-path cost counters (reads, folded words, retries,
+    /// escalations).
+    pub read_cost: ReadCost,
+    /// Merged buffer life-cycle counters (privatizations, evictions,
+    /// flushes, held bypasses).
+    pub buffer_stats: BufferStats,
+    /// Buffer words folded per synchronous read.
+    pub read_width: HistogramSnapshot,
+    /// Validation retries burned per synchronous read.
+    pub read_retries: HistogramSnapshot,
+    /// Microseconds each popped batch spent queued.
+    pub queue_dwell_us: HistogramSnapshot,
+    /// Operations per popped batch.
+    pub batch_size: HistogramSnapshot,
+    /// Resident private lines at each privatization.
+    pub occupancy: HistogramSnapshot,
+    /// Non-identity words applied per slot migration.
+    pub flush_words: HistogramSnapshot,
+}
+
+/// `(prometheus name, help text)` for every scalar counter, in the order of
+/// [`MetricsSnapshot::counter_values`] / `counter_slots`.
+const COUNTER_META: [(&str, &str); 15] = [
+    (
+        "coup_uptime_nanoseconds",
+        "Nanoseconds since the telemetry registry was created.",
+    ),
+    (
+        "coup_updates_submitted_total",
+        "Updates accepted into the submission queue.",
+    ),
+    (
+        "coup_updates_applied_total",
+        "Updates applied to the backend by drainers and jobs.",
+    ),
+    (
+        "coup_handle_reads_total",
+        "Synchronous reads served through external handles.",
+    ),
+    (
+        "coup_queue_parks_total",
+        "Drainer condvar parks on an empty or paused queue.",
+    ),
+    (
+        "coup_trace_events_recorded_total",
+        "Trace events recorded into the per-worker rings.",
+    ),
+    (
+        "coup_trace_events_dropped_total",
+        "Trace events lost to ring overwrite before a drain.",
+    ),
+    (
+        "coup_reads_total",
+        "Synchronous reads served by the backend.",
+    ),
+    (
+        "coup_read_buffer_words_total",
+        "Private buffer words folded across all reads.",
+    ),
+    (
+        "coup_read_retries_total",
+        "Read validation retries (concurrent migrations).",
+    ),
+    (
+        "coup_read_escalations_total",
+        "Reads escalated to the read-hold slow path.",
+    ),
+    (
+        "coup_lines_privatized_total",
+        "Store lines claimed into private buffer slots.",
+    ),
+    (
+        "coup_evictions_total",
+        "Dirty victims migrated store-ward by capacity pressure.",
+    ),
+    (
+        "coup_flushes_total",
+        "Slot migrations into the store (threshold or explicit).",
+    ),
+    (
+        "coup_held_bypasses_total",
+        "Updates routed around read-held buffers via direct RMW.",
+    ),
+];
+
+/// Number of distinct histogram series a [`MetricsSnapshot`] carries.
+pub const HIST_COUNT: usize = 6;
+
+/// `(prometheus name, help text)` for every histogram, in the order of
+/// [`MetricsSnapshot::histograms`].
+const HIST_META: [(&str, &str); HIST_COUNT] = [
+    ("coup_read_width", "Buffer words folded per read."),
+    ("coup_read_retries_per_read", "Validation retries per read."),
+    (
+        "coup_queue_dwell_microseconds",
+        "Microseconds a batch spent queued before a drainer popped it.",
+    ),
+    ("coup_batch_size", "Operations per popped batch."),
+    (
+        "coup_buffer_occupancy",
+        "Resident private lines at each privatization.",
+    ),
+    (
+        "coup_flush_words",
+        "Non-identity words applied per slot migration.",
+    ),
+];
+
+impl MetricsSnapshot {
+    /// Scalar counter values in [`COUNTER_META`] order.
+    fn counter_values(&self) -> [u64; 15] {
+        [
+            self.uptime_ns,
+            self.updates_submitted,
+            self.updates_applied,
+            self.handle_reads,
+            self.queue_parks,
+            self.trace_recorded,
+            self.trace_dropped,
+            self.read_cost.reads,
+            self.read_cost.buffer_words,
+            self.read_cost.retries,
+            self.read_cost.escalations,
+            self.buffer_stats.privatized,
+            self.buffer_stats.evictions,
+            self.buffer_stats.flushes,
+            self.buffer_stats.held_bypasses,
+        ]
+    }
+
+    /// Mutable scalar counter slots in [`COUNTER_META`] order.
+    fn counter_slots(&mut self) -> [&mut u64; 15] {
+        [
+            &mut self.uptime_ns,
+            &mut self.updates_submitted,
+            &mut self.updates_applied,
+            &mut self.handle_reads,
+            &mut self.queue_parks,
+            &mut self.trace_recorded,
+            &mut self.trace_dropped,
+            &mut self.read_cost.reads,
+            &mut self.read_cost.buffer_words,
+            &mut self.read_cost.retries,
+            &mut self.read_cost.escalations,
+            &mut self.buffer_stats.privatized,
+            &mut self.buffer_stats.evictions,
+            &mut self.buffer_stats.flushes,
+            &mut self.buffer_stats.held_bypasses,
+        ]
+    }
+
+    /// Histogram values in [`HIST_META`] order.
+    fn histogram_values(&self) -> [HistogramSnapshot; HIST_COUNT] {
+        [
+            self.read_width,
+            self.read_retries,
+            self.queue_dwell_us,
+            self.batch_size,
+            self.occupancy,
+            self.flush_words,
+        ]
+    }
+
+    /// Mutable histogram slots in [`HIST_META`] order.
+    fn histogram_slots(&mut self) -> [&mut HistogramSnapshot; HIST_COUNT] {
+        [
+            &mut self.read_width,
+            &mut self.read_retries,
+            &mut self.queue_dwell_us,
+            &mut self.batch_size,
+            &mut self.occupancy,
+            &mut self.flush_words,
+        ]
+    }
+
+    /// Every histogram the snapshot carries, paired with its metric name, in
+    /// a fixed order (`coup_read_width`, `coup_read_retries_per_read`,
+    /// `coup_queue_dwell_microseconds`, `coup_batch_size`,
+    /// `coup_buffer_occupancy`, `coup_flush_words`) — for callers that
+    /// iterate the series uniformly instead of naming fields.
+    #[must_use]
+    pub fn histograms(&self) -> [(&'static str, HistogramSnapshot); HIST_COUNT] {
+        let mut out = [("", HistogramSnapshot::default()); HIST_COUNT];
+        for (slot, ((name, _), value)) in out
+            .iter_mut()
+            .zip(HIST_META.iter().zip(self.histogram_values()))
+        {
+            *slot = (name, value);
+        }
+        out
+    }
+
+    /// The delta snapshot since `base`: every counter and histogram bucket
+    /// saturating-subtracted. The natural way to measure one phase of a run
+    /// without resetting anything.
+    pub fn since(&self, base: &Self) -> Self {
+        let mut delta = *self;
+        for (slot, earlier) in delta.counter_slots().into_iter().zip(base.counter_values()) {
+            *slot = slot.saturating_sub(earlier);
+        }
+        for (slot, earlier) in delta
+            .histogram_slots()
+            .into_iter()
+            .zip(base.histogram_values())
+        {
+            *slot = slot.since(&earlier);
+        }
+        delta
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `HELP`/`TYPE` headers, plain counters, and cumulative
+    /// `_bucket{le=...}` / `_sum` / `_count` series for every histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for ((name, help), value) in COUNTER_META.iter().zip(self.counter_values()) {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+        for ((name, help), hist) in HIST_META.iter().zip(self.histogram_values()) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (index, bucket) in hist.buckets.iter().enumerate() {
+                cumulative += bucket;
+                match HistogramSnapshot::bucket_upper_bound(index) {
+                    Some(le) => {
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"))
+                    }
+                    None => out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
+                }
+            }
+            out.push_str(&format!("{name}_sum {}\n", hist.sum));
+            out.push_str(&format!("{name}_count {cumulative}\n"));
+        }
+        out
+    }
+
+    /// Parses the output of [`MetricsSnapshot::to_prometheus`] back into a
+    /// snapshot; the round-trip is exact because every exported value is an
+    /// integer. Used by the schema-check tests and the CI scrape lane.
+    pub fn from_prometheus(text: &str) -> Result<Self, String> {
+        let mut snap = MetricsSnapshot::default();
+        let mut cumulative = [[None::<u64>; HIST_BUCKETS]; 6];
+        let mut counts = [None::<u64>; 6];
+        let hist_index = |base: &str| HIST_META.iter().position(|(name, _)| *name == base);
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name_part, value_part) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("malformed line: {line:?}"))?;
+            let value: u64 = value_part
+                .parse()
+                .map_err(|_| format!("non-integer value in {line:?}"))?;
+            if let Some((name, labels)) = name_part.split_once('{') {
+                let base = name
+                    .strip_suffix("_bucket")
+                    .ok_or_else(|| format!("labels on non-bucket metric {name}"))?;
+                let hist = hist_index(base).ok_or_else(|| format!("unknown histogram {base}"))?;
+                let le = labels
+                    .strip_suffix('}')
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or_else(|| format!("malformed le label in {line:?}"))?;
+                let bucket = if le == "+Inf" {
+                    HIST_BUCKETS - 1
+                } else {
+                    let bound: u64 = le
+                        .parse()
+                        .map_err(|_| format!("non-integer le in {line:?}"))?;
+                    (0..HIST_BUCKETS - 1)
+                        .find(|&i| HistogramSnapshot::bucket_upper_bound(i) == Some(bound))
+                        .ok_or_else(|| format!("le {bound} is not a bucket boundary"))?
+                };
+                cumulative[hist][bucket] = Some(value);
+            } else if let Some(base) = name_part.strip_suffix("_sum") {
+                let hist = hist_index(base).ok_or_else(|| format!("unknown histogram {base}"))?;
+                snap.histogram_slots()[hist].sum = value;
+            } else if let Some(base) = name_part.strip_suffix("_count") {
+                let hist = hist_index(base).ok_or_else(|| format!("unknown histogram {base}"))?;
+                counts[hist] = Some(value);
+            } else {
+                let index = COUNTER_META
+                    .iter()
+                    .position(|(name, _)| *name == name_part)
+                    .ok_or_else(|| format!("unknown metric {name_part}"))?;
+                *snap.counter_slots()[index] = value;
+            }
+        }
+        for (hist, buckets) in cumulative.iter().enumerate() {
+            let mut previous = 0u64;
+            let name = HIST_META[hist].0;
+            for (index, entry) in buckets.iter().enumerate() {
+                let running = entry.ok_or_else(|| format!("{name} is missing bucket {index}"))?;
+                if running < previous {
+                    return Err(format!("{name} buckets are not cumulative"));
+                }
+                snap.histogram_slots()[hist].buckets[index] = running - previous;
+                previous = running;
+            }
+            if let Some(count) = counts[hist] {
+                if count != previous {
+                    return Err(format!(
+                        "{name}_count {count} disagrees with +Inf bucket {previous}"
+                    ));
+                }
+            } else {
+                return Err(format!("{name} is missing its _count series"));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled: the workspace
+    /// carries no serializer). Keys mirror the struct fields; histograms
+    /// nest under `"histograms"` as `{"sum": n, "buckets": [...]}`.
+    pub fn to_json(&self) -> String {
+        let hist = |h: &HistogramSnapshot| {
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            format!(
+                "{{\"sum\": {}, \"buckets\": [{}]}}",
+                h.sum,
+                buckets.join(", ")
+            )
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"uptime_ns\": {},\n",
+                "  \"updates_submitted\": {},\n",
+                "  \"updates_applied\": {},\n",
+                "  \"handle_reads\": {},\n",
+                "  \"queue_parks\": {},\n",
+                "  \"trace_recorded\": {},\n",
+                "  \"trace_dropped\": {},\n",
+                "  \"read_cost\": {{\"reads\": {}, \"buffer_words\": {}, \"retries\": {}, \"escalations\": {}}},\n",
+                "  \"buffer_stats\": {{\"privatized\": {}, \"evictions\": {}, \"flushes\": {}, \"held_bypasses\": {}}},\n",
+                "  \"histograms\": {{\n",
+                "    \"read_width\": {},\n",
+                "    \"read_retries\": {},\n",
+                "    \"queue_dwell_us\": {},\n",
+                "    \"batch_size\": {},\n",
+                "    \"occupancy\": {},\n",
+                "    \"flush_words\": {}\n",
+                "  }}\n",
+                "}}"
+            ),
+            self.uptime_ns,
+            self.updates_submitted,
+            self.updates_applied,
+            self.handle_reads,
+            self.queue_parks,
+            self.trace_recorded,
+            self.trace_dropped,
+            self.read_cost.reads,
+            self.read_cost.buffer_words,
+            self.read_cost.retries,
+            self.read_cost.escalations,
+            self.buffer_stats.privatized,
+            self.buffer_stats.evictions,
+            self.buffer_stats.flushes,
+            self.buffer_stats.held_bypasses,
+            hist(&self.read_width),
+            hist(&self.read_retries),
+            hist(&self.queue_dwell_us),
+            hist(&self.batch_size),
+            hist(&self.occupancy),
+            hist(&self.flush_words),
+        )
+    }
+
+    /// Parses the output of [`MetricsSnapshot::to_json`] back into a
+    /// snapshot (exact round-trip; everything is an integer).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let root = value.as_object("snapshot")?;
+        let read_cost = json::get(root, "read_cost")?.as_object("read_cost")?;
+        let stats = json::get(root, "buffer_stats")?.as_object("buffer_stats")?;
+        let mut snap = MetricsSnapshot {
+            uptime_ns: json::get_u64(root, "uptime_ns")?,
+            updates_submitted: json::get_u64(root, "updates_submitted")?,
+            updates_applied: json::get_u64(root, "updates_applied")?,
+            handle_reads: json::get_u64(root, "handle_reads")?,
+            queue_parks: json::get_u64(root, "queue_parks")?,
+            trace_recorded: json::get_u64(root, "trace_recorded")?,
+            trace_dropped: json::get_u64(root, "trace_dropped")?,
+            read_cost: ReadCost {
+                reads: json::get_u64(read_cost, "reads")?,
+                buffer_words: json::get_u64(read_cost, "buffer_words")?,
+                retries: json::get_u64(read_cost, "retries")?,
+                escalations: json::get_u64(read_cost, "escalations")?,
+            },
+            buffer_stats: BufferStats {
+                privatized: json::get_u64(stats, "privatized")?,
+                evictions: json::get_u64(stats, "evictions")?,
+                flushes: json::get_u64(stats, "flushes")?,
+                held_bypasses: json::get_u64(stats, "held_bypasses")?,
+            },
+            ..MetricsSnapshot::default()
+        };
+        let hists = json::get(root, "histograms")?.as_object("histograms")?;
+        let keys = [
+            "read_width",
+            "read_retries",
+            "queue_dwell_us",
+            "batch_size",
+            "occupancy",
+            "flush_words",
+        ];
+        let mut slots = snap.histogram_slots();
+        for (slot, key) in slots.iter_mut().zip(keys) {
+            let hist = json::get(hists, key)?.as_object(key)?;
+            slot.sum = json::get_u64(hist, "sum")?;
+            let buckets = json::get(hist, "buckets")?.as_array(key)?;
+            if buckets.len() != HIST_BUCKETS {
+                return Err(format!(
+                    "{key} has {} buckets, expected {HIST_BUCKETS}",
+                    buckets.len()
+                ));
+            }
+            for (out, value) in slot.buckets.iter_mut().zip(buckets) {
+                *out = value.as_u64(key)?;
+            }
+        }
+        Ok(snap)
+    }
+}
+
+impl Merge for MetricsSnapshot {
+    fn merge(&mut self, other: &Self) {
+        // Counter 0 is uptime: max, not sum — merging per-worker or
+        // per-phase views of one clock must not double it.
+        self.uptime_ns = self.uptime_ns.max(other.uptime_ns);
+        let others = other.counter_values();
+        for (index, slot) in self.counter_slots().into_iter().enumerate().skip(1) {
+            *slot += others[index];
+        }
+        let other_hists = other.histogram_values();
+        for (slot, extra) in self.histogram_slots().into_iter().zip(other_hists) {
+            slot.merge(&extra);
+        }
+    }
+}
+
+/// The dependency-free JSON subset parser backing
+/// [`MetricsSnapshot::from_json`] (the workspace's serde is an inert shim).
+mod json {
+    /// A parsed JSON value; integers that fit `u64` stay exact.
+    #[derive(Debug, Clone, PartialEq)]
+    pub(super) enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        UInt(u64),
+        Float(f64),
+        Str(String),
+        Bool(bool),
+        Null,
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Object(fields) => Ok(fields),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Array(items) => Ok(items),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::UInt(n) => Ok(*n),
+                other => Err(format!("{what}: expected unsigned integer, got {other:?}")),
+            }
+        }
+    }
+
+    pub(super) fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+        fields
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, value)| value)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    pub(super) fn get_u64(fields: &[(String, Value)], key: &str) -> Result<u64, String> {
+        get(fields, key)?.as_u64(key)
+    }
+
+    pub(super) fn parse(text: &str) -> Result<Value, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    byte as char,
+                    self.pos,
+                    self.peek().map(|b| b as char)
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|b| b as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|b| b as char)
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|b| b as char)
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let escaped = self
+                            .peek()
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        out.push(match escaped {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            other => return Err(format!("unsupported escape \\{}", other as char)),
+                        });
+                        self.pos += 1;
+                    }
+                    Some(byte) => {
+                        // Multi-byte UTF-8 passes through unchanged.
+                        let start = self.pos;
+                        let mut end = self.pos + 1;
+                        if byte >= 0x80 {
+                            while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                                end += 1;
+                            }
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..end])
+                                .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                        );
+                        self.pos = end;
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            let mut float = false;
+            if self.peek() == Some(b'.') {
+                float = true;
+                self.pos += 1;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                float = true;
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "invalid number".to_string())?;
+            if !float {
+                if let Ok(n) = text.parse::<u64>() {
+                    return Ok(Value::UInt(n));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| format!("bad number {text:?}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            uptime_ns: 123_456_789,
+            updates_submitted: 1_000,
+            updates_applied: 998,
+            handle_reads: 7,
+            queue_parks: 3,
+            trace_recorded: 40,
+            trace_dropped: 2,
+            read_cost: ReadCost {
+                reads: 12,
+                buffer_words: 30,
+                retries: 1,
+                escalations: 0,
+            },
+            buffer_stats: BufferStats {
+                privatized: 64,
+                evictions: 8,
+                flushes: 5,
+                held_bypasses: 1,
+            },
+            ..MetricsSnapshot::default()
+        };
+        for (i, value) in [0u64, 1, 2, 5, 9, 100, 70_000].iter().enumerate() {
+            snap.read_width.buckets[bucket_index(*value)] += 1 + i as u64;
+            snap.read_width.sum += value * (1 + i as u64);
+        }
+        snap.batch_size.buckets[9] = 4;
+        snap.batch_size.sum = 1024;
+        snap
+    }
+
+    #[test]
+    fn bucket_index_matches_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(16_383), 14);
+        assert_eq!(bucket_index(16_384), 15);
+        assert_eq!(bucket_index(u64::MAX), 15);
+        // Every finite bucket's upper bound lands in its own bucket and the
+        // next value lands one bucket up.
+        for index in 0..HIST_BUCKETS - 1 {
+            let le = HistogramSnapshot::bucket_upper_bound(index).unwrap();
+            assert_eq!(bucket_index(le), index);
+            assert_eq!(bucket_index(le + 1), index + 1);
+        }
+        assert_eq!(
+            HistogramSnapshot::bucket_upper_bound(HIST_BUCKETS - 1),
+            None
+        );
+    }
+
+    #[test]
+    fn merge_and_since_are_inverses_on_counters() {
+        let a = sample_snapshot();
+        let mut width = HistogramSnapshot {
+            sum: 3,
+            ..HistogramSnapshot::default()
+        };
+        width.buckets[1] = 3;
+        let b = MetricsSnapshot {
+            updates_applied: 5,
+            read_cost: ReadCost {
+                reads: 2,
+                ..ReadCost::default()
+            },
+            read_width: width,
+            ..MetricsSnapshot::default()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.updates_applied, a.updates_applied + 5);
+        assert_eq!(merged.uptime_ns, a.uptime_ns, "uptime merges as max");
+        let recovered = merged.since(&b);
+        // since() subtracts uptime too, and b's uptime is 0.
+        assert_eq!(recovered, a);
+    }
+
+    #[test]
+    fn prometheus_round_trips_exactly() {
+        let snap = sample_snapshot();
+        let text = snap.to_prometheus();
+        let parsed = MetricsSnapshot::from_prometheus(&text).expect("parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn prometheus_schema_has_every_family_typed() {
+        let text = sample_snapshot().to_prometheus();
+        for (name, _) in COUNTER_META.iter() {
+            assert!(
+                text.contains(&format!("# HELP {name} ")),
+                "missing HELP {name}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing TYPE {name}"
+            );
+        }
+        for (name, _) in HIST_META.iter() {
+            assert!(
+                text.contains(&format!("# TYPE {name} histogram")),
+                "missing histogram TYPE for {name}"
+            );
+            assert!(
+                text.contains(&format!("{name}_bucket{{le=\"+Inf\"}}")),
+                "missing +Inf bucket for {name}"
+            );
+            assert!(text.contains(&format!("{name}_sum ")), "missing {name}_sum");
+            assert!(
+                text.contains(&format!("{name}_count ")),
+                "missing {name}_count"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_corruption() {
+        let snap = sample_snapshot();
+        let text = snap.to_prometheus();
+        // A truncated exposition is missing series.
+        let half = &text[..text.len() / 2];
+        assert!(MetricsSnapshot::from_prometheus(half).is_err());
+        // A count that disagrees with the +Inf bucket is rejected.
+        let lied = text.replace("coup_batch_size_count 4", "coup_batch_size_count 40");
+        assert!(MetricsSnapshot::from_prometheus(&lied).is_err());
+        // Unknown metrics are rejected.
+        assert!(MetricsSnapshot::from_prometheus("bogus_metric 1").is_err());
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample_snapshot();
+        let text = snap.to_json();
+        let parsed = MetricsSnapshot::from_json(&text).expect("parses");
+        assert_eq!(parsed, snap);
+        // And the zero snapshot too.
+        let zero = MetricsSnapshot::default();
+        assert_eq!(
+            MetricsSnapshot::from_json(&zero.to_json()).expect("parses"),
+            zero
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_corruption() {
+        assert!(MetricsSnapshot::from_json("{").is_err());
+        assert!(MetricsSnapshot::from_json("{}").is_err());
+        assert!(MetricsSnapshot::from_json("[1, 2]").is_err());
+        let truncated_buckets = sample_snapshot()
+            .to_json()
+            .replace("\"buckets\": [", "\"buckets\": [1, ");
+        assert!(MetricsSnapshot::from_json(&truncated_buckets).is_err());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn registry_folds_per_worker_blocks() {
+        let registry = TelemetryRegistry::new(4, TelemetryConfig::default());
+        assert!(registry.is_enabled());
+        registry.record_read(0, 3, 1);
+        registry.record_read(2, 5, 0);
+        registry.record_read(usize::MAX, 2, 0); // clamps onto block 0
+        registry.record_queue_pop(1, 256, 12);
+        registry.record_occupancy(3, 7);
+        registry.record_flush_words(2, 9);
+        registry.record_park(1);
+        let mut snap = MetricsSnapshot::default();
+        registry.fill(&mut snap);
+        assert_eq!(snap.read_width.count(), 3);
+        assert_eq!(snap.read_width.sum, 10);
+        assert_eq!(snap.read_retries.count(), 3);
+        assert_eq!(snap.read_retries.sum, 1);
+        assert_eq!(snap.batch_size.count(), 1);
+        assert_eq!(snap.queue_dwell_us.sum, 12);
+        assert_eq!(snap.occupancy.sum, 7);
+        assert_eq!(snap.flush_words.sum, 9);
+        assert_eq!(snap.queue_parks, 1);
+        assert!(snap.uptime_ns > 0);
+        // The park traced an event; reads don't trace.
+        assert_eq!(snap.trace_recorded, 1);
+        let events = registry.drain_trace();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, crate::trace::TraceKind::QueuePark);
+        assert_eq!(events[0].worker, 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let registry = TelemetryRegistry::new(4, TelemetryConfig::disabled());
+        assert!(!registry.is_enabled());
+        registry.record_read(0, 3, 1);
+        registry.record_park(0);
+        registry.trace(0, TraceKind::Flush, 9);
+        let mut snap = MetricsSnapshot::default();
+        registry.fill(&mut snap);
+        assert_eq!(snap.read_width.count(), 0);
+        assert_eq!(snap.queue_parks, 0);
+        assert_eq!(snap.trace_recorded, 0);
+        assert!(registry.drain_trace().is_empty());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sampling_thins_the_trace_but_not_the_histograms() {
+        let config = TelemetryConfig {
+            enabled: true,
+            trace_capacity: 4096,
+            sample_shift: 3, // keep every 8th event
+        };
+        let registry = TelemetryRegistry::new(1, config);
+        for line in 0..800 {
+            registry.trace(0, TraceKind::Privatize, line);
+            registry.record_occupancy(0, 1);
+        }
+        let mut snap = MetricsSnapshot::default();
+        registry.fill(&mut snap);
+        assert_eq!(snap.trace_recorded, 100, "1 in 8 of 800 events kept");
+        assert_eq!(snap.occupancy.count(), 800, "histograms are never sampled");
+    }
+}

@@ -37,7 +37,7 @@
 //! relax to a per-lane relative-error bound.
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{BackendKind, BufferConfig, RuntimeBuilder};
+use coup_runtime::{BackendKind, BufferConfig, Merge, RuntimeBuilder, TelemetryConfig};
 use coup_sim::config::SystemConfig;
 use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
 use coup_sim::stats::RunStats;
@@ -619,6 +619,7 @@ pub struct RuntimeBackend {
     threads: usize,
     flush_threshold: Option<u32>,
     buffer_config: Option<BufferConfig>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl RuntimeBackend {
@@ -635,6 +636,7 @@ impl RuntimeBackend {
             threads,
             flush_threshold: None,
             buffer_config: None,
+            telemetry: None,
         }
     }
 
@@ -655,6 +657,15 @@ impl RuntimeBackend {
         self
     }
 
+    /// Overrides the runtime's telemetry configuration — use
+    /// [`TelemetryConfig::disabled`] to measure instrumentation overhead, or
+    /// a custom trace capacity / sampling rate for detailed event capture.
+    #[must_use]
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// The runtime builder this executor configures for `kernel`.
     #[must_use]
     pub fn builder(&self, kernel: &dyn UpdateKernel) -> RuntimeBuilder {
@@ -670,6 +681,9 @@ impl RuntimeBackend {
         if let Some(config) = self.buffer_config {
             builder = builder.buffer_config(config);
         }
+        if let Some(config) = self.telemetry {
+            builder = builder.telemetry(config);
+        }
         builder
     }
 }
@@ -680,6 +694,14 @@ struct WorkerCounts {
     updates: u64,
     reads: u64,
     checksum: u64,
+}
+
+impl Merge for WorkerCounts {
+    fn merge(&mut self, other: &Self) {
+        self.updates += other.updates;
+        self.reads += other.reads;
+        self.checksum = self.checksum.wrapping_add(other.checksum);
+    }
 }
 
 impl WorkerCounts {
@@ -731,8 +753,7 @@ impl RuntimeBackend {
         kernel: &dyn UpdateKernel,
     ) -> Result<(RuntimeReport, Vec<u64>), String> {
         let runtime = self.builder(kernel).build();
-        let cost_before = runtime.read_cost();
-        let buffers_before = runtime.buffer_stats();
+        let before = runtime.metrics();
         // Static kernels *stream* their script straight from the kernel
         // (`for_each_step`) instead of materialising a Vec of steps: a
         // multi-million-vertex pgrank scatter emits one step per edge, and
@@ -755,10 +776,9 @@ impl RuntimeBackend {
             counts.checksum = std::hint::black_box(counts.checksum);
             counts
         });
-        // Capture the read cost before the verifying snapshot below adds its
+        // Capture the metrics before the verifying snapshot below adds its
         // own per-lane reductions to the counters.
-        let read_cost = runtime.read_cost().since(&cost_before);
-        let buffer_stats = runtime.buffer_stats().since(&buffers_before);
+        let metrics = runtime.metrics().since(&before);
         let backend_name = runtime.backend_name();
         let snapshot = runtime.shutdown().snapshot;
         let expected = kernel.expected(self.threads);
@@ -780,13 +800,18 @@ impl RuntimeBackend {
                 ));
             }
         }
+        let mut totals = WorkerCounts::default();
+        for counts in &counts {
+            totals.merge(counts);
+        }
         let report = RuntimeReport {
             threads: self.threads,
-            updates: counts.iter().map(|c| c.updates).sum(),
-            reads: counts.iter().map(|c| c.reads).sum(),
+            updates: totals.updates,
+            reads: totals.reads,
             elapsed,
-            read_cost,
-            buffer_stats,
+            read_cost: metrics.read_cost,
+            buffer_stats: metrics.buffer_stats,
+            metrics,
         };
         Ok((report, snapshot))
     }

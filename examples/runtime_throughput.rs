@@ -25,7 +25,15 @@
 //!    same kernel definitions the timing simulator runs, now on silicon as
 //!    facade worker jobs, with every run verified against the sequential
 //!    reference — including pgrank over a million-line store with
-//!    per-thread buffer memory capped at a few KiB.
+//!    per-thread buffer memory capped at a few KiB,
+//! 5. the telemetry-overhead measurement: the hist kernel with the metrics
+//!    registry enabled versus runtime-disabled, quantifying what the
+//!    relaxed-atomic instrumentation costs on the hot path.
+//!
+//! The kernel table, the overhead measurement, and the coup hist run's full
+//! [`MetricsSnapshot`](coup_runtime::MetricsSnapshot) are also written to
+//! `BENCH_runtime.json` (schema `coup-bench-runtime/v1`, documented in the
+//! README) so perf trajectories are machine-diffable across commits.
 //!
 //! On a many-core machine the COUP advantage grows with the core count
 //! (private buffers eliminate the coherence ping-pong of the hot lines); on
@@ -39,6 +47,7 @@ use coup_runtime::{
     run_contended, BackendKind, BufferConfig, ContendedSpec, CoupBackend, CoupRuntime,
     RuntimeBuilder, DEFAULT_FLUSH_THRESHOLD,
 };
+use coup_runtime::{MetricsSnapshot, TelemetryConfig};
 use coup_workloads::bfs::BfsWorkload;
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
@@ -171,7 +180,16 @@ fn sweep_capacity(producers: usize, updates_per_thread: usize) {
     println!();
 }
 
-fn run_kernel(name: &str, kernel: &dyn UpdateKernel, threads: usize) {
+/// One row of the kernel × backend table, kept for `BENCH_runtime.json`.
+struct KernelRow {
+    name: &'static str,
+    atomic_mops: f64,
+    coup_mops: f64,
+    updates: u64,
+    reads: u64,
+}
+
+fn run_kernel(name: &'static str, kernel: &dyn UpdateKernel, threads: usize) -> KernelRow {
     let (atomic, coup) = compare_runtime_backends(kernel, threads)
         .expect("both runs verify against the sequential reference");
     println!(
@@ -182,6 +200,13 @@ fn run_kernel(name: &str, kernel: &dyn UpdateKernel, threads: usize) {
         coup.updates,
         coup.reads,
     );
+    KernelRow {
+        name,
+        atomic_mops: atomic.mops(),
+        coup_mops: coup.mops(),
+        updates: coup.updates,
+        reads: coup.reads,
+    }
 }
 
 /// The bounded-footprint demonstration: pgrank over a million-line store
@@ -224,6 +249,86 @@ fn run_big_pgrank(threads: usize) {
     );
 }
 
+/// What the telemetry-overhead section measured: the same kernel with the
+/// registry live and with the runtime kill-switch thrown.
+struct OverheadRow {
+    enabled_mops: f64,
+    disabled_mops: f64,
+    /// Enabled-vs-disabled slowdown computed from the best rate of each, in
+    /// percent; negative means the enabled run was faster (noise floor).
+    overhead_pct: f64,
+    metrics: MetricsSnapshot,
+}
+
+/// Measures telemetry overhead on the hist kernel: `reps` pairs of runs,
+/// telemetry enabled (default config) vs runtime-disabled, best rate each.
+fn measure_overhead(threads: usize, reps: usize) -> OverheadRow {
+    println!("telemetry overhead (hist 1M px, 256 bins, {threads} threads, best of {reps}):");
+    let hist = HistWorkload::new(1_000_000, 256, HistScheme::Shared, 42);
+    let kernel = hist.kernel();
+    let mut enabled_mops = 0.0f64;
+    let mut disabled_mops = 0.0f64;
+    let mut metrics = MetricsSnapshot::default();
+    for _ in 0..reps {
+        let on = RuntimeBackend::new(RuntimeKind::Coup, threads)
+            .with_telemetry(TelemetryConfig::default())
+            .execute(&kernel)
+            .expect("hist verifies with telemetry on");
+        let off = RuntimeBackend::new(RuntimeKind::Coup, threads)
+            .with_telemetry(TelemetryConfig::disabled())
+            .execute(&kernel)
+            .expect("hist verifies with telemetry off");
+        if on.mops() > enabled_mops {
+            enabled_mops = on.mops();
+            metrics = on.metrics;
+        }
+        disabled_mops = disabled_mops.max(off.mops());
+    }
+    let overhead_pct = (disabled_mops / enabled_mops - 1.0) * 100.0;
+    println!(
+        "  {:>10} | {:>14.1} Mops\n  {:>10} | {:>14.1} Mops\n  {:>10} | {:>13.2}%\n",
+        "enabled", enabled_mops, "disabled", disabled_mops, "overhead", overhead_pct,
+    );
+    OverheadRow {
+        enabled_mops,
+        disabled_mops,
+        overhead_pct,
+        metrics,
+    }
+}
+
+/// Serialises the run into `BENCH_runtime.json` (schema
+/// `coup-bench-runtime/v1`; see README). Hand-rolled like the snapshot
+/// exporter — the workspace builds without serde.
+fn emit_bench_json(threads: usize, rows: &[KernelRow], overhead: &OverheadRow) {
+    let mut kernels = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            kernels.push(',');
+        }
+        kernels.push_str(&format!(
+            "\n    {{\"kernel\": {:?}, \"atomic_mops\": {:.3}, \"coup_mops\": {:.3},              \"speedup\": {:.3}, \"updates\": {}, \"reads\": {}}}",
+            row.name,
+            row.atomic_mops,
+            row.coup_mops,
+            row.coup_mops / row.atomic_mops,
+            row.updates,
+            row.reads,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"coup-bench-runtime/v1\",\n  \"threads\": {threads},\n           \"workers\": {WORKERS},\n  \"kernels\": [{kernels}\n  ],\n           \"telemetry_overhead\": {{\"kernel\": \"hist (1M px, 256b)\", \"threads\": {threads},          \"enabled_mops\": {:.3}, \"disabled_mops\": {:.3}, \"overhead_pct\": {:.3}}},\n           \"metrics\": {}\n}}\n",
+        overhead.enabled_mops,
+        overhead.disabled_mops,
+        overhead.overhead_pct,
+        overhead.metrics.to_json(),
+    );
+    match std::fs::write("BENCH_runtime.json", &json) {
+        Ok(()) => println!("wrote BENCH_runtime.json ({} bytes)", json.len()),
+        Err(err) => println!("could not write BENCH_runtime.json: {err}"),
+    }
+}
+
 fn main() {
     let threads = 8;
 
@@ -243,20 +348,29 @@ fn main() {
         "{:>20} | {:>14} | {:>14} | {:>8} |",
         "kernel", "atomic (Mops)", "coup (Mops)", "speedup"
     );
+    let mut rows = Vec::new();
     let hist = HistWorkload::new(1_000_000, 256, HistScheme::Shared, 42);
-    run_kernel("hist (1M px, 256b)", &hist.kernel(), threads);
+    rows.push(run_kernel("hist (1M px, 256b)", &hist.kernel(), threads));
     let pgrank = PageRankWorkload::new(2_000, 32, 4, 42);
-    run_kernel("pgrank (2k v, x4)", &pgrank.kernel(), threads);
+    rows.push(run_kernel("pgrank (2k v, x4)", &pgrank.kernel(), threads));
     let refcount = ImmediateRefcount::new(64, 150_000, false, RefcountScheme::Coup, 42);
-    run_kernel("refcount (64 ctrs)", &refcount.kernel(), threads);
+    rows.push(run_kernel(
+        "refcount (64 ctrs)",
+        &refcount.kernel(),
+        threads,
+    ));
     // The update-rich workloads this PR kernelized: floating-point scatter
     // (verified under the relative tolerance), the dynamic level-synchronous
     // visited bitmap, and the delayed-reclamation epoch scheme.
     let spmv = SpmvWorkload::new(20_000, 16, 42);
-    run_kernel("spmv (20k², 16nnz)", &spmv.kernel(), threads);
+    rows.push(run_kernel("spmv (20k², 16nnz)", &spmv.kernel(), threads));
     let bfs = BfsWorkload::new(200_000, 8, 42);
-    run_kernel("bfs (200k v)", &bfs.kernel(), threads);
+    rows.push(run_kernel("bfs (200k v)", &bfs.kernel(), threads));
     let delayed = DelayedRefcount::new(4_096, 8, 50_000, DelayedScheme::CoupBitmap, 42);
-    run_kernel("refcount-delayed", &delayed.kernel(), threads);
+    rows.push(run_kernel("refcount-delayed", &delayed.kernel(), threads));
     run_big_pgrank(threads);
+    println!();
+
+    let overhead = measure_overhead(threads, 7);
+    emit_bench_json(threads, &rows, &overhead);
 }

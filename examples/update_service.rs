@@ -4,7 +4,7 @@
 //! coherence fabric, and the repository's answer to "how does this serve
 //! millions of users?".
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! 1. **The service**: an event-counting service (think per-endpoint request
 //!    counters) where producers batch Zipf-skewed increments through
@@ -18,13 +18,23 @@
 //!    upward, demonstrating why the frontend batches — per-op submission
 //!    pays the MPSC synchronisation on every update, batching amortises it
 //!    to nothing. The crossover is recorded in the README.
+//! 3. **Live telemetry**: a clonable [`TelemetryHandle`] polled *while the
+//!    producers are running* — each poll is a consistent
+//!    [`MetricsSnapshot`](coup_runtime::MetricsSnapshot) assembled from the
+//!    per-worker registry with no stop-the-world — followed by the
+//!    Prometheus text exposition of the final snapshot (what a scraper
+//!    would collect from a real deployment; the CI telemetry lane greps
+//!    this output for the metric families).
 //!
 //! Run with: `cargo run --release --example update_service`
 
 use std::time::Instant;
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{splitmix64, tag, BackendKind, CoupRuntime, LaneSampler, RuntimeBuilder};
+use coup_runtime::{
+    splitmix64, tag, BackendKind, BufferConfig, CoupRuntime, LaneSampler, RuntimeBuilder,
+    TelemetryHandle,
+};
 
 const COUNTERS: usize = 1024;
 const PRODUCERS: usize = 8;
@@ -119,8 +129,90 @@ fn batch_sweep_section() {
     println!();
 }
 
+/// Polls `telemetry` while producers run, printing live (non-final)
+/// counters; returns how many polls observed work still in flight.
+fn live_monitor(telemetry: &TelemetryHandle, total_events: u64) -> u64 {
+    let mut in_flight_polls = 0;
+    let mut last_applied = 0u64;
+    for tick in 0.. {
+        let snap = telemetry.metrics();
+        assert!(
+            snap.updates_applied >= last_applied,
+            "snapshots are monotone"
+        );
+        last_applied = snap.updates_applied;
+        let live = snap.updates_applied < snap.updates_submitted;
+        if live {
+            in_flight_polls += 1;
+        }
+        if tick % 8 == 0 || live {
+            println!(
+                "    poll {tick:>3}: submitted {:>9}  applied {:>9}  privatized {:>7}                   evictions {:>6}  dwell-mean {:>6.1}us{}",
+                snap.updates_submitted,
+                snap.updates_applied,
+                snap.buffer_stats.privatized,
+                snap.buffer_stats.evictions,
+                snap.queue_dwell_us.mean(),
+                if live { "  [mid-run]" } else { "" },
+            );
+        }
+        if snap.updates_applied >= total_events || tick >= 400 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    in_flight_polls
+}
+
+fn telemetry_section() {
+    println!(
+        "live telemetry (coup backend): a TelemetryHandle polled while the          producers run\n"
+    );
+    let runtime = RuntimeBuilder::new(CommutativeOp::AddU64, COUNTERS)
+        .workers(2)
+        .batch_capacity(256)
+        .buffer_config(BufferConfig::bounded(64))
+        .build();
+    let telemetry = runtime.telemetry();
+    let total_events = (PRODUCERS * EVENTS_PER_PRODUCER) as u64;
+    let sampler = LaneSampler::new(COUNTERS, 0.99);
+    let in_flight_polls = std::thread::scope(|scope| {
+        for producer in 0..PRODUCERS {
+            let mut counter = runtime.counter::<tag::Add64>();
+            let sampler = &sampler;
+            scope.spawn(move || {
+                let mut state = 0xFACADE_u64 ^ (producer as u64) << 32;
+                for _ in 0..EVENTS_PER_PRODUCER {
+                    counter.increment(sampler.lane(splitmix64(&mut state)));
+                }
+            });
+        }
+        scope
+            .spawn(|| live_monitor(&telemetry, total_events))
+            .join()
+            .expect("monitor panicked")
+    });
+    runtime.drain();
+    println!("  polls that caught work in flight: {in_flight_polls}");
+    let snap = runtime.metrics();
+    assert_eq!(snap.updates_applied, total_events);
+    assert_eq!(
+        snap.batch_size.sum, total_events,
+        "batch-size histogram accounts for every applied update"
+    );
+
+    // The final snapshot in the Prometheus text exposition format — what a
+    // scraper would collect. The CI telemetry lane greps these families.
+    println!("\n--- prometheus exposition ---");
+    print!("{}", snap.to_prometheus());
+    println!("--- end exposition ---\n");
+    let result = runtime.shutdown();
+    assert_eq!(result.report.updates, total_events);
+}
+
 fn main() {
     println!("== CoupRuntime as an update service ==\n");
     service_section();
     batch_sweep_section();
+    telemetry_section();
 }
