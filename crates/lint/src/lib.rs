@@ -1,0 +1,539 @@
+//! `coup-lint`: the atomics-ordering lint for `coup-runtime`'s lock-free
+//! protocols.
+//!
+//! The runtime routes every atomic through the `crate::sync` facade and
+//! documents every non-`Relaxed` ordering with an `// ord: <tag>` pairing
+//! comment (see `crates/runtime/src/sync.rs` and the "memory-ordering
+//! contract" section of ARCHITECTURE.md). This crate enforces those house
+//! rules as a plain source pass — no rustc plumbing, so it runs in CI in
+//! milliseconds and its diagnostics are stable:
+//!
+//! - **R-IMPORT** — `std::sync::atomic` / `core::sync::atomic` may be
+//!   named only in `sync.rs`. Everything else must go through the facade,
+//!   or the model checker silently loses sight of those atomics.
+//! - **R-SEQCST** — `SeqCst` is banned unless the site carries an
+//!   `// ord: allow-seqcst(<why>)` justification. Every historical `SeqCst`
+//!   in this repo turned out to be either a disguised `AcqRel`/`Release` or
+//!   pure habit; the allowlist keeps the escape hatch auditable.
+//! - **R-TAG** — every `Release`, `Acquire`, or `AcqRel` token must carry
+//!   an `// ord: <tag>[, <tag>…]` comment on the same line or in the
+//!   contiguous comment block directly above it, naming the protocol edge
+//!   it belongs to.
+//! - **R-PAIR** — every `ord:` tag must have at least one release-side
+//!   site (`Release`/`AcqRel`, or a release fence) *and* one acquire-side
+//!   site (`Acquire`/`AcqRel`, or an acquire fence) across the linted
+//!   tree. A one-sided tag is a protocol with a missing half: a publish
+//!   nobody reads, or a read nothing orders.
+//!
+//! String literals and comments are stripped before token scanning, so
+//! `"SeqCst"` in a panic message or `Release` in prose never trips a rule.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One lint finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file, as given to the linter.
+    pub file: String,
+    /// 1-based line number of the offending site.
+    pub line: usize,
+    /// Stable rule identifier: `R-IMPORT`, `R-SEQCST`, `R-TAG`, `R-PAIR`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of linting a set of sources.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Every finding, in file order then line order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no rule fired.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Which sides of a happens-before edge a site provides.
+#[derive(Debug, Default, Clone, Copy)]
+struct Sides {
+    release: bool,
+    acquire: bool,
+}
+
+/// Per-tag pairing ledger entry.
+#[derive(Debug)]
+struct TagEntry {
+    sides: Sides,
+    first_file: String,
+    first_line: usize,
+}
+
+/// Splits one source line into its code part (strings blanked, comments
+/// removed) and its line-comment text, tracking block-comment state across
+/// lines. Good enough for a lint pass: raw strings and nested block
+/// comments are handled, exotic macro token trees are not expected.
+fn split_line(line: &str, block_depth: &mut usize) -> (String, String) {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *block_depth > 0 {
+            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                *block_depth -= 1;
+                i += 2;
+            } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                *block_depth += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                comment.push_str(&bytes[i + 2..].iter().collect::<String>());
+                break;
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                *block_depth += 1;
+                i += 2;
+            }
+            '"' => {
+                code.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            'r' if bytes.get(i + 1) == Some(&'"')
+                || (bytes.get(i + 1) == Some(&'#') && bytes.get(i + 2) == Some(&'"')) =>
+            {
+                // Raw string (up to one `#`, which is all this tree uses).
+                let hashed = bytes[i + 1] == '#';
+                let close: &[char] = if hashed { &['"', '#'] } else { &['"'] };
+                code.push(' ');
+                i += if hashed { 3 } else { 2 };
+                while i < bytes.len() {
+                    if bytes[i..].starts_with(close) {
+                        i += close.len();
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs. lifetime: a char literal closes within a
+                // few chars (`'x'`, `'\n'`, `'\u{..}'`); a lifetime never
+                // closes. Scan ahead for the close quote.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&'\\') {
+                    j += 1;
+                    if bytes.get(j) == Some(&'u') {
+                        while j < bytes.len() && bytes[j] != '}' {
+                            j += 1;
+                        }
+                    }
+                    j += 1;
+                } else {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&'\'') {
+                    code.push(' ');
+                    i = j + 1;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Extracts the `ord:` tags of one comment string: everything after an
+/// `ord:` marker that parses as a kebab-case tag, optionally with a
+/// parenthesised argument (`allow-seqcst(handoff)`), up to the first token
+/// that is neither — so prose may follow the tag list on the same line.
+fn ord_tags(comment: &str) -> Vec<String> {
+    let mut tags = Vec::new();
+    let Some(pos) = comment.find("ord:") else {
+        return tags;
+    };
+    for raw in comment[pos + 4..].split([',', ' ', '\t']) {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let name = match token.split_once('(') {
+            Some((name, rest)) if rest.ends_with(')') => name,
+            None => token,
+            Some(_) => break,
+        };
+        let is_tag = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+        if !is_tag {
+            break;
+        }
+        tags.push(name.to_string());
+    }
+    tags
+}
+
+/// Identifier tokens of a sanitized code line.
+fn idents(code: &str) -> impl Iterator<Item = &str> {
+    code.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+}
+
+/// Lints in-memory sources: `(name, content)` pairs. The unit of the
+/// pairing check (R-PAIR) is the whole set, matching how the binary lints
+/// a directory tree.
+#[must_use]
+pub fn lint_sources(sources: &[(String, String)]) -> Report {
+    let mut report = Report {
+        files: sources.len(),
+        diagnostics: Vec::new(),
+    };
+    let mut ledger: Vec<(String, TagEntry)> = Vec::new();
+
+    for (name, content) in sources {
+        let is_sync = Path::new(name).file_name().is_some_and(|f| f == "sync.rs");
+        let mut block_depth = 0usize;
+        let lines: Vec<(String, String)> = content
+            .lines()
+            .map(|line| split_line(line, &mut block_depth))
+            .collect();
+
+        for (idx, (code, comment)) in lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if !is_sync
+                && (code.contains("std::sync::atomic") || code.contains("core::sync::atomic"))
+            {
+                report.diagnostics.push(Diagnostic {
+                    file: name.clone(),
+                    line: lineno,
+                    rule: "R-IMPORT",
+                    message: "atomics must come from the crate::sync facade; \
+                              std::sync::atomic is allowed only in sync.rs"
+                        .into(),
+                });
+            }
+
+            let mut sides = Sides::default();
+            let mut seqcst = false;
+            for token in idents(code) {
+                match token {
+                    "Release" => sides.release = true,
+                    "Acquire" => sides.acquire = true,
+                    "AcqRel" => {
+                        sides.release = true;
+                        sides.acquire = true;
+                    }
+                    "SeqCst" => seqcst = true,
+                    _ => {}
+                }
+            }
+            if !sides.release && !sides.acquire && !seqcst {
+                continue;
+            }
+
+            // Tags on the site's own line plus the contiguous comment block
+            // directly above it (comment-only lines, no blank in between).
+            let mut tags = ord_tags(comment);
+            let mut above = idx;
+            while above > 0 {
+                above -= 1;
+                let (prev_code, prev_comment) = &lines[above];
+                if !prev_code.trim().is_empty() || prev_comment.is_empty() {
+                    break;
+                }
+                tags.extend(ord_tags(prev_comment));
+            }
+
+            if seqcst {
+                if !tags.iter().any(|t| t == "allow-seqcst") {
+                    report.diagnostics.push(Diagnostic {
+                        file: name.clone(),
+                        line: lineno,
+                        rule: "R-SEQCST",
+                        message: "SeqCst without an `// ord: allow-seqcst(<why>)` \
+                                  justification; use the weakest correct ordering \
+                                  or justify the total order"
+                            .into(),
+                    });
+                }
+                // An allowed SeqCst orders both ways.
+                sides.release = true;
+                sides.acquire = true;
+            }
+
+            let pairing: Vec<&String> = tags.iter().filter(|t| *t != "allow-seqcst").collect();
+            if pairing.is_empty() {
+                if !seqcst {
+                    report.diagnostics.push(Diagnostic {
+                        file: name.clone(),
+                        line: lineno,
+                        rule: "R-TAG",
+                        message: "Release/Acquire/AcqRel site without an `// ord: <tag>` \
+                                  pairing comment (same line or contiguous comment above)"
+                            .into(),
+                    });
+                }
+                continue;
+            }
+            for tag in pairing {
+                match ledger.iter_mut().find(|(t, _)| t == tag) {
+                    Some((_, entry)) => {
+                        entry.sides.release |= sides.release;
+                        entry.sides.acquire |= sides.acquire;
+                    }
+                    None => ledger.push((
+                        tag.clone(),
+                        TagEntry {
+                            sides,
+                            first_file: name.clone(),
+                            first_line: lineno,
+                        },
+                    )),
+                }
+            }
+        }
+    }
+
+    for (tag, entry) in &ledger {
+        let missing = match (entry.sides.release, entry.sides.acquire) {
+            (true, true) => continue,
+            (true, false) => "no acquire-side site (Acquire/AcqRel)",
+            (false, true) => "no release-side site (Release/AcqRel)",
+            (false, false) => "no ordered site at all",
+        };
+        report.diagnostics.push(Diagnostic {
+            file: entry.first_file.clone(),
+            line: entry.first_line,
+            rule: "R-PAIR",
+            message: format!(
+                "ord tag `{tag}` has {missing}: a one-sided edge cannot \
+                 synchronize; pair it or remove the tag"
+            ),
+        });
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Recursively lints every `.rs` file under `root` (or `root` itself if it
+/// is a file). Paths in diagnostics are relative to `root` where possible.
+///
+/// # Errors
+///
+/// Propagates I/O failures (missing path, unreadable file) — the binary
+/// maps these to exit code 2.
+pub fn lint_dir(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let content = fs::read_to_string(&path)?;
+        let display = path
+            .strip_prefix(root)
+            .map(|p| p.display().to_string())
+            .ok()
+            .filter(|p| !p.is_empty())
+            .unwrap_or_else(|| path.display().to_string());
+        sources.push((display, content));
+    }
+    Ok(lint_sources(&sources))
+}
+
+fn collect_rs(path: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    let meta = fs::metadata(path)?;
+    if meta.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    for entry in fs::read_dir(path)? {
+        collect_rs(&entry?.path(), out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(name: &str, src: &str) -> Vec<Diagnostic> {
+        lint_sources(&[(name.to_string(), src.to_string())]).diagnostics
+    }
+
+    #[test]
+    fn clean_paired_tags_pass() {
+        let src = "fn publish(flag: &AtomicU64) {\n    // ord: handoff\n    flag.store(1, Ordering::Release);\n}\nfn consume(flag: &AtomicU64) -> u64 {\n    flag.load(Ordering::Acquire) // ord: handoff\n}\n";
+        assert!(lint_one("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn acqrel_counts_as_both_sides() {
+        let src = "// ord: rmw-edge\nfn f(x: &AtomicU64) { x.fetch_add(1, Ordering::AcqRel); }\n";
+        assert!(lint_one("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untagged_release_is_r_tag_with_exact_location() {
+        let src = "fn f(x: &AtomicU64) {\n    x.store(1, Ordering::Release);\n}\n";
+        let diags = lint_one("a.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R-TAG");
+        assert_eq!(diags[0].file, "a.rs");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn one_sided_tag_is_r_pair() {
+        let src = "// ord: lonely\nfn f(x: &AtomicU64) { x.store(1, Ordering::Release); }\n";
+        let diags = lint_one("a.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R-PAIR");
+        assert!(
+            diags[0].message.contains("`lonely`")
+                && diags[0].message.contains("no acquire-side site"),
+            "unexpected message: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn stray_seqcst_is_r_seqcst_and_allowlisted_seqcst_passes() {
+        let stray = "fn f(x: &AtomicU64) { x.load(Ordering::SeqCst); }\n";
+        let diags = lint_one("a.rs", stray);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R-SEQCST");
+        assert_eq!(diags[0].line, 1);
+
+        let allowed =
+            "fn f(x: &AtomicU64) { x.load(Ordering::SeqCst); } // ord: allow-seqcst(total-order)\n";
+        assert!(lint_one("a.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn std_atomic_import_is_r_import_except_in_sync_rs() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        let diags = lint_one("backend.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R-IMPORT");
+        assert_eq!(diags[0].line, 1);
+
+        assert!(lint_one("sync.rs", src).is_empty());
+        assert!(lint_one("some/dir/sync.rs", src).is_empty());
+        // The facade path is exactly what the rule steers people toward.
+        assert!(lint_one("backend.rs", "use crate::sync::atomic::Ordering;\n").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "// This mentions Ordering::SeqCst and std::sync::atomic in prose.\n/* Release Acquire AcqRel in a block comment. */\nfn f() { let _ = \"Ordering::SeqCst std::sync::atomic Release\"; }\n";
+        assert!(lint_one("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn contiguous_comment_block_carries_the_tag_but_a_blank_line_breaks_it() {
+        let attached = "fn f(x: &AtomicU64) {\n    // why this publishes\n    // ord: edge\n    x.store(1, Ordering::Release);\n    x.load(Ordering::Acquire); // ord: edge\n}\n";
+        assert!(lint_one("a.rs", attached).is_empty());
+
+        let detached =
+            "fn f(x: &AtomicU64) {\n    // ord: edge\n\n    x.store(1, Ordering::Release);\n}\n";
+        let diags = lint_one("a.rs", detached);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "R-TAG");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn tag_list_stops_at_prose() {
+        let src = "fn f(x: &AtomicU64) {\n    // ord: edge-a, edge-b — mutation lane weakens this AcqRel edge\n    x.fetch_or(1, Ordering::AcqRel);\n    x.load(Ordering::Acquire); // ord: edge-a\n    // ord: edge-b\n    x.load(Ordering::Acquire);\n}\n";
+        let diags = lint_one("a.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn pairing_is_cross_file() {
+        let publish = (
+            "w.rs".to_string(),
+            "// ord: split\nfn w(x: &AtomicU64) { x.store(1, Ordering::Release); }\n".to_string(),
+        );
+        let consume = (
+            "r.rs".to_string(),
+            "// ord: split\nfn r(x: &AtomicU64) { x.load(Ordering::Acquire); }\n".to_string(),
+        );
+        assert!(lint_sources(&[publish.clone(), consume]).is_clean());
+        let half = lint_sources(&[publish]);
+        assert_eq!(half.diagnostics.len(), 1);
+        assert_eq!(half.diagnostics[0].rule, "R-PAIR");
+    }
+
+    #[test]
+    fn release_fence_pairs_with_acquire_fence() {
+        let src = "fn f() {\n    fence(Ordering::Release); // ord: fence-edge\n    fence(Ordering::Acquire); // ord: fence-edge\n}\n";
+        assert!(lint_one("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn the_real_runtime_tree_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../runtime/src");
+        let report = lint_dir(&root).expect("runtime sources must be readable");
+        assert!(
+            report.is_clean(),
+            "coup-lint found violations in crates/runtime/src:\n{}",
+            report
+                .diagnostics
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            report.files >= 8,
+            "expected the full runtime tree, scanned only {} files",
+            report.files
+        );
+    }
+}

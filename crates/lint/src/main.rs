@@ -1,0 +1,51 @@
+//! `coup-lint [PATH]...` — lints Rust sources for the runtime's atomics
+//! house rules (facade imports, SeqCst allowlist, `// ord:` pairing tags).
+//!
+//! With no arguments it lints `crates/runtime/src`, i.e. it expects to run
+//! from the workspace root, which is what CI and `cargo run -p coup-lint`
+//! do. Exit codes: `0` clean, `1` diagnostics found, `2` I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let default = ["crates/runtime/src".to_string()];
+    let paths: &[String] = if args.is_empty() { &default } else { &args };
+
+    let mut files = 0usize;
+    let mut diagnostics = Vec::new();
+    for path in paths {
+        match coup_lint::lint_dir(Path::new(path)) {
+            Ok(report) => {
+                files += report.files;
+                diagnostics.extend(report.diagnostics.into_iter().map(|mut d| {
+                    // Re-anchor relative names under the argument so the
+                    // output is clickable from the invocation directory.
+                    if !d.file.starts_with(path.as_str()) {
+                        d.file = format!("{}/{}", path.trim_end_matches('/'), d.file);
+                    }
+                    d
+                }));
+            }
+            Err(err) => {
+                eprintln!("coup-lint: {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if diagnostics.is_empty() {
+        println!("coup-lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "coup-lint: {} violation(s) in {files} files",
+            diagnostics.len()
+        );
+        ExitCode::from(1)
+    }
+}

@@ -43,8 +43,32 @@
 //!    a direct store RMW (the atomic-baseline path) instead of evicting —
 //!    bounded memory and reader progress both survive.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Orderings the `coup_model_mutation` CI lane deliberately weakens to prove
+/// the model suite has teeth: each constant names one *load-bearing* edge of
+/// a lock-free protocol — an edge whose weakening admits a concrete bad
+/// interleaving — and `model_tests.rs` documents that interleaving for each.
+/// Production builds always resolve to the strong ordering.
+///
+/// Not every Release in this file qualifies: the eviction-count publish, for
+/// instance, is doubly covered (the migrate fence's `rel_pending` already
+/// orders the `privatized` bump before it), so weakening *it* changes
+/// nothing observable. The mutation for the stats handshake therefore
+/// attacks the fold-side Acquire instead, which is singly covered.
+#[cfg(not(coup_model_mutation))]
+const EPOCH_PUBLISH: Ordering = Ordering::Release; // ord: seqlock-epoch
+#[cfg(not(coup_model_mutation))]
+const WRITER_RETIRE: Ordering = Ordering::AcqRel; // ord: writer-bitmap
+#[cfg(not(coup_model_mutation))]
+const EVICTION_FOLD: Ordering = Ordering::Acquire; // ord: evict-stats
+#[cfg(coup_model_mutation)]
+const EPOCH_PUBLISH: Ordering = Ordering::Relaxed;
+#[cfg(coup_model_mutation)]
+const WRITER_RETIRE: Ordering = Ordering::Relaxed;
+#[cfg(coup_model_mutation)]
+const EVICTION_FOLD: Ordering = Ordering::Relaxed;
 
 use coup_protocol::line::{LineData, WORDS_PER_LINE};
 use coup_protocol::ops::CommutativeOp;
@@ -519,6 +543,7 @@ impl ThreadBuffer {
         let tag = tag_of(line);
         for i in 0..self.window {
             let idx = (line + i) & self.mask;
+            // ord: buffer-tag-publish
             if self.tags[idx].load(Ordering::Acquire) == tag {
                 return Some(idx);
             }
@@ -749,6 +774,7 @@ impl CoupBackend {
             if buf.tags[idx].load(Ordering::Relaxed) == EMPTY_TAG {
                 // Release: a reader that finds this tag must also see the
                 // slot's identity-initialised words.
+                // ord: buffer-tag-publish
                 buf.tags[idx].store(tag_of(line), Ordering::Release);
                 buf.privatized.store(
                     buf.privatized.load(Ordering::Relaxed) + 1,
@@ -776,6 +802,7 @@ impl CoupBackend {
             let victim_line = (buf.tags[idx].load(Ordering::Relaxed) - 1) as usize;
             self.migrate_slot(thread, idx, Some(line));
             buf.evictions
+                // ord: evict-stats
                 .store(buf.evictions.load(Ordering::Relaxed) + 1, Ordering::Release);
             self.telemetry.trace(thread, TraceKind::Evict, victim_line);
         } else {
@@ -786,6 +813,7 @@ impl CoupBackend {
             // without an intervening dirty migration, because the update
             // that triggered this claim dirties the slot before any further
             // re-tag can happen.
+            // ord: buffer-tag-publish
             buf.tags[idx].store(tag_of(line), Ordering::Release);
         }
         self.telemetry
@@ -866,12 +894,14 @@ impl CoupBackend {
         );
         // Order the odd-epoch store before the swaps: a reader that observes
         // a swapped (identity) word must also observe the migration marker.
-        std::sync::atomic::fence(Ordering::Release);
+        // ord: seqlock-epoch
+        crate::sync::atomic::fence(Ordering::Release);
         let op = self.store.op();
         let identity = op.identity_word();
         let mut partial = LineData::identity(op);
         let mut dirty = false;
         for word in 0..WORDS_PER_LINE {
+            // ord: seqlock-epoch, buffer-word
             let observed = buf.slots[idx].words[word].swap(identity, Ordering::AcqRel);
             if observed != identity {
                 partial.set_word(word, observed);
@@ -891,14 +921,18 @@ impl CoupBackend {
         // its delta landed.
         self.line_meta[line]
             .writers
-            .fetch_and(!(1u64 << thread), Ordering::AcqRel);
+            // ord: writer-bitmap — mutation lane weakens this AcqRel; the
+            // bitmap model test catches a reader that observes the cleared
+            // bit yet folds a store missing this migration's reduce.
+            .fetch_and(!(1u64 << thread), WRITER_RETIRE);
         if let Some(new_line) = retag {
+            // ord: buffer-tag-publish
             buf.tags[idx].store(tag_of(new_line), Ordering::Release);
         }
-        epoch.store(
-            epoch.load(Ordering::Relaxed).wrapping_add(1),
-            Ordering::Release,
-        );
+        // Even-epoch publish: the seqlock close. Mutation lane weakens
+        // this Release; the torn-read model test catches a reader that
+        // validates against the new epoch while folding stale words.
+        epoch.store(epoch.load(Ordering::Relaxed).wrapping_add(1), EPOCH_PUBLISH);
         self.telemetry.record_flush_words(thread, applied as u64);
     }
 
@@ -931,6 +965,7 @@ impl CoupBackend {
         let op = self.store.op();
         let identity = op.identity_lane();
         let meta = &self.line_meta[slot.line];
+        // ord: writer-bitmap
         let writers = meta.writers.load(Ordering::Acquire);
         // (thread, slot index, sampled epoch) of each located writer slot.
         let mut located = [(0usize, 0usize, 0u64); MAX_COUP_THREADS];
@@ -940,6 +975,7 @@ impl CoupBackend {
             let thread = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             if let Some(idx) = self.buffers[thread].locate(slot.line) {
+                // ord: seqlock-epoch
                 let epoch = self.buffers[thread].epochs[idx].load(Ordering::Acquire);
                 if epoch & 1 == 1 {
                     return None;
@@ -953,6 +989,7 @@ impl CoupBackend {
         }
         let mut value = self.store.load_lane(index);
         for &(thread, idx, _) in &located[..n] {
+            // ord: buffer-word
             let word = self.buffers[thread].slots[idx].words[slot.word].load(Ordering::Acquire);
             cost.buffer_words += 1;
             let lane = (word & slot.mask) >> slot.shift;
@@ -960,7 +997,8 @@ impl CoupBackend {
                 value = op.apply_lane(value, lane) & slot.low_mask;
             }
         }
-        std::sync::atomic::fence(Ordering::Acquire);
+        // ord: seqlock-epoch
+        crate::sync::atomic::fence(Ordering::Acquire);
         if meta.writers.load(Ordering::Relaxed) != writers {
             return None;
         }
@@ -998,6 +1036,7 @@ impl CoupBackend {
         cost: &mut ReadCost,
     ) -> u64 {
         let meta = &self.line_meta[slot.line];
+        // ord: read-hold
         meta.read_holds.fetch_add(1, Ordering::AcqRel);
         cost.escalations += 1;
         self.telemetry
@@ -1007,8 +1046,9 @@ impl CoupBackend {
                 break value;
             }
             cost.retries += 1;
-            std::hint::spin_loop();
+            crate::sync::hint::spin_loop();
         };
+        // ord: read-hold
         meta.read_holds.fetch_sub(1, Ordering::AcqRel);
         value
     }
@@ -1068,6 +1108,7 @@ impl UpdateBackend for CoupBackend {
             // the bit can always find the slot.
             self.line_meta[slot.line]
                 .writers
+                // ord: writer-bitmap
                 .fetch_or(1u64 << thread, Ordering::AcqRel);
         }
         let word = &buf.slots[idx].words[slot.word];
@@ -1078,7 +1119,7 @@ impl UpdateBackend for CoupBackend {
         let new_lane = op.apply_lane(lane, value) & slot.low_mask;
         word.store(
             (current & !slot.mask) | (new_lane << slot.shift),
-            Ordering::Release,
+            Ordering::Release, // ord: buffer-word
         );
 
         // Threshold flushes defer while an escalated reader holds the line
@@ -1124,7 +1165,7 @@ impl UpdateBackend for CoupBackend {
             if attempts >= READ_RETRY_LIMIT {
                 break self.reduce_with_hold(thread, slot, index, &mut cost);
             }
-            std::hint::spin_loop();
+            crate::sync::hint::spin_loop();
         };
         // Owner-only slot (shared slot 0 absorbs out-of-range callers, e.g.
         // a snapshot taken from a non-worker thread; fetch_add keeps that
@@ -1188,8 +1229,11 @@ impl UpdateBackend for CoupBackend {
             // owner bumps `privatized` first and publishes the eviction with
             // Release, so every eviction this load observes has its claim in
             // the `privatized` load below — `evictions ≤ privatized` holds
-            // for any observer, mid-run included.
-            let evictions = buf.evictions.load(Ordering::Acquire);
+            // for any observer, mid-run included. Mutation lane weakens
+            // this Acquire; the stats-invariant model test catches the
+            // `evictions > privatized` observation that admits.
+            // ord: evict-stats
+            let evictions = buf.evictions.load(EVICTION_FOLD);
             total.merge(&BufferStats {
                 privatized: buf.privatized.load(Ordering::Relaxed),
                 evictions,
@@ -1681,13 +1725,13 @@ mod tests {
     #[test]
     fn read_hold_defers_threshold_flushes() {
         let b = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 2, 2);
-        b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel);
+        b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel); // ord: read-hold
         for _ in 0..6 {
             b.update(0, 0, 1);
         }
         assert_eq!(b.store().load_lane(0), 0, "flushes deferred under hold");
         assert_eq!(b.read(1, 0), 6, "reads still reduce the buffered deltas");
-        b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel);
+        b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel); // ord: read-hold
         b.update(0, 0, 1);
         assert_eq!(b.store().load_lane(0), 7, "hold released, flush resumed");
     }
@@ -1707,7 +1751,7 @@ mod tests {
             );
             b.update(0, 0, 1); // line 0 resident
             b.update(0, lanes_per_line, 2); // line 1 resident
-            b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel);
+            b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel); // ord: read-hold
             b.update(0, 2 * lanes_per_line, 3); // line 2 must displace line 1
             assert_eq!(
                 b.store().load_lane(0),
@@ -1719,7 +1763,7 @@ mod tests {
                 2,
                 "{policy:?}: unheld line 1 was the victim"
             );
-            b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel);
+            b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel); // ord: read-hold
         }
     }
 
@@ -1741,7 +1785,7 @@ mod tests {
         b.update(0, 0, 5); // line 0 resident and dirty
         let idx = slot_of(&b, 0, 0);
         let epoch_before = b.buffers[0].epochs[idx].load(Ordering::Relaxed);
-        b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel);
+        b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel); // ord: read-hold
         b.update(0, lanes_per_line, 7); // the only victim candidate is held
         assert_eq!(
             b.store().load_lane(lanes_per_line),
@@ -1758,8 +1802,8 @@ mod tests {
         let stats = b.buffer_stats();
         assert_eq!(stats.held_bypasses, 1);
         assert_eq!(stats.evictions, 0);
-        b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel);
-        // Hold released: line 1 privatizes normally again, evicting line 0.
+        b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel); // ord: read-hold
+                                                                  // Hold released: line 1 privatizes normally again, evicting line 0.
         b.update(0, lanes_per_line, 1);
         assert_eq!(b.read(1, lanes_per_line), 8);
         assert_eq!(b.buffer_stats().evictions, 1);

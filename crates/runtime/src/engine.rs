@@ -86,8 +86,8 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::backend::{CoupBackend, UpdateBackend};
+    use crate::sync::atomic::{AtomicUsize, Ordering};
     use coup_protocol::ops::CommutativeOp;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn run_returns_results_in_thread_order() {
@@ -101,10 +101,14 @@ mod tests {
         let engine = Engine::new(4);
         let phase1 = AtomicUsize::new(0);
         engine.run(|ctx| {
-            phase1.fetch_add(1, Ordering::SeqCst);
+            // Relaxed suffices on both sides: `Barrier::wait` provides the
+            // happens-before edge between every arrival and every departure,
+            // so these need no ordering of their own (they were SeqCst out
+            // of habit before coup-lint banned unjustified SeqCst).
+            phase1.fetch_add(1, Ordering::Relaxed);
             ctx.barrier();
             // After the barrier every worker must observe all four arrivals.
-            assert_eq!(phase1.load(Ordering::SeqCst), 4);
+            assert_eq!(phase1.load(Ordering::Relaxed), 4);
         });
     }
 

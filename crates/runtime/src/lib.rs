@@ -84,8 +84,11 @@
 pub mod backend;
 mod engine;
 pub mod harness;
+#[cfg(all(test, coup_model, feature = "model"))]
+mod model_tests;
 pub mod runtime;
 pub mod store;
+mod sync;
 pub mod telemetry;
 pub mod trace;
 

@@ -1,0 +1,242 @@
+//! Exhaustive model checks of the runtime's lock-free protocols.
+//!
+//! Compiled only under `--cfg coup_model` with the `model` feature, where
+//! the `crate::sync` facade routes every atomic, mutex, condvar, and thread
+//! spawn through the `loom` shim: a deterministic scheduler that explores
+//! every interleaving a bounded number of preemptions admits, over a
+//! C11-style weak memory model (per-location modification order +
+//! happens-before clocks), so `Relaxed` loads really can observe stale
+//! values here.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg coup_model" cargo test -p coup-runtime --features model model_tests
+//! ```
+//!
+//! Each protocol test is paired with a **mutation check**: under
+//! `--cfg coup_model_mutation` one named ordering per protocol is weakened
+//! to `Relaxed` (`EPOCH_PUBLISH`, `WRITER_RETIRE`, `EVICTION_FOLD` in
+//! `backend.rs`; `TICKET_PUBLISH` in `trace.rs`), and the test below that
+//! names it must *fail* — CI's mutation lane asserts exactly that, proving
+//! these tests have teeth rather than passing vacuously. The queue test has
+//! no ordering mutation (its protocol is mutex/condvar-based); its teeth are
+//! the model's deadlock detector, exercised by the shim's own
+//! `missed_condvar_wakeup_is_reported_as_deadlock` self-test.
+
+use std::sync::Arc;
+
+use coup_protocol::ops::CommutativeOp;
+
+use crate::backend::{BufferConfig, CoupBackend, UpdateBackend};
+use crate::runtime::RuntimeBuilder;
+use crate::sync::thread;
+use crate::telemetry::{TelemetryConfig, TelemetryRegistry};
+
+/// A backend small enough to model-check: telemetry disabled so the only
+/// atomics in play are the protocol's own.
+fn small_backend(
+    len: usize,
+    threads: usize,
+    flush_threshold: u32,
+    config: BufferConfig,
+) -> Arc<CoupBackend> {
+    Arc::new(CoupBackend::with_telemetry(
+        CommutativeOp::AddU64,
+        len,
+        threads,
+        flush_threshold,
+        config,
+        Arc::new(TelemetryRegistry::new(threads, TelemetryConfig::disabled())),
+    ))
+}
+
+/// Protocol 1 — per-slot seqlock: a reader racing `update` + `flush` must
+/// never see a torn value, and two reads by one observer must be monotone.
+///
+/// Mutation pairing: `EPOCH_PUBLISH` (the even-epoch seqlock close in
+/// `migrate_slot`) weakened to `Relaxed` admits this interleaving: the
+/// helper reads 3 from the buffered delta; the main thread then samples the
+/// writer bitmap while the bit is still set, is preempted across the whole
+/// migration, and resumes to sample the *new* even epoch without the
+/// happens-before edge to the reduce it is supposed to carry — so its store
+/// load is free to return stale 0, its epoch recheck matches, and its bitmap
+/// recheck branches to the stale still-set value (the clear landed mid-pass).
+/// Result: r2 == 0 after r1 == 3, caught by the monotonicity assert.
+#[test]
+fn seqlock_flush_reads_never_tear_and_stay_monotone() {
+    loom::model(|| {
+        let backend = small_backend(8, 2, 64, BufferConfig::unbounded());
+        let writer = {
+            let b = Arc::clone(&backend);
+            thread::spawn(move || {
+                b.update(0, 0, 3);
+                b.flush(0);
+            })
+        };
+        let helper = {
+            let b = Arc::clone(&backend);
+            thread::spawn(move || b.read(1, 0))
+        };
+        let r1 = helper.join().unwrap();
+        let r2 = backend.read(1, 0);
+        assert!(r1 == 0 || r1 == 3, "torn first read: {r1}");
+        assert!(r2 == 0 || r2 == 3, "torn second read: {r2}");
+        assert!(r2 >= r1, "non-monotone reads: {r1} then {r2}");
+        writer.join().unwrap();
+        // Fully joined: the flushed delta must be store-visible.
+        assert_eq!(backend.read(1, 0), 3);
+    });
+}
+
+/// Protocol 2 — writer bitmap set/fold/clear vs. a concurrently retrying
+/// reader: with `flush_threshold == 1` every update announces its bit,
+/// stores the delta, and immediately migrates (fold + clear), so a reader
+/// crosses all three bitmap phases and its validation/retry path.
+///
+/// Mutation pairing: `WRITER_RETIRE` (the `fetch_and` bit-clear in
+/// `migrate_slot`) weakened to `Relaxed` admits: the helper observes 3 via
+/// the buffered delta; the main thread later acquire-loads the *cleared*
+/// bitmap, which no longer carries the happens-before edge to the reduce,
+/// skips the buffer as the protocol intends — and reads stale store 0.
+/// Again r2 == 0 after r1 == 3, caught by the monotonicity assert.
+#[test]
+fn bitmap_retire_publishes_the_reduce_it_promises() {
+    loom::model(|| {
+        let backend = small_backend(8, 2, 1, BufferConfig::unbounded());
+        let writer = {
+            let b = Arc::clone(&backend);
+            // Threshold 1: announce bit, store delta, migrate — inline.
+            thread::spawn(move || b.update(0, 0, 3))
+        };
+        let helper = {
+            let b = Arc::clone(&backend);
+            thread::spawn(move || b.read(1, 0))
+        };
+        let r1 = helper.join().unwrap();
+        let r2 = backend.read(1, 0);
+        assert!(r1 == 0 || r1 == 3, "torn first read: {r1}");
+        assert!(r2 == 0 || r2 == 3, "torn second read: {r2}");
+        assert!(r2 >= r1, "non-monotone reads: {r1} then {r2}");
+        writer.join().unwrap();
+        assert_eq!(backend.read(1, 0), 3);
+        assert_eq!(backend.buffer_stats().flushes, 1);
+    });
+}
+
+/// Protocol 3 — the eviction handshake: `privatized` is bumped *before* a
+/// dirty victim's migration and the eviction count is published with
+/// Release after it, so `evictions ≤ privatized` must hold for any
+/// observer, however racy. A capacity-1 buffer plus an update to a second
+/// line forces exactly one dirty eviction (the software U-state eviction).
+///
+/// Mutation pairing: `EVICTION_FOLD` (the Acquire on the stats fold's
+/// `evictions` load) weakened to `Relaxed` lets the observer read
+/// `evictions == 1` without the happens-before edge to the claim, so its
+/// `privatized` load may return stale 0 — `1 ≤ 0` fails. (The publish side
+/// is the one edge whose weakening is *not* observable: the migrate fence
+/// already orders the bump before it, which is why the mutation attacks the
+/// fold side — see the constant's comment in `backend.rs`.)
+#[test]
+fn eviction_count_never_exceeds_privatized_for_any_observer() {
+    loom::model(|| {
+        let backend = small_backend(16, 1, 64, BufferConfig::bounded(1));
+        let writer = {
+            let b = Arc::clone(&backend);
+            thread::spawn(move || {
+                b.update(0, 0, 1); // privatize line 0, buffer a delta
+                b.update(0, 8, 1); // line 1: evicts dirty line 0
+            })
+        };
+        let stats = backend.buffer_stats();
+        assert!(
+            stats.evictions <= stats.privatized,
+            "observed {} evictions with only {} privatizations",
+            stats.evictions,
+            stats.privatized
+        );
+        writer.join().unwrap();
+        let quiesced = backend.buffer_stats();
+        assert_eq!(quiesced.privatized, 2);
+        assert_eq!(quiesced.evictions, 1);
+        // The evicted line's delta migrated; the resident line still folds.
+        assert_eq!(backend.read(0, 0), 1);
+        assert_eq!(backend.read(0, 8), 1);
+    });
+}
+
+/// Protocol 4 — trace-ring seqlock tickets: a drain racing recording (with
+/// wrap-around overwrites, capacity 2 vs. 3 records) may *drop* entries but
+/// must never yield a torn one — every drained event carries the stamp and
+/// payload of one committed `record` call, and accounting is exact.
+///
+/// Mutation pairing: `TICKET_PUBLISH` (the `seq + 1` ticket store in
+/// `TraceRing::record`) weakened to `Relaxed` lets the drainer's acquire
+/// load of the ticket succeed without the happens-before edge to the stamp
+/// and payload stores the ticket vouches for, so it assembles an event from
+/// stale words — caught by the stamp/kind consistency asserts below.
+#[cfg(feature = "telemetry")]
+#[test]
+fn trace_ring_drains_are_lossy_but_never_torn() {
+    use crate::trace::{TraceKind, TraceRing};
+    loom::model(|| {
+        let ring = Arc::new(TraceRing::new(2));
+        let recorder = {
+            let r = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..3u64 {
+                    r.record(1000 + 7 * i, 1, TraceKind::Evict, i as usize);
+                }
+            })
+        };
+        let mut events = Vec::new();
+        ring.drain_into(&mut events);
+        recorder.join().unwrap();
+        ring.drain_into(&mut events);
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "drain out of order: {events:?}");
+        }
+        for event in &events {
+            assert_eq!(event.kind, TraceKind::Evict, "torn event: {event:?}");
+            assert_eq!(event.worker, 1, "torn event: {event:?}");
+            assert_eq!(
+                event.timestamp_ns,
+                1000 + 7 * event.line as u64,
+                "stamp/payload mismatch: {event:?}"
+            );
+        }
+        assert_eq!(ring.recorded(), 3);
+        // Every recorded entry is either drained or counted dropped —
+        // exactly once.
+        assert_eq!(events.len() as u64 + ring.dropped(), 3);
+    });
+}
+
+/// Protocol 5 — the submission queue's close/park race: a producer pushing
+/// a batch, a resident worker parking on the queue condvar, and `shutdown`
+/// closing the queue must always terminate with the batch applied — no
+/// missed-wakeup lost batch, no worker parked forever past close.
+///
+/// No ordering mutation applies: the protocol is mutex/condvar-based (no
+/// lock-free edge to weaken). Its teeth are the model's *deadlock
+/// detector* — if close ever raced park such that the worker slept with no
+/// notifier left, every live thread would be blocked and the model reports
+/// deadlock instead of hanging (the shim's own test suite seeds exactly
+/// that bug to prove the detector fires).
+#[test]
+fn queue_close_never_strands_a_parked_worker() {
+    loom::model(|| {
+        let runtime = RuntimeBuilder::new(CommutativeOp::AddU64, 4)
+            .workers(1)
+            .batch_capacity(1)
+            .queue_capacity(2)
+            .telemetry(TelemetryConfig::disabled())
+            .buffer_config(BufferConfig::unbounded())
+            .build();
+        let mut handle = runtime.handle();
+        handle.push(0, 5);
+        drop(handle);
+        let result = runtime.shutdown();
+        assert_eq!(result.snapshot[0], 5);
+    });
+}

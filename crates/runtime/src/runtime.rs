@@ -57,10 +57,11 @@
 //! assert_eq!(result.report.updates, 4000);
 //! ```
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use coup_protocol::ops::CommutativeOp;
@@ -243,7 +244,7 @@ impl RuntimeBuilder {
         let drainers = (0..self.workers)
             .map(|worker| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("coup-worker-{worker}"))
                     .spawn(move || shared.drain_loop(worker))
                     .expect("spawning a resident worker thread")
@@ -859,7 +860,7 @@ pub struct RuntimeResult {
 #[derive(Debug)]
 pub struct CoupRuntime {
     shared: Arc<Shared>,
-    drainers: Vec<std::thread::JoinHandle<u64>>,
+    drainers: Vec<crate::sync::thread::JoinHandle<u64>>,
     /// Serialises [`CoupRuntime::run_workers`] jobs: two jobs sharing worker
     /// thread identities concurrently would break the buffers'
     /// single-writer discipline.

@@ -9,7 +9,7 @@
 //! [`crate::backend::CoupBackend`] reduce into the store with the protocol
 //! crate's lane-wise `apply_word` arithmetic.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use coup_protocol::line::{LineData, WORDS_PER_LINE};
 use coup_protocol::ops::CommutativeOp;
@@ -200,6 +200,7 @@ impl SharedStore {
     pub fn load_lane(&self, index: usize) -> u64 {
         debug_assert!(index < self.len);
         let slot = self.geometry.slot(index);
+        // ord: store-word
         (self.word(slot).load(Ordering::Acquire) & slot.mask) >> slot.shift
     }
 
@@ -212,6 +213,7 @@ impl SharedStore {
         let mut current = word.load(Ordering::Relaxed);
         loop {
             let next = (current & !slot.mask) | ((value << slot.shift) & slot.mask);
+            // ord: store-word
             match word.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
                 Err(observed) => current = observed,
@@ -231,12 +233,12 @@ impl SharedStore {
         if slot.mask == u64::MAX {
             // Whole-word lane: use the native atomic where the ISA has one.
             let old = match op {
-                CommutativeOp::AddU64 => word.fetch_add(value, Ordering::AcqRel),
-                CommutativeOp::And64 => word.fetch_and(value, Ordering::AcqRel),
-                CommutativeOp::Or64 => word.fetch_or(value, Ordering::AcqRel),
-                CommutativeOp::Xor64 => word.fetch_xor(value, Ordering::AcqRel),
-                CommutativeOp::Min64 => word.fetch_min(value, Ordering::AcqRel),
-                CommutativeOp::Max64 => word.fetch_max(value, Ordering::AcqRel),
+                CommutativeOp::AddU64 => word.fetch_add(value, Ordering::AcqRel), // ord: store-word
+                CommutativeOp::And64 => word.fetch_and(value, Ordering::AcqRel),  // ord: store-word
+                CommutativeOp::Or64 => word.fetch_or(value, Ordering::AcqRel),    // ord: store-word
+                CommutativeOp::Xor64 => word.fetch_xor(value, Ordering::AcqRel),  // ord: store-word
+                CommutativeOp::Min64 => word.fetch_min(value, Ordering::AcqRel),  // ord: store-word
+                CommutativeOp::Max64 => word.fetch_max(value, Ordering::AcqRel),  // ord: store-word
                 _ => return self.rmw_lane_cas(word, slot, value),
             };
             return op.apply_lane(old, value);
@@ -251,6 +253,7 @@ impl SharedStore {
             let lane = (current & slot.mask) >> slot.shift;
             let new_lane = op.apply_lane(lane, value) & slot.low_mask;
             let next = (current & !slot.mask) | (new_lane << slot.shift);
+            // ord: store-word
             match word.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return new_lane,
                 Err(observed) => current = observed,
@@ -280,6 +283,7 @@ impl SharedStore {
             let mut current = word.load(Ordering::Relaxed);
             loop {
                 let next = op.apply_word(current, partial_word);
+                // ord: store-word
                 match word.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire)
                 {
                     Ok(_) => break,

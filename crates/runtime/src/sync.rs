@@ -1,0 +1,35 @@
+//! Synchronization facade: the single choke point for every atomic, mutex,
+//! condvar, spin hint, and thread spawn in this crate.
+//!
+//! Normally these re-exports are exactly `std`. Under `--cfg coup_model`
+//! with the `model` feature they switch to the `loom` shim, whose types run
+//! inside a deterministic model-checking scheduler with C11-style weak
+//! memory (per-location modification order + happens-before clocks), so the
+//! `model_tests` module can exhaustively explore interleavings of the
+//! runtime's lock-free protocols. Outside a `loom::model(..)` execution the
+//! shim types transparently delegate to `std`, which is why the ordinary
+//! test suite still passes when compiled with the model cfg.
+//!
+//! House rules (enforced by `coup-lint`, see `crates/lint`):
+//! - no `std::sync::atomic` imports anywhere in this crate outside this file;
+//! - no `SeqCst` without an explicit `// ord: allow-seqcst(..)` justification;
+//! - every `Release`/`Acquire`/`AcqRel` site carries an `// ord: <tag>`
+//!   comment naming its pairing group, and every tag must have both a
+//!   release-side and an acquire-side site somewhere in the crate.
+//!
+//! The per-protocol pairing tables live in ARCHITECTURE.md under
+//! "The memory-ordering contract".
+
+#[cfg(all(coup_model, feature = "model"))]
+pub(crate) use loom::{
+    hint,
+    sync::{atomic, Condvar, Mutex, MutexGuard},
+    thread,
+};
+
+#[cfg(not(all(coup_model, feature = "model")))]
+pub(crate) use std::{
+    hint,
+    sync::{atomic, Condvar, Mutex, MutexGuard},
+    thread,
+};

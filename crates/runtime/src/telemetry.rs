@@ -160,7 +160,7 @@ impl TelemetryConfig {
 
 #[cfg(feature = "telemetry")]
 mod registry_impl {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::atomic::{AtomicU64, Ordering};
 
     use super::{bucket_index, HistogramSnapshot, TelemetryConfig, HIST_BUCKETS};
     use crate::trace::TraceRing;
@@ -385,7 +385,7 @@ impl TelemetryRegistry {
             inner
                 .block(worker)
                 .queue_parks
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
         }
         self.trace(worker, TraceKind::QueuePark, 0);
     }
@@ -401,7 +401,7 @@ impl TelemetryRegistry {
             let block = inner.block(worker);
             let tick = block
                 .trace_tick
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
             if tick & inner.sample_mask != 0 {
                 return;
             }
@@ -430,7 +430,9 @@ impl TelemetryRegistry {
                 snap.batch_size.merge(&block.batch_size.snapshot());
                 snap.occupancy.merge(&block.occupancy.snapshot());
                 snap.flush_words.merge(&block.flush_words.snapshot());
-                snap.queue_parks += block.queue_parks.load(std::sync::atomic::Ordering::Relaxed);
+                snap.queue_parks += block
+                    .queue_parks
+                    .load(crate::sync::atomic::Ordering::Relaxed);
             }
             for ring in inner.rings.iter() {
                 snap.trace_recorded += ring.recorded();

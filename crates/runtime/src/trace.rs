@@ -107,10 +107,18 @@ pub(crate) use ring::TraceRing;
 
 #[cfg(feature = "telemetry")]
 mod ring {
-    use std::sync::atomic::{fence, AtomicU64, Ordering};
-    use std::sync::Mutex;
+    use crate::sync::atomic::{fence, AtomicU64, Ordering};
+    use crate::sync::Mutex;
 
     use super::{TraceEvent, TraceKind};
+
+    /// The ticket-publish ordering the `coup_model_mutation` CI lane
+    /// weakens to Relaxed; the trace-ring model test catches the torn
+    /// stamp/data pair the weakened build admits (see model_tests.rs).
+    #[cfg(not(coup_model_mutation))]
+    const TICKET_PUBLISH: Ordering = Ordering::Release; // ord: trace-ticket
+    #[cfg(coup_model_mutation)]
+    const TICKET_PUBLISH: Ordering = Ordering::Relaxed;
 
     const KIND_SHIFT: u32 = 56;
     const WORKER_SHIFT: u32 = 48;
@@ -184,10 +192,11 @@ mod ring {
             // drainer whose data load observes them (fence-to-fence pairing
             // with the Acquire fence in `drain_into`).
             slot.ticket.store(0, Ordering::Relaxed);
+            // ord: trace-ticket
             fence(Ordering::Release);
             slot.stamp.store(now_ns, Ordering::Relaxed);
             slot.data.store(pack(worker, kind, line), Ordering::Relaxed);
-            slot.ticket.store(seq + 1, Ordering::Release);
+            slot.ticket.store(seq + 1, TICKET_PUBLISH);
         }
 
         /// Drains every entry recorded since the previous drain into `out`,
@@ -195,7 +204,10 @@ mod ring {
         /// skipped and counted into `dropped`.
         pub(crate) fn drain_into(&self, out: &mut Vec<TraceEvent>) {
             let mut cursor = self.cursor.lock().expect("trace cursor poisoned");
-            let head = self.head.load(Ordering::Acquire);
+            // The head is only ever bumped with Relaxed RMWs, so an
+            // Acquire here would pair with nothing; drain correctness rests
+            // entirely on the per-slot seqlock tickets below.
+            let head = self.head.load(Ordering::Relaxed);
             let capacity = self.mask + 1;
             // Anything more than a full ring behind the head is already
             // overwritten; skip straight past it.
@@ -203,6 +215,7 @@ mod ring {
             let mut dropped = start - *cursor;
             for seq in start..head {
                 let slot = &self.slots[(seq & self.mask) as usize];
+                // ord: trace-ticket
                 let before = slot.ticket.load(Ordering::Acquire);
                 if before != seq + 1 {
                     dropped += 1;
@@ -210,6 +223,7 @@ mod ring {
                 }
                 let stamp = slot.stamp.load(Ordering::Relaxed);
                 let data = slot.data.load(Ordering::Relaxed);
+                // ord: trace-ticket
                 fence(Ordering::Acquire);
                 let after = slot.ticket.load(Ordering::Relaxed);
                 if after != seq + 1 {
@@ -281,7 +295,7 @@ mod ring {
 
         #[test]
         fn concurrent_overwrite_never_yields_torn_events() {
-            use std::sync::atomic::AtomicBool;
+            use crate::sync::atomic::AtomicBool;
             let ring = TraceRing::new(8);
             let stop = AtomicBool::new(false);
             std::thread::scope(|scope| {
@@ -305,7 +319,7 @@ mod ring {
                             "torn entry escaped the seqlock ticket"
                         );
                     }
-                    std::thread::yield_now();
+                    crate::sync::thread::yield_now();
                 }
                 stop.store(true, Ordering::Relaxed);
             });

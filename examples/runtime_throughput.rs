@@ -299,7 +299,10 @@ fn measure_overhead(threads: usize, reps: usize) -> OverheadRow {
 
 /// Serialises the run into `BENCH_runtime.json` (schema
 /// `coup-bench-runtime/v1`; see README). Hand-rolled like the snapshot
-/// exporter — the workspace builds without serde.
+/// exporter — the workspace builds without serde. The embedded metrics
+/// object is round-tripped through [`MetricsSnapshot::from_json`] before
+/// the file is written, so a report that would not parse back never lands
+/// on disk.
 fn emit_bench_json(threads: usize, rows: &[KernelRow], overhead: &OverheadRow) {
     let mut kernels = String::new();
     for (i, row) in rows.iter().enumerate() {
@@ -307,7 +310,8 @@ fn emit_bench_json(threads: usize, rows: &[KernelRow], overhead: &OverheadRow) {
             kernels.push(',');
         }
         kernels.push_str(&format!(
-            "\n    {{\"kernel\": {:?}, \"atomic_mops\": {:.3}, \"coup_mops\": {:.3},              \"speedup\": {:.3}, \"updates\": {}, \"reads\": {}}}",
+            "\n    {{\"kernel\": {:?}, \"atomic_mops\": {:.3}, \"coup_mops\": {:.3}, \
+             \"speedup\": {:.3}, \"updates\": {}, \"reads\": {}}}",
             row.name,
             row.atomic_mops,
             row.coup_mops,
@@ -316,12 +320,20 @@ fn emit_bench_json(threads: usize, rows: &[KernelRow], overhead: &OverheadRow) {
             row.reads,
         ));
     }
+    let metrics_json = overhead.metrics.to_json();
+    let parsed = MetricsSnapshot::from_json(&metrics_json)
+        .expect("metrics snapshot must round-trip through its own JSON");
+    assert_eq!(
+        parsed, overhead.metrics,
+        "metrics JSON round-trip changed the snapshot"
+    );
     let json = format!(
-        "{{\n  \"schema\": \"coup-bench-runtime/v1\",\n  \"threads\": {threads},\n           \"workers\": {WORKERS},\n  \"kernels\": [{kernels}\n  ],\n           \"telemetry_overhead\": {{\"kernel\": \"hist (1M px, 256b)\", \"threads\": {threads},          \"enabled_mops\": {:.3}, \"disabled_mops\": {:.3}, \"overhead_pct\": {:.3}}},\n           \"metrics\": {}\n}}\n",
-        overhead.enabled_mops,
-        overhead.disabled_mops,
-        overhead.overhead_pct,
-        overhead.metrics.to_json(),
+        "{{\n  \"schema\": \"coup-bench-runtime/v1\",\n  \"threads\": {threads},\n  \
+         \"workers\": {WORKERS},\n  \"kernels\": [{kernels}\n  ],\n  \
+         \"telemetry_overhead\": {{\"kernel\": \"hist (1M px, 256b)\", \"threads\": {threads}, \
+         \"enabled_mops\": {:.3}, \"disabled_mops\": {:.3}, \"overhead_pct\": {:.3}}},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
+        overhead.enabled_mops, overhead.disabled_mops, overhead.overhead_pct,
     );
     match std::fs::write("BENCH_runtime.json", &json) {
         Ok(()) => println!("wrote BENCH_runtime.json ({} bytes)", json.len()),

@@ -1,0 +1,868 @@
+//! The model-checking runtime: a token-passing scheduler that runs real OS
+//! threads one at a time, explores thread interleavings by depth-first search
+//! over a recorded schedule tree, and models C11-style weak memory with
+//! per-location modification-order histories plus vector clocks.
+//!
+//! # Scheduling
+//!
+//! Exactly one controlled thread holds the *token* at any time; every shimmed
+//! operation (atomic access, mutex op, spawn) is a *schedule point* where the
+//! scheduler may switch to another runnable thread. Each potential switch is
+//! recorded as a [`Choice`] in the [`Schedule`]; after an execution finishes
+//! the driver advances the last not-yet-exhausted choice and replays, giving
+//! exhaustive DFS over interleavings. Switching *away* from a runnable thread
+//! costs one preemption; switches at blocking points are free. The preemption
+//! bound (default 2, see [`crate::model::Builder`]) keeps the tree tractable —
+//! this is the CHESS result that most concurrency bugs need few preemptions.
+//!
+//! # Weak memory
+//!
+//! Every atomic location keeps the full history of stores (its modification
+//! order). A load may observe any store that coherence permits: at least the
+//! newest store that happened-before the loading thread, and at least as new
+//! as whatever this thread last read from the location. Which candidate is
+//! returned is itself a DFS choice — so a `Relaxed` load can legally observe
+//! a stale value, which is exactly what makes missing `Release`/`Acquire`
+//! edges detectable. `Acquire` loads join the observed store's release clock
+//! into the thread clock; `Release` stores publish the thread clock; fences
+//! use pending-clock accumulation (C11 fence-to-fence and fence-to-atomic
+//! synchronization). RMWs always read the newest store and continue release
+//! sequences by inheriting the previous store's release clock.
+//!
+//! Two deliberate, sound simplifications (each only *removes* behaviors that
+//! real hardware permits, so the checker can miss bugs in principle but never
+//! reports a false race): modification order equals execution order of stores,
+//! and a re-load with no intervening store returns the newest store instead of
+//! re-branching (this is what bounds retry loops such as seqlock readers).
+//! `SeqCst` is modeled as `AcqRel` — the shim checks acquire/release pairing,
+//! not SC-total-order-dependent algorithms (the runtime's lint bans `SeqCst`
+//! anyway).
+
+use std::collections::HashMap;
+use std::panic;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Cap on how many modification-order candidates a single load branches over
+/// (the newest N visible stores). Bounds per-load fan-out; sound because it
+/// only prunes very stale observations.
+const MAX_LOAD_CANDIDATES: usize = 4;
+
+/// Panic payload used to silently unwind controlled threads once the
+/// execution has already failed or finished exploring.
+pub(crate) struct Abort;
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "thread panicked (non-string payload)".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A grow-on-demand vector clock indexed by model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, tid: usize, value: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (slot, &value) in self.0.iter_mut().zip(other.0.iter()) {
+            *slot = (*slot).max(value);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule tree
+// ---------------------------------------------------------------------------
+
+/// One branch point: `options` alternatives existed, `taken` was chosen.
+#[derive(Clone, Debug)]
+struct Choice {
+    options: usize,
+    taken: usize,
+}
+
+/// The DFS path through the schedule tree. Replayed from the start of each
+/// execution; decisions past the recorded prefix default to alternative 0 and
+/// are appended. [`Schedule::advance`] backtracks to the next unexplored
+/// alternative.
+#[derive(Debug, Default)]
+pub(crate) struct Schedule {
+    path: Vec<Choice>,
+    cursor: usize,
+}
+
+impl Schedule {
+    fn decide(&mut self, options: usize) -> usize {
+        debug_assert!(options > 1, "decide() called with a forced move");
+        if self.cursor < self.path.len() {
+            let choice = &self.path[self.cursor];
+            assert_eq!(
+                choice.options, options,
+                "nondeterministic replay: recorded {} options at decision {}, observed {}",
+                choice.options, self.cursor, options
+            );
+            self.cursor += 1;
+            choice.taken
+        } else {
+            self.path.push(Choice { options, taken: 0 });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Move to the next unexplored branch; `false` when the tree is exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        self.cursor = 0;
+        while let Some(last) = self.path.last_mut() {
+            if last.taken + 1 < last.options {
+                last.taken += 1;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// Why a thread is blocked (drives targeted wakeups and deadlock reports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    None,
+    Mutex(usize),
+    Cond(usize),
+    Join(usize),
+}
+
+struct ThreadSt {
+    state: Run,
+    blocked_on: Block,
+    /// Happens-before knowledge of this thread.
+    clock: VClock,
+    /// Snapshot of `clock` at the last `Release` fence; relaxed stores
+    /// publish this (C11 fence-to-atomic synchronization).
+    rel_pending: VClock,
+    /// Union of release clocks observed by relaxed loads; an `Acquire` fence
+    /// joins this into `clock` (C11 atomic-to-fence synchronization).
+    acq_pending: VClock,
+}
+
+impl ThreadSt {
+    fn new(clock: VClock) -> Self {
+        ThreadSt {
+            state: Run::Runnable,
+            blocked_on: Block::None,
+            clock,
+            rel_pending: VClock::default(),
+            acq_pending: VClock::default(),
+        }
+    }
+}
+
+/// One committed store in a location's modification order.
+struct StoreEv {
+    value: u64,
+    /// Release clock: what an acquire-reader of this store learns.
+    release: VClock,
+    /// Storing thread and its per-thread tick, for happened-before tests.
+    tid: usize,
+    tick: u64,
+}
+
+/// What a thread last read from a location: the index it observed and the
+/// history length at that moment (used for read-read coherence and for the
+/// "re-read without intervening store returns the newest value" rule).
+#[derive(Clone, Copy)]
+struct ReadMark {
+    idx: usize,
+    len: usize,
+}
+
+struct Location {
+    history: Vec<StoreEv>,
+    reads: Vec<Option<ReadMark>>,
+}
+
+impl Location {
+    fn new(initial: u64) -> Self {
+        Location {
+            // The initial value happened-before everything (tick 0).
+            history: vec![StoreEv {
+                value: initial,
+                release: VClock::default(),
+                tid: 0,
+                tick: 0,
+            }],
+            reads: Vec::new(),
+        }
+    }
+
+    fn mark(&mut self, tid: usize, idx: usize) {
+        if self.reads.len() <= tid {
+            self.reads.resize(tid + 1, None);
+        }
+        self.reads[tid] = Some(ReadMark {
+            idx,
+            len: self.history.len(),
+        });
+    }
+}
+
+#[derive(Default)]
+struct MutexSt {
+    locked: bool,
+    /// Joined clocks of every unlocker: lock-acquire joins this.
+    clock: VClock,
+}
+
+struct Inner {
+    threads: Vec<ThreadSt>,
+    /// Token holder; `usize::MAX` when the execution is over.
+    active: usize,
+    schedule: Schedule,
+    locations: HashMap<usize, Location>,
+    mutexes: HashMap<usize, MutexSt>,
+    /// FIFO waiter queues per condvar address.
+    cond_waiters: HashMap<usize, Vec<usize>>,
+    preemptions: usize,
+    bound: usize,
+    steps: u64,
+    max_steps: u64,
+    failure: Option<String>,
+    finished: usize,
+    total: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Shared state of one execution (one schedule replay).
+pub(crate) struct Exec {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+impl Exec {
+    pub(crate) fn new(schedule: Schedule, bound: usize, max_steps: u64) -> Self {
+        Exec {
+            inner: Mutex::new(Inner {
+                threads: vec![ThreadSt::new(VClock::default())],
+                active: 0,
+                schedule,
+                locations: HashMap::new(),
+                mutexes: HashMap::new(),
+                cond_waiters: HashMap::new(),
+                preemptions: 0,
+                bound,
+                steps: 0,
+                max_steps,
+                failure: None,
+                finished: 0,
+                total: 1,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record a failure (first one wins), wake everyone, and unwind the
+    /// calling thread.
+    fn fail(&self, guard: &mut MutexGuard<'_, Inner>, message: String) -> ! {
+        if guard.failure.is_none() {
+            guard.failure = Some(message);
+        }
+        self.cv.notify_all();
+        panic::panic_any(Abort);
+    }
+
+    fn check_abort(&self, guard: &MutexGuard<'_, Inner>) {
+        if guard.failure.is_some() {
+            self.cv.notify_all();
+            panic::panic_any(Abort);
+        }
+    }
+
+    /// Block until this thread holds the token and is runnable.
+    fn wait_for_token<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, Inner>,
+        tid: usize,
+    ) -> MutexGuard<'a, Inner> {
+        loop {
+            self.check_abort(&guard);
+            if guard.active == tid && guard.threads[tid].state == Run::Runnable {
+                return guard;
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn runnable_others(guard: &MutexGuard<'_, Inner>, tid: usize) -> Vec<usize> {
+        (0..guard.threads.len())
+            .filter(|&t| t != tid && guard.threads[t].state == Run::Runnable)
+            .collect()
+    }
+
+    fn bump_step(&self, guard: &mut MutexGuard<'_, Inner>, tid: usize) {
+        guard.steps += 1;
+        if guard.steps > guard.max_steps {
+            let max = guard.max_steps;
+            self.fail(
+                guard,
+                format!(
+                    "thread {tid} exceeded {max} execution steps — \
+                     likely livelock (a spin loop waiting on a value no runnable thread will store)"
+                ),
+            );
+        }
+    }
+
+    /// Ordinary schedule point: optionally preempt to another runnable thread.
+    fn schedule_op(&self, tid: usize) {
+        let mut guard = self.lock();
+        self.check_abort(&guard);
+        self.bump_step(&mut guard, tid);
+        let others = Self::runnable_others(&guard, tid);
+        if others.is_empty() || guard.preemptions >= guard.bound {
+            return;
+        }
+        let picked = guard.schedule.decide(1 + others.len());
+        if picked == 0 {
+            return;
+        }
+        guard.preemptions += 1;
+        guard.active = others[picked - 1];
+        self.cv.notify_all();
+        let guard = self.wait_for_token(guard, tid);
+        drop(guard);
+    }
+
+    /// Spin-hint point (`yield_now` / `spin_loop`): deterministically rotate
+    /// to the next runnable thread without charging a preemption and without
+    /// branching — the spinner declared itself unable to progress.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut guard = self.lock();
+        self.check_abort(&guard);
+        self.bump_step(&mut guard, tid);
+        let n = guard.threads.len();
+        let next = (1..n)
+            .map(|offset| (tid + offset) % n)
+            .find(|&t| guard.threads[t].state == Run::Runnable);
+        if let Some(next) = next {
+            guard.active = next;
+            self.cv.notify_all();
+            let guard = self.wait_for_token(guard, tid);
+            drop(guard);
+        }
+    }
+
+    /// Hand the token to some runnable thread after `tid` stopped running
+    /// (blocked). Panics the execution if everything is blocked.
+    fn switch_from_blocked<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, Inner>,
+        tid: usize,
+    ) -> MutexGuard<'a, Inner> {
+        let others = Self::runnable_others(&guard, tid);
+        if others.is_empty() {
+            let blocked: Vec<String> = guard
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == Run::Blocked)
+                .map(|(t, st)| format!("thread {t} blocked on {:?}", st.blocked_on))
+                .collect();
+            self.fail(
+                &mut guard,
+                format!(
+                    "deadlock: every live thread is blocked ({})",
+                    blocked.join(", ")
+                ),
+            );
+        }
+        let picked = if others.len() > 1 {
+            guard.schedule.decide(others.len())
+        } else {
+            0
+        };
+        guard.active = others[picked];
+        self.cv.notify_all();
+        self.wait_for_token(guard, tid)
+    }
+
+    // -- threads ----------------------------------------------------------
+
+    /// Register a child thread; its clock inherits the parent's (spawn
+    /// happens-before everything the child does).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut guard = self.lock();
+        let tid = guard.threads.len();
+        let clock = guard.threads[parent].clock.clone();
+        guard.threads.push(ThreadSt::new(clock));
+        guard.total += 1;
+        tid
+    }
+
+    pub(crate) fn add_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().handles.push(handle);
+    }
+
+    /// Schedule point right after a spawn so DFS can run the child first.
+    pub(crate) fn spawn_point(&self, parent: usize) {
+        self.schedule_op(parent);
+    }
+
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        loop {
+            self.check_abort(&guard);
+            if guard.threads[target].state == Run::Finished {
+                let clock = guard.threads[target].clock.clone();
+                guard.threads[tid].clock.join(&clock);
+                return;
+            }
+            guard.threads[tid].state = Run::Blocked;
+            guard.threads[tid].blocked_on = Block::Join(target);
+            guard = self.switch_from_blocked(guard, tid);
+        }
+    }
+
+    /// Mark `tid` finished and hand the token onward. Never panics: runs in
+    /// the controlled-thread wrapper's cleanup path.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut guard = self.lock();
+        guard.threads[tid].state = Run::Finished;
+        guard.threads[tid].blocked_on = Block::None;
+        guard.finished += 1;
+        for t in 0..guard.threads.len() {
+            if guard.threads[t].blocked_on == Block::Join(tid) {
+                guard.threads[t].state = Run::Runnable;
+                guard.threads[t].blocked_on = Block::None;
+            }
+        }
+        if guard.failure.is_some() {
+            guard.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let others = Self::runnable_others(&guard, tid);
+        if others.is_empty() {
+            if guard.threads.iter().any(|t| t.state == Run::Blocked) {
+                guard.failure = Some(
+                    "deadlock: last runnable thread finished while others remain blocked"
+                        .to_string(),
+                );
+            }
+            guard.active = usize::MAX;
+        } else {
+            let picked = if others.len() > 1 {
+                guard.schedule.decide(others.len())
+            } else {
+                0
+            };
+            guard.active = others[picked];
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn record_panic(&self, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        let mut guard = self.lock();
+        if guard.failure.is_none() {
+            guard.failure = Some(format!(
+                "thread {tid} panicked: {}",
+                payload_to_string(payload)
+            ));
+        }
+        self.cv.notify_all();
+    }
+
+    /// First token acquisition of a controlled thread.
+    pub(crate) fn acquire_token(&self, tid: usize) {
+        let guard = self.lock();
+        let guard = self.wait_for_token(guard, tid);
+        drop(guard);
+    }
+
+    // -- atomics ----------------------------------------------------------
+
+    pub(crate) fn atomic_load(
+        &self,
+        tid: usize,
+        addr: usize,
+        initial: u64,
+        order: Ordering,
+    ) -> u64 {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let loc = inner
+            .locations
+            .entry(addr)
+            .or_insert_with(|| Location::new(initial));
+        let len = loc.history.len();
+        // Oldest store coherence lets this thread observe: the newest store
+        // that happened-before us...
+        let clock = &inner.threads[tid].clock;
+        let first_visible = (0..len)
+            .rev()
+            .find(|&i| {
+                let ev = &loc.history[i];
+                ev.tick <= clock.get(ev.tid)
+            })
+            .unwrap_or(0);
+        // ...bounded below by read-read coherence, with the re-read rule:
+        // reading again with no intervening store returns the newest store
+        // (a legal strengthening that bounds retry loops).
+        let mut lo = first_visible;
+        if let Some(mark) = loc.reads.get(tid).copied().flatten() {
+            lo = if mark.len == len {
+                len - 1
+            } else {
+                lo.max(mark.idx)
+            };
+        }
+        lo = lo.max(len.saturating_sub(MAX_LOAD_CANDIDATES));
+        let idx = if len - lo > 1 {
+            lo + inner.schedule.decide(len - lo)
+        } else {
+            lo
+        };
+        let value = loc.history[idx].value;
+        let release = loc.history[idx].release.clone();
+        loc.mark(tid, idx);
+        if is_acquire(order) {
+            inner.threads[tid].clock.join(&release);
+        } else {
+            inner.threads[tid].acq_pending.join(&release);
+        }
+        value
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        tid: usize,
+        addr: usize,
+        initial: u64,
+        value: u64,
+        order: Ordering,
+    ) {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let loc = inner
+            .locations
+            .entry(addr)
+            .or_insert_with(|| Location::new(initial));
+        let th = &mut inner.threads[tid];
+        let tick = th.clock.get(tid) + 1;
+        th.clock.set(tid, tick);
+        let release = if is_release(order) {
+            th.clock.clone()
+        } else {
+            th.rel_pending.clone()
+        };
+        let idx = loc.history.len();
+        loc.history.push(StoreEv {
+            value,
+            release,
+            tid,
+            tick,
+        });
+        loc.mark(tid, idx);
+    }
+
+    /// Read-modify-write: reads the newest store (as hardware RMWs do) and
+    /// continues its release sequence.
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        addr: usize,
+        initial: u64,
+        order: Ordering,
+        apply: &mut dyn FnMut(u64) -> u64,
+    ) -> u64 {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let loc = inner
+            .locations
+            .entry(addr)
+            .or_insert_with(|| Location::new(initial));
+        let prev = loc.history.last().expect("history never empty");
+        let old = prev.value;
+        let prev_release = prev.release.clone();
+        let th = &mut inner.threads[tid];
+        if is_acquire(order) {
+            th.clock.join(&prev_release);
+        } else {
+            th.acq_pending.join(&prev_release);
+        }
+        let tick = th.clock.get(tid) + 1;
+        th.clock.set(tid, tick);
+        let mut release = if is_release(order) {
+            th.clock.clone()
+        } else {
+            th.rel_pending.clone()
+        };
+        // Release-sequence continuation: an acquire of this RMW's result
+        // still synchronizes with the release head it read from.
+        release.join(&prev_release);
+        let idx = loc.history.len();
+        loc.history.push(StoreEv {
+            value: apply(old),
+            release,
+            tid,
+            tick,
+        });
+        loc.mark(tid, idx);
+        old
+    }
+
+    /// Compare-exchange. The comparison always runs against the newest store
+    /// (a sound strengthening: failing against a stale value is permitted but
+    /// never required). `weak` never fails spuriously, likewise sound.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        tid: usize,
+        addr: usize,
+        initial: u64,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let loc = inner
+            .locations
+            .entry(addr)
+            .or_insert_with(|| Location::new(initial));
+        let prev = loc.history.last().expect("history never empty");
+        let old = prev.value;
+        let prev_release = prev.release.clone();
+        let th = &mut inner.threads[tid];
+        if old == current {
+            if is_acquire(success) {
+                th.clock.join(&prev_release);
+            } else {
+                th.acq_pending.join(&prev_release);
+            }
+            let tick = th.clock.get(tid) + 1;
+            th.clock.set(tid, tick);
+            let mut release = if is_release(success) {
+                th.clock.clone()
+            } else {
+                th.rel_pending.clone()
+            };
+            release.join(&prev_release);
+            let idx = loc.history.len();
+            loc.history.push(StoreEv {
+                value: new,
+                release,
+                tid,
+                tick,
+            });
+            loc.mark(tid, idx);
+            Ok(old)
+        } else {
+            if is_acquire(failure) {
+                th.clock.join(&prev_release);
+            } else {
+                th.acq_pending.join(&prev_release);
+            }
+            let idx = loc.history.len() - 1;
+            loc.mark(tid, idx);
+            Err(old)
+        }
+    }
+
+    pub(crate) fn fence(&self, tid: usize, order: Ordering) {
+        let mut guard = self.lock();
+        self.check_abort(&guard);
+        let th = &mut guard.threads[tid];
+        if is_acquire(order) {
+            let pending = th.acq_pending.clone();
+            th.clock.join(&pending);
+        }
+        if is_release(order) {
+            th.rel_pending = th.clock.clone();
+        }
+    }
+
+    // -- mutex / condvar --------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, tid: usize, addr: usize) {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        loop {
+            self.check_abort(&guard);
+            let mutex = guard.mutexes.entry(addr).or_default();
+            if !mutex.locked {
+                mutex.locked = true;
+                let clock = mutex.clock.clone();
+                guard.threads[tid].clock.join(&clock);
+                return;
+            }
+            guard.threads[tid].state = Run::Blocked;
+            guard.threads[tid].blocked_on = Block::Mutex(addr);
+            guard = self.switch_from_blocked(guard, tid);
+        }
+    }
+
+    fn unlock_locked(guard: &mut MutexGuard<'_, Inner>, tid: usize, addr: usize) {
+        let clock = guard.threads[tid].clock.clone();
+        let mutex = guard.mutexes.entry(addr).or_default();
+        mutex.locked = false;
+        mutex.clock.join(&clock);
+        for t in 0..guard.threads.len() {
+            if guard.threads[t].blocked_on == Block::Mutex(addr) {
+                guard.threads[t].state = Run::Runnable;
+                guard.threads[t].blocked_on = Block::None;
+            }
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, tid: usize, addr: usize) {
+        let mut guard = self.lock();
+        self.check_abort(&guard);
+        Self::unlock_locked(&mut guard, tid, addr);
+        self.cv.notify_all();
+    }
+
+    /// Condvar wait: atomically release the mutex and block until notified,
+    /// then re-acquire. No spurious wakeups are modeled (a sound subset —
+    /// fewer schedules, never a false failure).
+    pub(crate) fn condvar_wait(&self, tid: usize, cv_addr: usize, mx_addr: usize) {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        self.check_abort(&guard);
+        Self::unlock_locked(&mut guard, tid, mx_addr);
+        guard.cond_waiters.entry(cv_addr).or_default().push(tid);
+        guard.threads[tid].state = Run::Blocked;
+        guard.threads[tid].blocked_on = Block::Cond(cv_addr);
+        let guard = self.switch_from_blocked(guard, tid);
+        drop(guard);
+        self.mutex_lock(tid, mx_addr);
+    }
+
+    pub(crate) fn condvar_notify(&self, tid: usize, cv_addr: usize, all: bool) {
+        self.schedule_op(tid);
+        let mut guard = self.lock();
+        self.check_abort(&guard);
+        let waiters = guard.cond_waiters.entry(cv_addr).or_default();
+        let count = if all {
+            waiters.len()
+        } else {
+            waiters.len().min(1)
+        };
+        let woken: Vec<usize> = waiters.drain(..count).collect();
+        for t in woken {
+            guard.threads[t].state = Run::Runnable;
+            guard.threads[t].blocked_on = Block::None;
+        }
+        self.cv.notify_all();
+    }
+
+    // -- driver side ------------------------------------------------------
+
+    pub(crate) fn wait_all_finished(&self) {
+        let mut guard = self.lock();
+        while guard.finished < guard.total {
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.lock().handles)
+    }
+
+    pub(crate) fn take_results(&self) -> (Option<String>, Schedule) {
+        let mut guard = self.lock();
+        (guard.failure.take(), std::mem::take(&mut guard.schedule))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local execution context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the current model context, or return `None` when the calling
+/// thread is not controlled by a model execution (fallback-to-std mode).
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> Option<R> {
+    let ctx = CTX.with(|ctx| ctx.borrow().clone());
+    ctx.map(|(exec, tid)| f(&exec, tid))
+}
+
+/// Body of every controlled OS thread: install the context, wait for the
+/// token, run the user closure, and always report completion to the
+/// scheduler — even on panic.
+pub(crate) fn controlled_thread(exec: Arc<Exec>, tid: usize, f: impl FnOnce()) {
+    CTX.with(|ctx| *ctx.borrow_mut() = Some((exec.clone(), tid)));
+    let result = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+        exec.acquire_token(tid);
+        f();
+    }));
+    CTX.with(|ctx| *ctx.borrow_mut() = None);
+    if let Err(payload) = result {
+        if !payload.is::<Abort>() {
+            exec.record_panic(tid, payload.as_ref());
+        }
+    }
+    exec.finish_thread(tid);
+}
