@@ -147,19 +147,61 @@ fn bench_capacity_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// One submission-sweep measurement body: `producers` external threads each
+/// pushing `per_producer` updates through their own [`Submitter`], then a
+/// full drain, so the measured rate is end-to-end submitted-updates/s.
+fn submission_round(
+    kind: BackendKind,
+    lanes: usize,
+    batch: usize,
+    producers: usize,
+    per_producer: usize,
+) -> coup_runtime::CoupRuntime {
+    let rt = RuntimeBuilder::new(CommutativeOp::AddU64, lanes)
+        .backend(kind)
+        .workers(2)
+        .batch_capacity(batch)
+        .build();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let mut sub = rt.submitter();
+            scope.spawn(move || {
+                let mut lane = p;
+                for _ in 0..per_producer {
+                    lane = (lane.wrapping_mul(25) + 7) % lanes;
+                    sub.push(lane, 1);
+                }
+            });
+        }
+    });
+    rt.drain();
+    rt
+}
+
 fn bench_submission_batch_sweep(c: &mut Criterion) {
-    // The batched MPSC frontend's raison d'être: per-op submission (batch
-    // capacity 1 — every push takes the queue mutex) versus batched
-    // submission from the same external producer threads. The `thrpt`
-    // column is end-to-end submitted-updates per second, including the final
-    // drain; the crossover batch size (where batching first beats per-op)
-    // is recorded in the README.
+    // The sharded submission frontend's raison d'être, measured on two axes:
+    //
+    // * `{backend}/b{batch}` — per-op submission (batch capacity 1) versus
+    //   batched submission from 4 external producer threads; the crossover
+    //   batch size (where batching first beats per-op) is recorded in the
+    //   README.
+    // * `{backend}/p{producers}` — the producer-count sweep at the default
+    //   batch capacity, 8 → 1024 producers over a constant total update
+    //   volume. This is the row pair that shows whether the submission path
+    //   serializes: a single mutex-guarded queue flattens here, per-producer
+    //   rings should not. Compare against a `--save-baseline` capture of the
+    //   previous frontend to read the delta.
+    //
+    // The `thrpt` column is end-to-end submitted-updates per second,
+    // including the final drain.
     let mut group = c.benchmark_group("submission_batch_sweep");
     group.sample_size(10);
-    let producers = 4usize;
-    let per_producer = 50_000usize;
     let lanes = 256;
-    group.throughput(Throughput::Elements((producers * per_producer) as u64));
+    let batch_producers = 4usize;
+    let per_producer = 50_000usize;
+    group.throughput(Throughput::Elements(
+        (batch_producers * per_producer) as u64,
+    ));
     for kind in [BackendKind::Atomic, BackendKind::Coup] {
         for batch in [1usize, 8, 64, 256, 1024] {
             let label = match kind {
@@ -167,29 +209,43 @@ fn bench_submission_batch_sweep(c: &mut Criterion) {
                 BackendKind::Coup => format!("coup/b{batch}"),
             };
             group.bench_function(label, |b| {
+                b.iter(|| submission_round(kind, lanes, batch, batch_producers, per_producer));
+            });
+        }
+    }
+    // Producer-count sweep: constant total volume so the thrpt column is
+    // comparable across rows; per-producer volume shrinks as the fan-in
+    // grows, exactly like a service under a fixed request rate.
+    const SWEEP_TOTAL: usize = 262_144;
+    for producers in [8usize, 64, 256, 1024] {
+        let per_producer = SWEEP_TOTAL / producers;
+        group.throughput(Throughput::Elements(SWEEP_TOTAL as u64));
+        for (kind, label) in [(BackendKind::Atomic, "atomic"), (BackendKind::Coup, "coup")] {
+            group.bench_function(format!("{label}/p{producers}"), |b| {
                 b.iter(|| {
-                    let rt = RuntimeBuilder::new(CommutativeOp::AddU64, lanes)
-                        .backend(kind)
-                        .workers(2)
-                        .batch_capacity(batch)
-                        .build();
-                    std::thread::scope(|scope| {
-                        for p in 0..producers {
-                            let mut sub = rt.submitter();
-                            scope.spawn(move || {
-                                let mut lane = p;
-                                for _ in 0..per_producer {
-                                    lane = (lane.wrapping_mul(25) + 7) % lanes;
-                                    sub.push(lane, 1);
-                                }
-                            });
-                        }
-                    });
-                    rt.drain();
-                    rt
+                    submission_round(
+                        kind,
+                        lanes,
+                        coup_runtime::DEFAULT_BATCH_CAPACITY,
+                        producers,
+                        per_producer,
+                    )
                 });
             });
         }
+    }
+    // Contended fan-in rows: 64 producers at batch capacity 8, where each
+    // producer touches the submission frontend once per 8 updates instead
+    // of once per 256. This is the regime the sharded rings exist for — a
+    // single mutex-guarded queue is *taken* ~32x as often as in the p64
+    // row and serializes, while per-producer rings keep every publish a
+    // single uncontended Release store. Compare against a condvar-queue
+    // `--save-baseline` capture to read the delta.
+    group.throughput(Throughput::Elements(SWEEP_TOTAL as u64));
+    for (kind, label) in [(BackendKind::Atomic, "atomic"), (BackendKind::Coup, "coup")] {
+        group.bench_function(format!("{label}/p64b8"), |b| {
+            b.iter(|| submission_round(kind, lanes, 8, 64, SWEEP_TOTAL / 64));
+        });
     }
     group.finish();
 }

@@ -63,6 +63,12 @@ pub struct Report {
     pub files: usize,
     /// Every finding, in file order then line order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Every fully paired `ord:` tag seen across the tree (both a
+    /// release-side and an acquire-side site), sorted. Lets callers assert
+    /// that a protocol's edges are not just clean but *present* — a
+    /// refactor that silently drops a whole edge still lints clean, but
+    /// its tag disappears from this list.
+    pub paired_tags: Vec<String>,
 }
 
 impl Report {
@@ -226,7 +232,7 @@ fn idents(code: &str) -> impl Iterator<Item = &str> {
 pub fn lint_sources(sources: &[(String, String)]) -> Report {
     let mut report = Report {
         files: sources.len(),
-        diagnostics: Vec::new(),
+        ..Report::default()
     };
     let mut ledger: Vec<(String, TagEntry)> = Vec::new();
 
@@ -336,7 +342,10 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
 
     for (tag, entry) in &ledger {
         let missing = match (entry.sides.release, entry.sides.acquire) {
-            (true, true) => continue,
+            (true, true) => {
+                report.paired_tags.push(tag.clone());
+                continue;
+            }
             (true, false) => "no acquire-side site (Acquire/AcqRel)",
             (false, true) => "no release-side site (Release/AcqRel)",
             (false, false) => "no ordered site at all",
@@ -355,6 +364,7 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.paired_tags.sort();
     report
 }
 
@@ -531,9 +541,41 @@ mod tests {
                 .join("\n")
         );
         assert!(
-            report.files >= 8,
+            report.files >= 9,
             "expected the full runtime tree, scanned only {} files",
             report.files
         );
+    }
+
+    /// The sharded submission fabric's ordering contract, as tag groups:
+    /// every edge of the ring / slot-directory / parker / quiescence
+    /// protocols must be *present* in the committed tree with both sides
+    /// tagged. A refactor that drops an edge (or renames its tag on only
+    /// one side) fails here even though the tree still lints clean.
+    #[test]
+    fn the_real_runtime_tree_pairs_the_sharded_submission_tags() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../runtime/src");
+        let report = lint_dir(&root).expect("runtime sources must be readable");
+        for tag in [
+            // SPSC ring: tail publication and head (space) handoff.
+            "ring-publish",
+            "ring-consume",
+            // Slot directory: claim CAS vs. drainer's FREE store, and the
+            // producer's RETIRED store vs. the drainer's state load.
+            "shard-claim",
+            "shard-retire",
+            // Parker epoch word and the pause gate built on it.
+            "queue-wake",
+            "job-pause",
+            // Worker applied-count vs. drain()/shutdown() quiescence.
+            "drain-quiesce",
+        ] {
+            assert!(
+                report.paired_tags.iter().any(|t| t == tag),
+                "ord tag `{tag}` is missing or one-sided in crates/runtime/src; \
+                 paired tags present: {:?}",
+                report.paired_tags
+            );
+        }
     }
 }

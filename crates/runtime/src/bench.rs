@@ -1,0 +1,314 @@
+//! The machine-readable benchmark report behind `BENCH_runtime.json`
+//! (schema [`BENCH_SCHEMA`] = `coup-bench-runtime/v2`).
+//!
+//! v1 carried the kernel table, the telemetry-overhead measurement, and the
+//! full metrics snapshot of the instrumented hist run. v2 adds the
+//! **submission sweep**: the sharded submission path measured across
+//! producer counts (8 → 1024), each sweep point carrying its park/unpark
+//! totals and the per-shard `(slot, claims, drained)` rows from
+//! [`ShardStat`](crate::ShardStat) — so a perf-trajectory diff across
+//! commits sees not just the throughput but *how* the directory spread the
+//! producers over slots.
+//!
+//! Writer and parser live together so the schema cannot drift: the example
+//! that emits the file round-trips the report through [`BenchReport::from_json`]
+//! before writing, and `tests/bench_schema.rs` parses the committed file.
+//! Floats are serialized with Rust's shortest-round-trip `Display`, so
+//! `from_json(to_json(r)) == r` holds exactly.
+
+use crate::telemetry::json::{self, Value};
+use crate::telemetry::MetricsSnapshot;
+
+/// Schema identifier of the report format this module reads and writes.
+pub const BENCH_SCHEMA: &str = "coup-bench-runtime/v2";
+
+/// One row of the kernel × backend table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchKernelRow {
+    /// Kernel label, e.g. `hist (1M px, 256b)`.
+    pub kernel: String,
+    /// Throughput of the one-RMW-per-update baseline backend.
+    pub atomic_mops: f64,
+    /// Throughput of the privatizing COUP backend.
+    pub coup_mops: f64,
+    /// Updates applied (identical across backends by construction).
+    pub updates: u64,
+    /// Reads performed.
+    pub reads: u64,
+}
+
+/// One `(slot, claims, drained)` row of a sweep point's shard directory,
+/// mirroring [`ShardStat`](crate::ShardStat) without the transient `live`
+/// flag (the report is written at quiescence, where it is always false).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchShardRow {
+    /// Directory slot index.
+    pub slot: usize,
+    /// Producers that claimed this slot over the run.
+    pub claims: u64,
+    /// Updates drained from this slot over the run.
+    pub drained: u64,
+}
+
+/// One producer-count point of the submission sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchSweepRow {
+    /// Producer threads feeding the runtime at this point.
+    pub producers: usize,
+    /// Submission throughput against the atomic baseline backend.
+    pub atomic_mops: f64,
+    /// Submission throughput against the COUP backend.
+    pub coup_mops: f64,
+    /// Counted parker sleeps during the COUP run (empty + full edges).
+    pub queue_parks: u64,
+    /// Matched wakes; trails `queue_parks` by at most the resident workers
+    /// asleep at the sample point (the sweep samples a live runtime).
+    pub queue_unparks: u64,
+    /// Claimed shard slots, heaviest-drained first, capped by the writer.
+    pub shards: Vec<BenchShardRow>,
+    /// Claimed slots dropped by the cap — never silently truncated.
+    pub shards_omitted: usize,
+}
+
+/// The telemetry-overhead measurement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchOverhead {
+    /// Kernel the overhead was measured on.
+    pub kernel: String,
+    /// Producer threads of the measurement.
+    pub threads: usize,
+    /// Best throughput with the metrics registry live.
+    pub enabled_mops: f64,
+    /// Best throughput with the runtime kill-switch thrown.
+    pub disabled_mops: f64,
+    /// `(disabled/enabled - 1) * 100`; negative means noise floor.
+    pub overhead_pct: f64,
+}
+
+/// The whole `BENCH_runtime.json` document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Producer threads of the kernel table runs.
+    pub threads: usize,
+    /// Resident workers of every runtime in the report.
+    pub workers: usize,
+    /// Kernel × backend table.
+    pub kernels: Vec<BenchKernelRow>,
+    /// Sharded submission path across producer counts.
+    pub submission_sweep: Vec<BenchSweepRow>,
+    /// Telemetry-overhead measurement.
+    pub telemetry_overhead: BenchOverhead,
+    /// Full metrics snapshot of the instrumented kernel run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Accepts both JSON number shapes the parser produces: integers that fit
+/// `u64` parse as [`Value::UInt`] even when they are semantically floats.
+fn as_f64(fields: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match json::get(fields, key)? {
+        Value::Float(f) => Ok(*f),
+        Value::UInt(n) => Ok(*n as f64),
+        other => Err(format!("{key}: expected number, got {other:?}")),
+    }
+}
+
+fn get_str(fields: &[(String, Value)], key: &str) -> Result<String, String> {
+    match json::get(fields, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("{key}: expected string, got {other:?}")),
+    }
+}
+
+fn get_usize(fields: &[(String, Value)], key: &str) -> Result<usize, String> {
+    Ok(json::get_u64(fields, key)? as usize)
+}
+
+impl BenchReport {
+    /// Serializes the report in schema [`BENCH_SCHEMA`]. The derived
+    /// `speedup` fields are recomputed on every write and ignored by the
+    /// parser, so they can never disagree with the rates they summarize.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut kernels = String::new();
+        for (i, row) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                kernels.push(',');
+            }
+            kernels.push_str(&format!(
+                "\n    {{\"kernel\": {:?}, \"atomic_mops\": {}, \"coup_mops\": {}, \
+                 \"speedup\": {:.3}, \"updates\": {}, \"reads\": {}}}",
+                row.kernel,
+                row.atomic_mops,
+                row.coup_mops,
+                row.coup_mops / row.atomic_mops,
+                row.updates,
+                row.reads,
+            ));
+        }
+        let mut sweep = String::new();
+        for (i, row) in self.submission_sweep.iter().enumerate() {
+            if i > 0 {
+                sweep.push(',');
+            }
+            let mut shards = String::new();
+            for (j, shard) in row.shards.iter().enumerate() {
+                if j > 0 {
+                    shards.push_str(", ");
+                }
+                shards.push_str(&format!(
+                    "{{\"slot\": {}, \"claims\": {}, \"drained\": {}}}",
+                    shard.slot, shard.claims, shard.drained
+                ));
+            }
+            sweep.push_str(&format!(
+                "\n    {{\"producers\": {}, \"atomic_mops\": {}, \"coup_mops\": {}, \
+                 \"speedup\": {:.3}, \"queue_parks\": {}, \"queue_unparks\": {},\n     \
+                 \"shards\": [{shards}], \"shards_omitted\": {}}}",
+                row.producers,
+                row.atomic_mops,
+                row.coup_mops,
+                row.coup_mops / row.atomic_mops,
+                row.queue_parks,
+                row.queue_unparks,
+                row.shards_omitted,
+            ));
+        }
+        let o = &self.telemetry_overhead;
+        format!(
+            "{{\n  \"schema\": {BENCH_SCHEMA:?},\n  \"threads\": {},\n  \
+             \"workers\": {},\n  \"kernels\": [{kernels}\n  ],\n  \
+             \"submission_sweep\": [{sweep}\n  ],\n  \
+             \"telemetry_overhead\": {{\"kernel\": {:?}, \"threads\": {}, \
+             \"enabled_mops\": {}, \"disabled_mops\": {}, \"overhead_pct\": {}}},\n  \
+             \"metrics\": {}\n}}\n",
+            self.threads,
+            self.workers,
+            o.kernel,
+            o.threads,
+            o.enabled_mops,
+            o.disabled_mops,
+            o.overhead_pct,
+            self.metrics.to_json(),
+        )
+    }
+
+    /// Parses a schema-v2 report. Rejects any other schema string loudly —
+    /// a trajectory tool comparing v1 and v2 files must know, not guess.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = json::parse(text)?;
+        let fields = root.as_object("bench report")?;
+        let schema = get_str(fields, "schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "schema mismatch: file is {schema:?}, parser speaks {BENCH_SCHEMA:?}"
+            ));
+        }
+        let mut kernels = Vec::new();
+        for item in json::get(fields, "kernels")?.as_array("kernels")? {
+            let row = item.as_object("kernel row")?;
+            kernels.push(BenchKernelRow {
+                kernel: get_str(row, "kernel")?,
+                atomic_mops: as_f64(row, "atomic_mops")?,
+                coup_mops: as_f64(row, "coup_mops")?,
+                updates: json::get_u64(row, "updates")?,
+                reads: json::get_u64(row, "reads")?,
+            });
+        }
+        let mut submission_sweep = Vec::new();
+        for item in json::get(fields, "submission_sweep")?.as_array("submission_sweep")? {
+            let row = item.as_object("sweep row")?;
+            let mut shards = Vec::new();
+            for shard in json::get(row, "shards")?.as_array("shards")? {
+                let shard = shard.as_object("shard row")?;
+                shards.push(BenchShardRow {
+                    slot: get_usize(shard, "slot")?,
+                    claims: json::get_u64(shard, "claims")?,
+                    drained: json::get_u64(shard, "drained")?,
+                });
+            }
+            submission_sweep.push(BenchSweepRow {
+                producers: get_usize(row, "producers")?,
+                atomic_mops: as_f64(row, "atomic_mops")?,
+                coup_mops: as_f64(row, "coup_mops")?,
+                queue_parks: json::get_u64(row, "queue_parks")?,
+                queue_unparks: json::get_u64(row, "queue_unparks")?,
+                shards,
+                shards_omitted: get_usize(row, "shards_omitted")?,
+            });
+        }
+        let o = json::get(fields, "telemetry_overhead")?.as_object("telemetry_overhead")?;
+        let telemetry_overhead = BenchOverhead {
+            kernel: get_str(o, "kernel")?,
+            threads: get_usize(o, "threads")?,
+            enabled_mops: as_f64(o, "enabled_mops")?,
+            disabled_mops: as_f64(o, "disabled_mops")?,
+            overhead_pct: as_f64(o, "overhead_pct")?,
+        };
+        let metrics = MetricsSnapshot::from_value(json::get(fields, "metrics")?)?;
+        Ok(BenchReport {
+            threads: get_usize(fields, "threads")?,
+            workers: get_usize(fields, "workers")?,
+            kernels,
+            submission_sweep,
+            telemetry_overhead,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_its_own_json() {
+        let report = BenchReport {
+            threads: 8,
+            workers: 2,
+            kernels: vec![BenchKernelRow {
+                kernel: "hist (1M px, 256b)".into(),
+                atomic_mops: 12.5,
+                coup_mops: 40.25,
+                updates: 1_000_000,
+                reads: 0,
+            }],
+            submission_sweep: vec![BenchSweepRow {
+                producers: 64,
+                atomic_mops: 36.0,
+                coup_mops: 51.125,
+                queue_parks: 12,
+                queue_unparks: 12,
+                shards: vec![
+                    BenchShardRow {
+                        slot: 0,
+                        claims: 2,
+                        drained: 97,
+                    },
+                    BenchShardRow {
+                        slot: 3,
+                        claims: 1,
+                        drained: 3,
+                    },
+                ],
+                shards_omitted: 62,
+            }],
+            telemetry_overhead: BenchOverhead {
+                kernel: "hist (1M px, 256b)".into(),
+                threads: 8,
+                enabled_mops: 39.5,
+                disabled_mops: 40.0,
+                overhead_pct: 1.265822784810129,
+            },
+            metrics: MetricsSnapshot::default(),
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).expect("own output must parse");
+        assert_eq!(parsed, report, "round trip changed the report");
+    }
+
+    #[test]
+    fn v1_files_are_rejected_by_name() {
+        let err = BenchReport::from_json("{\"schema\": \"coup-bench-runtime/v1\"}")
+            .expect_err("v1 must not parse as v2");
+        assert!(err.contains("coup-bench-runtime/v1"), "err: {err}");
+    }
+}

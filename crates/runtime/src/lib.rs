@@ -26,7 +26,7 @@
 //! | private line in U state              | tagged slot in a per-worker [`CoupBackend`] buffer (identity-initialised, single-writer) |
 //! | bounded private cache capacity       | [`BufferConfig::capacity_lines`]: at most that many privatized lines per worker |
 //! | commutative-update instruction       | [`UpdateBackend::update`]: plain load/combine/store, no lock prefix |
-//! | update-request message from any core | an [`UpdateBatch`] travelling the MPSC submission queue from a [`Submitter`] to a resident worker |
+//! | update-request message from any core | a batch published into the producer's own SPSC shard ring (`ring.rs`) and drained by the resident worker owning that slot stripe — one Release store per batch, no producer ever serialises on another |
 //! | read triggering a reduction          | [`UpdateBackend::read`]: reader folds the partials of the line's *active writers* (per-line writer bitmap) |
 //! | directory sharer list                | per-line writer-presence bitmap (`LineMeta`)           |
 //! | eviction of a U line                 | capacity eviction ([`EvictionPolicy`]): the victim slot's delta migrates into the store, then the slot is re-tagged |
@@ -82,10 +82,12 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod bench;
 mod engine;
 pub mod harness;
 #[cfg(all(test, coup_model, feature = "model"))]
 mod model_tests;
+mod ring;
 pub mod runtime;
 pub mod store;
 mod sync;
@@ -96,13 +98,16 @@ pub use backend::{
     AtomicBackend, BufferConfig, BufferStats, CoupBackend, EvictionPolicy, ReadCost, UpdateBackend,
     DEFAULT_FLUSH_THRESHOLD, MAX_COUP_THREADS, PROBE_WINDOW, READ_RETRY_LIMIT,
 };
+pub use bench::{
+    BenchKernelRow, BenchOverhead, BenchReport, BenchShardRow, BenchSweepRow, BENCH_SCHEMA,
+};
 pub use harness::{
     expected_counts, run_contended, splitmix64, ContendedSpec, LaneSampler, ThroughputReport,
 };
 pub use runtime::{
     tag, BackendKind, CounterHandle, CoupRuntime, JobCtx, LaneHandle, RuntimeBuilder,
-    RuntimeResult, Submitter, TelemetryHandle, UpdateBatch, DEFAULT_BATCH_CAPACITY,
-    DEFAULT_QUEUE_CAPACITY,
+    RuntimeResult, ShardStat, Submitter, TelemetryHandle, DEFAULT_BATCH_CAPACITY,
+    DEFAULT_QUEUE_CAPACITY, DEFAULT_SHARD_SLOTS,
 };
 pub use store::SharedStore;
 pub use telemetry::{

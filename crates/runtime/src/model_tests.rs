@@ -17,11 +17,17 @@
 //! Each protocol test is paired with a **mutation check**: under
 //! `--cfg coup_model_mutation` one named ordering per protocol is weakened
 //! to `Relaxed` (`EPOCH_PUBLISH`, `WRITER_RETIRE`, `EVICTION_FOLD` in
-//! `backend.rs`; `TICKET_PUBLISH` in `trace.rs`), and the test below that
-//! names it must *fail* — CI's mutation lane asserts exactly that, proving
-//! these tests have teeth rather than passing vacuously. The queue test has
-//! no ordering mutation (its protocol is mutex/condvar-based); its teeth are
-//! the model's deadlock detector, exercised by the shim's own
+//! `backend.rs`; `TICKET_PUBLISH` in `trace.rs`; `RING_PUBLISH`,
+//! `SHARD_RETIRE`, `WAKE_PUBLISH`, `QUIESCE_PUBLISH` in `ring.rs`), and the
+//! test below that names it must *fail* — CI's mutation lane asserts
+//! exactly that, proving these tests have teeth rather than passing
+//! vacuously. One ring edge is deliberately *shielded* from mutation —
+//! the ring-consume head store, documented at the constants in `ring.rs` —
+//! and the shard-claim CAS is a literal `AcqRel` (one RMW is both sides of
+//! its own edge, so there is no single-sided constant to weaken). The
+//! end-to-end shutdown test and the parker close test carry no ordering
+//! mutation of their own; their teeth are the model's *deadlock detector*,
+//! exercised by the shim's own
 //! `missed_condvar_wakeup_is_reported_as_deadlock` self-test.
 
 use std::sync::Arc;
@@ -212,20 +218,36 @@ fn trace_ring_drains_are_lossy_but_never_torn() {
     });
 }
 
-/// Protocol 5 — the submission queue's close/park race: a producer pushing
-/// a batch, a resident worker parking on the queue condvar, and `shutdown`
-/// closing the queue must always terminate with the batch applied — no
-/// missed-wakeup lost batch, no worker parked forever past close.
+/// Protocol 5 — the sharded submission path end to end: a producer pushing
+/// a batch through its SPSC shard ring, a resident worker parking on its
+/// wake parker, and `shutdown` closing the runtime must always terminate
+/// with the batch applied — no missed-wakeup lost batch, no worker parked
+/// forever past close, no update lost across the retire/drain hand-off.
 ///
-/// No ordering mutation applies: the protocol is mutex/condvar-based (no
-/// lock-free edge to weaken). Its teeth are the model's *deadlock
-/// detector* — if close ever raced park such that the worker slept with no
-/// notifier left, every live thread would be blocked and the model reports
-/// deadlock instead of hanging (the shim's own test suite seeds exactly
-/// that bug to prove the detector fires).
+/// No *single* ordering mutation applies (the focused ring tests below own
+/// those pairings); this test's teeth are the model's *deadlock detector* —
+/// if close ever raced park such that the worker slept with no notifier
+/// left, every live thread would be blocked and the model reports deadlock
+/// instead of hanging (the shim's own test suite seeds exactly that bug to
+/// prove the detector fires). It is also the regression lock for the
+/// `Parker::status` acquire-RMW rule: with a plain relaxed status read the
+/// worker can observe the newest epoch *without* the notifier's clock, scan
+/// its stripe stale-empty, and sleep on an epoch that has already ticked
+/// its last — the model found exactly that execution.
+///
+/// Preemption bound 1 (not the default 2): the end-to-end path crosses
+/// every atomic in the crate, and bound 2 explodes past CI's budget. The
+/// focused ring tests below carry the per-edge bound-2 coverage; bound 1
+/// here still explores every single-preemption interleaving of
+/// submit/drain/close — including the status-read race above, which needs
+/// only one.
 #[test]
 fn queue_close_never_strands_a_parked_worker() {
-    loom::model(|| {
+    let bounded = loom::model::Builder {
+        preemption_bound: 1,
+        ..loom::model::Builder::default()
+    };
+    bounded.check(|| {
         let runtime = RuntimeBuilder::new(CommutativeOp::AddU64, 4)
             .workers(1)
             .batch_capacity(1)
@@ -238,5 +260,181 @@ fn queue_close_never_strands_a_parked_worker() {
         drop(handle);
         let result = runtime.shutdown();
         assert_eq!(result.snapshot[0], 5);
+    });
+}
+
+/// Protocol 6 — the ring's publication edge: the producer's tail store
+/// ([`RING_PUBLISH`]) must carry the relaxed slot writes that precede it,
+/// so a consumer whose acquire tail load observes the new frontier reads
+/// the batch's real contents.
+///
+/// Mutation pairing: `RING_PUBLISH` weakened to `Relaxed` admits this
+/// interleaving: the producer writes `(lane 3, value 7)` into slot 0 and
+/// bumps `tail` without a release edge; the consumer's acquire load returns
+/// the bumped tail but no happens-before, so its relaxed slot loads are
+/// free to return the stale identity `(0, 0)` — caught by the payload
+/// assert.
+#[test]
+fn ring_publish_carries_the_slot_writes_it_announces() {
+    use crate::ring::SpscRing;
+    loom::model(|| {
+        let ring = Arc::new(SpscRing::new(2));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                assert!(ring.push(3, 7), "capacity-2 ring rejected first push");
+            })
+        };
+        let check = |lane: usize, value: u64| {
+            assert_eq!(
+                (lane, value),
+                (3, 7),
+                "published batch read back stale contents"
+            );
+        };
+        // Racing drain: may see the batch or an empty frontier, never a
+        // torn one.
+        let mut seen = ring.consume(&mut |lane, value| check(lane, value));
+        producer.join().unwrap();
+        // Post-join drain: the join's happens-before makes the frontier
+        // definitive, so exactly one update must surface in total.
+        seen += ring.consume(&mut |lane, value| check(lane, value));
+        assert_eq!(seen, 1, "published update lost");
+        assert!(ring.is_drained());
+    });
+}
+
+/// Protocol 7 — slot registration vs. drain: a producer that pushes its
+/// final batch and *retires* its shard grant hands the ring to the drainer
+/// through the RETIRED state store ([`SHARD_RETIRE`]). A drainer whose
+/// acquire state load observes RETIRED must also observe the final tail —
+/// only then may it free the slot for the next claimer.
+///
+/// Mutation pairing: `SHARD_RETIRE` weakened to `Relaxed` admits this
+/// interleaving: the drainer's state load returns RETIRED with no
+/// happens-before to the producer's push, its tail load returns the stale
+/// empty frontier, `is_drained()` holds, and the slot is recycled with the
+/// update still in the ring — afterwards the slot is FREE, every later
+/// drain pass skips it, and the final tally comes up one short.
+#[test]
+fn shard_retire_hands_off_the_final_publication() {
+    use crate::ring::{ShardCache, ShardDirectory};
+    loom::model(|| {
+        let dir = Arc::new(ShardDirectory::new(1, 2));
+        let producer = {
+            let dir = Arc::clone(&dir);
+            thread::spawn(move || {
+                let grant = dir.claim().expect("one free slot");
+                assert!(grant.ring.push(1, 9));
+                dir.retire(&grant);
+            })
+        };
+        let mut cache = ShardCache::default();
+        let mut total = 0u64;
+        let mut drain = |dir: &ShardDirectory, cache: &mut ShardCache, total: &mut u64| {
+            *total += dir.drain_pass(
+                0,
+                1,
+                cache,
+                &mut |_slot, lane, value| {
+                    assert_eq!((lane, value), (1, 9), "drained a torn update");
+                },
+                &mut |_slot, _count, _publish_ns| {},
+            );
+        };
+        // Racing pass: may observe any prefix of claim/push/retire.
+        drain(&dir, &mut cache, &mut total);
+        producer.join().unwrap();
+        // Post-join pass: everything is visible; nothing may have been
+        // lost to a premature slot recycle.
+        drain(&dir, &mut cache, &mut total);
+        assert_eq!(total, 1, "retired shard's final batch lost");
+    });
+}
+
+/// Protocol 8 — the parker's wake edge: `notify()`'s epoch bump
+/// ([`WAKE_PUBLISH`]) must carry the publication that prompted it, so a
+/// sleeper whose status RMW observes the new epoch also observes the data
+/// and never goes (back) to sleep on work it cannot see.
+///
+/// Mutation pairing: `WAKE_PUBLISH` weakened to `Relaxed` admits this
+/// interleaving: the publisher stores the mailbox value and bumps the
+/// epoch, but the relaxed RMW does not add the publisher's clock to the
+/// word's release chain; the waiter's acquire status RMW returns the *new*
+/// epoch yet its mailbox load is free to return stale 0, so it arms and
+/// sleeps against an epoch that will never tick again — every live thread
+/// is then blocked and the model reports deadlock.
+#[test]
+fn queue_wake_publishes_the_mailbox_it_announces() {
+    use crate::ring::{ParkResult, Parker};
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    loom::model(|| {
+        let parker = Arc::new(Parker::new());
+        let mailbox = Arc::new(AtomicU64::new(0));
+        let publisher = {
+            let parker = Arc::clone(&parker);
+            let mailbox = Arc::clone(&mailbox);
+            thread::spawn(move || {
+                mailbox.store(7, Ordering::Relaxed);
+                parker.notify();
+            })
+        };
+        loop {
+            let status = parker.status();
+            if mailbox.load(Ordering::Relaxed) != 0 {
+                break;
+            }
+            match parker.park(status, || {}) {
+                ParkResult::Slept | ParkResult::Moved => {}
+            }
+        }
+        assert_eq!(mailbox.load(Ordering::Relaxed), 7);
+        publisher.join().unwrap();
+    });
+}
+
+/// Protocol 9 — drain quiescence: a worker bumps the shared applied count
+/// ([`QUIESCE_PUBLISH`]) *after* applying a batch, and `drain()`'s acquire
+/// RMW of that count is the only edge through which the caller's
+/// subsequent reads see the applied data. The RMW release-sequence
+/// continuation is what lets one acquire observe *every* worker's clock
+/// even when their bumps interleave.
+///
+/// Mutation pairing: `QUIESCE_PUBLISH` weakened to `Relaxed` admits this
+/// interleaving: the worker stores the result and bumps `applied`, but the
+/// relaxed RMW does not add the worker's clock to the counter's release
+/// chain; the waiter's acquire RMW reads the full count yet its relaxed
+/// result load is free to return stale 0 — caught by the result assert.
+#[test]
+fn drain_quiesce_makes_applied_work_visible() {
+    use crate::ring::QUIESCE_PUBLISH;
+    use crate::sync::atomic::{AtomicU64, Ordering};
+    loom::model(|| {
+        let applied = Arc::new(AtomicU64::new(0));
+        let result = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..2u64)
+            .map(|worker| {
+                let applied = Arc::clone(&applied);
+                let result = Arc::clone(&result);
+                thread::spawn(move || {
+                    result.fetch_add(5 << (8 * worker), Ordering::Relaxed);
+                    applied.fetch_add(1, QUIESCE_PUBLISH);
+                })
+            })
+            .collect();
+        // drain()-style wait: fresh acquire RMW each probe; the scheduler's
+        // yield points make the spin finite in the model.
+        // ord: drain-quiesce
+        while applied.fetch_add(0, Ordering::Acquire) < 2 {
+            thread::yield_now();
+        }
+        assert_eq!(
+            result.load(Ordering::Relaxed),
+            (5 << 8) | 5,
+            "quiesced reader saw stale results"
+        );
+        for worker in workers {
+            worker.join().unwrap();
+        }
     });
 }

@@ -1,5 +1,5 @@
 //! The service facade: [`CoupRuntime`], its [`RuntimeBuilder`], and the
-//! batched MPSC submission frontend.
+//! lock-free sharded submission frontend.
 //!
 //! Everything below `coup-runtime`'s backends assumes a *worker* discipline:
 //! a fixed set of threads, each owning one privatized buffer, driving
@@ -10,11 +10,22 @@
 //! update-request message and the coherence fabric routes it to wherever the
 //! line's U-state copy lives. Here, any thread may hold a [`Submitter`] (or a
 //! typed view such as [`CounterHandle`]) and push updates into a batch; full
-//! batches travel over an MPSC queue to the runtime's *resident workers*,
-//! which apply them through the existing privatized-buffer path. The batch is
-//! the software analogue of the update-request message, and batching is what
-//! amortises the per-op dispatch cost that a queue would otherwise add to
-//! every single update.
+//! batches are published into the producer's own bounded SPSC ring, claimed
+//! from a lock-free shard directory, and the runtime's *resident workers*
+//! drain the rings round-robin into the existing privatized-buffer path. The
+//! published batch is the software analogue of the update-request message;
+//! because every ring has exactly one producer and one consuming worker, the
+//! hand-off costs one Release store (plus one wake RMW) per batch and no
+//! producer ever serializes against another — the delivery path is as
+//! contention-free as the buffers it feeds, which is the paper's premise
+//! applied to the fabric itself.
+//!
+//! Blocking survives only at the *edges*, futex-style (`ring::Parker`): a
+//! worker whose rings are all empty parks until a publication bumps its
+//! epoch; a producer whose ring is full parks until its worker frees slots.
+//! Resident workers spawn lazily, on the first submission handle — a runtime
+//! used only for [`CoupRuntime::run_workers`] kernels never parks drainers
+//! it will never feed.
 //!
 //! Reads never queue: they run synchronously on the caller's thread through
 //! the O(active-writers) reduction path, exactly like a COUP read collecting
@@ -23,14 +34,17 @@
 //! # Consistency
 //!
 //! The facade inherits the backends' quiescent consistency and weakens the
-//! submission side by the queue: an update pushed into a handle becomes
-//! visible to reads once its batch has been flushed (by size, by an explicit
-//! [`Submitter::flush`], or by dropping the handle) *and* a resident worker
-//! has applied it. [`CoupRuntime::drain`] blocks until every batch flushed so
-//! far is applied; [`CoupRuntime::shutdown`] quiesces the whole runtime and
-//! returns an exact final snapshot. Commutativity is what makes this safe:
-//! batches from different producers may be applied in any order and the final
-//! state is the same.
+//! submission side by the rings: an update pushed into a handle becomes
+//! visible to reads once its batch has been published (by size, by an
+//! explicit [`Submitter::flush`], or by dropping the handle) *and* a
+//! resident worker has applied it. [`CoupRuntime::drain`] blocks until every
+//! update submitted so far is applied; [`CoupRuntime::shutdown`] quiesces
+//! the whole runtime and returns an exact final snapshot. Quiescence is two
+//! monotone counters: producers add to `submitted` *before* publishing,
+//! workers add to `applied` *after* applying, so `applied == submitted` —
+//! both read fresh via RMWs — implies every counted update landed.
+//! Commutativity is what makes the rest safe: batches from different
+//! producers may be applied in any order and the final state is the same.
 //!
 //! # Example
 //!
@@ -57,9 +71,9 @@
 //! assert_eq!(result.report.updates, 4000);
 //! ```
 
+use crate::sync;
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::{Condvar, Mutex, MutexGuard};
-use std::collections::VecDeque;
+use crate::sync::{Mutex, MutexGuard};
 use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,11 +86,14 @@ use crate::backend::{
 };
 use crate::engine::Engine;
 use crate::harness::ThroughputReport;
+use crate::ring::{ParkResult, Parker, ShardCache, ShardDirectory, ShardGrant, QUIESCE_PUBLISH};
 use crate::telemetry::{MetricsSnapshot, TelemetryConfig, TelemetryRegistry};
-use crate::trace::{TraceEvent, TraceKind};
+use crate::trace::TraceKind;
 
-/// Default number of updates a [`Submitter`] accumulates before handing its
-/// batch to the runtime. Large enough to amortise the queue's mutex over
+pub use crate::ring::ShardStat;
+
+/// Default number of updates a [`Submitter`] accumulates before publishing
+/// its batch into its ring. Large enough to amortise the publish + wake over
 /// hundreds of plain `Vec` pushes, small enough that a producer's updates do
 /// not linger unseen for long.
 pub const DEFAULT_BATCH_CAPACITY: usize = 256;
@@ -110,15 +127,32 @@ pub struct RuntimeBuilder {
     buffer_config: Option<BufferConfig>,
     batch_capacity: usize,
     queue_capacity: usize,
+    shard_slots: usize,
     telemetry: TelemetryConfig,
 }
 
-/// Default bound on the submission queue, in batches. Producers that outrun
-/// the resident workers by this much block in `flush()` until a batch is
-/// applied — backpressure, so a long-lived service cannot grow the queue
-/// without limit. At the default batch capacity this is ~256k updates of
-/// slack.
-pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+/// Default bound on each producer's submission ring, in updates. A producer
+/// that outruns its resident worker by this much blocks in `flush()` until
+/// the worker frees slots — backpressure, so a long-lived service cannot
+/// grow its queues without limit. Sixteen default-sized batches: deep enough
+/// that a bursty producer rides out a drain pass without hitting the full
+/// edge, while a fully claimed ring still costs only 64 KiB (rings allocate
+/// lazily, on a slot's first claim).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
+
+/// How many times a producer on the full edge cedes the CPU before arming
+/// the parker. Zero under the model checker, so exhaustive executions hit
+/// the park/wake protocol immediately instead of exploring yield loops.
+#[cfg(not(coup_model))]
+const FULL_EDGE_YIELDS: u32 = 8;
+#[cfg(coup_model)]
+const FULL_EDGE_YIELDS: u32 = 0;
+
+/// Default number of slots in the shard directory — the bound on
+/// *concurrently live* producers (a [`Submitter`] holds a slot from its
+/// first flush until drop; one past that many blocks in `flush()` until a
+/// slot frees).
+pub const DEFAULT_SHARD_SLOTS: usize = 1024;
 
 impl RuntimeBuilder {
     /// Starts a builder for a runtime of `lanes` lanes of `op`'s width.
@@ -133,6 +167,7 @@ impl RuntimeBuilder {
             buffer_config: None,
             batch_capacity: DEFAULT_BATCH_CAPACITY,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            shard_slots: DEFAULT_SHARD_SLOTS,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -156,8 +191,9 @@ impl RuntimeBuilder {
     }
 
     /// Number of resident worker threads (default 1). Each worker owns one
-    /// privatized buffer, drains submission batches, and runs one thread of
-    /// every [`CoupRuntime::run_workers`] job.
+    /// privatized buffer, drains the shard rings assigned to it (slot index
+    /// ≡ worker mod `workers`), and runs one thread of every
+    /// [`CoupRuntime::run_workers`] job.
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
@@ -181,7 +217,7 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Updates a [`Submitter`] accumulates per batch before enqueueing it
+    /// Updates a [`Submitter`] accumulates per batch before publishing it
     /// (minimum 1; 1 means every push is its own message — the unbatched
     /// baseline the batch-size sweep bench compares against).
     #[must_use]
@@ -190,18 +226,32 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Bound on the submission queue, in batches (minimum 1; default
-    /// [`DEFAULT_QUEUE_CAPACITY`]). A producer flushing into a full queue
-    /// blocks until a resident worker frees a slot — the backpressure that
-    /// keeps a long-lived service's memory bounded when producers outrun
-    /// the workers.
+    /// Bound on each producer's submission ring, in updates (minimum 1,
+    /// rounded up to a power of two; default [`DEFAULT_QUEUE_CAPACITY`]). A
+    /// producer flushing into its full ring blocks until its resident
+    /// worker frees slots — the backpressure that keeps a long-lived
+    /// service's memory bounded when producers outrun the workers.
     #[must_use]
     pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
         self
     }
 
-    /// Builds the runtime and starts its resident workers.
+    /// Number of shard-directory slots — the bound on concurrently live
+    /// producers (minimum 1; default [`DEFAULT_SHARD_SLOTS`]). Memory cost
+    /// is one ring per slot *ever claimed*, so a large default is cheap for
+    /// runtimes with few producers.
+    #[must_use]
+    pub fn shard_slots(mut self, shard_slots: usize) -> Self {
+        self.shard_slots = shard_slots;
+        self
+    }
+
+    /// Builds the runtime. Resident workers are *not* spawned here: the
+    /// first submission handle ([`CoupRuntime::submitter`] /
+    /// [`handle`](CoupRuntime::handle) / [`counter`](CoupRuntime::counter))
+    /// spawns them, so kernel-only runtimes never park drainers they never
+    /// feed.
     ///
     /// # Panics
     ///
@@ -231,97 +281,72 @@ impl RuntimeBuilder {
         };
         let shared = Arc::new(Shared {
             backend,
-            queue: Mutex::new(QueueState::default()),
-            work: Condvar::new(),
-            idle: Condvar::new(),
-            space: Condvar::new(),
+            directory: ShardDirectory::new(self.shard_slots.max(1), self.queue_capacity.max(1)),
+            wake: (0..self.workers).map(|_| Parker::new()).collect(),
+            idle: Parker::new(),
+            resume: Parker::new(),
+            pause_done: Parker::new(),
+            submitted: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            paused: AtomicU64::new(0),
+            pause_acks: AtomicU64::new(0),
             batch_capacity: self.batch_capacity.max(1),
-            queue_capacity: self.queue_capacity.max(1),
             workers: self.workers,
             handle_reads: AtomicU64::new(0),
             telemetry,
+            epoch: Instant::now(),
         });
-        let drainers = (0..self.workers)
-            .map(|worker| {
-                let shared = Arc::clone(&shared);
-                crate::sync::thread::Builder::new()
-                    .name(format!("coup-worker-{worker}"))
-                    .spawn(move || shared.drain_loop(worker))
-                    .expect("spawning a resident worker thread")
-            })
-            .collect();
         CoupRuntime {
             shared,
-            drainers,
+            drainers: Mutex::new(Vec::new()),
             job: Mutex::new(()),
             started: Instant::now(),
         }
     }
 }
 
-/// One producer's accumulated updates, travelling as a unit through the
-/// submission queue — the software analogue of the paper's update-request
-/// message, carrying many updates instead of one so the queue's
-/// synchronisation cost is paid once per batch.
-#[derive(Debug)]
-pub struct UpdateBatch {
-    ops: Vec<(usize, u64)>,
-    /// When the batch entered the queue — the start of the dwell interval
-    /// the telemetry `queue_dwell_us` histogram measures.
-    enqueued_at: Instant,
-}
-
-impl UpdateBatch {
-    /// Number of updates in the batch.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.ops.len()
-    }
-
-    /// True if the batch holds no updates.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
-    }
-}
-
-#[derive(Debug, Default)]
-struct QueueState {
-    batches: VecDeque<UpdateBatch>,
-    /// Set once by shutdown/Drop; workers drain the queue and exit.
-    closed: bool,
-    /// Set while a [`CoupRuntime::run_workers`] job borrows the worker
-    /// thread indices; workers stop popping so the job threads are the only
-    /// writers of the per-worker buffers.
-    paused: bool,
-    /// Resident workers currently applying a popped batch.
-    active: usize,
-    /// Updates enqueued over the runtime's lifetime.
-    submitted: u64,
-    /// Updates applied by resident workers over the runtime's lifetime.
-    applied: u64,
-}
+/// Bit in [`Shared::submitted`] that marks the runtime closed. Packing it
+/// into the counter makes "count this batch in, or learn we closed" one
+/// indivisible RMW — the gate cannot race shutdown.
+const SUBMIT_CLOSED: u64 = 1 << 63;
+const SUBMIT_MASK: u64 = SUBMIT_CLOSED - 1;
 
 /// State shared by the runtime, its resident workers, and every handle.
 struct Shared {
     backend: Box<dyn UpdateBackend>,
-    queue: Mutex<QueueState>,
-    /// Wakes resident workers: a batch arrived, the queue closed, or a pause
-    /// was lifted.
-    work: Condvar,
-    /// Wakes waiters in [`CoupRuntime::drain`] / pause: the queue went empty
-    /// with no batch mid-application.
-    idle: Condvar,
-    /// Wakes producers blocked on a full queue: a batch was popped (or the
-    /// queue closed).
-    space: Condvar,
+    /// The per-producer SPSC rings, behind their claim/retire slot protocol.
+    directory: ShardDirectory,
+    /// One empty-edge parker per resident worker: producers bump worker
+    /// `slot % workers` after publishing into `slot`'s ring.
+    wake: Box<[Parker]>,
+    /// Parks [`CoupRuntime::drain`] callers until `applied` catches up.
+    idle: Parker,
+    /// Parks workers for the duration of a [`CoupRuntime::run_workers`] job.
+    resume: Parker,
+    /// Wakes the pausing job thread as workers acknowledge the pause.
+    pause_done: Parker,
+    /// `closed bit (bit 63) | updates submitted over the runtime's
+    /// lifetime`. Producers add *before* publishing; the count is an upper
+    /// bound on published updates until the producer finishes pushing.
+    submitted: AtomicU64,
+    /// Updates applied by resident workers, bumped *after* application —
+    /// `applied == submitted` is the quiescence condition.
+    applied: AtomicU64,
+    /// Nonzero while a [`CoupRuntime::run_workers`] job borrows the worker
+    /// thread identities; workers stop draining so the job threads are the
+    /// only writers of the per-worker buffers.
+    paused: AtomicU64,
+    /// Workers currently sitting in the pause gate.
+    pause_acks: AtomicU64,
     batch_capacity: usize,
-    queue_capacity: usize,
     workers: usize,
     /// Reads served through handles (the runtime's synchronous read path).
     handle_reads: AtomicU64,
     /// The metrics registry + trace rings, shared with the backend.
     telemetry: Arc<TelemetryRegistry>,
+    /// Base instant for the nanosecond timestamps in the shard slots'
+    /// `last_publish_ns` (the dwell metric's clock).
+    epoch: Instant,
 }
 
 impl std::fmt::Debug for Shared {
@@ -335,129 +360,114 @@ impl std::fmt::Debug for Shared {
 }
 
 impl Shared {
-    /// Locks the queue, recovering from poisoning: every critical section
-    /// either leaves the state consistent before any panic (`submit`'s
-    /// closed assert fires before mutating) or is restored by a guard
-    /// (`run_workers`' pause), so continuing past a poisoned lock is safe —
-    /// and a worker must never crash the whole service because one producer
-    /// panicked mid-section.
-    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
-        self.queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn closed(&self) -> bool {
+        // An RMW, not a load: the exit/panic decisions downstream of this
+        // must see the newest word, not a stale cached one.
+        self.submitted.fetch_add(0, Ordering::Relaxed) & SUBMIT_CLOSED != 0
     }
 
-    /// Body of resident worker `worker`: pop batches, apply them through the
-    /// privatized-buffer path, flush and exit when the queue closes. Returns
-    /// the number of updates this worker applied.
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Body of resident worker `worker`: drain the rings in the worker's
+    /// slot stripe, apply their updates through the privatized-buffer path,
+    /// park on the empty edge, flush and exit once the runtime closes *and*
+    /// quiesces. Returns the number of updates this worker applied.
     fn drain_loop(&self, worker: usize) -> u64 {
-        let mut applied = 0u64;
+        let mut cache = ShardCache::default();
+        let mut applied_here = 0u64;
         loop {
-            let batch = {
-                let mut q = self.lock_queue();
-                // One park episode per condvar sleep, however many spurious
-                // wakes it takes: counted on entry, traced on both edges.
-                let mut parked = false;
-                let batch = loop {
-                    if q.closed || !q.paused {
-                        if let Some(batch) = q.batches.pop_front() {
-                            q.active += 1;
-                            // A slot freed: wake one producer blocked on a
-                            // full queue.
-                            self.space.notify_one();
-                            break Some(batch);
-                        }
-                        if q.closed {
-                            break None;
-                        }
-                    }
-                    if !parked {
-                        parked = true;
-                        self.telemetry.record_park(worker);
-                    }
-                    q = self
-                        .work
-                        .wait(q)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                };
-                if parked {
-                    self.telemetry.trace(worker, TraceKind::QueueUnpark, 0);
-                }
-                batch
-            };
-            let Some(batch) = batch else {
-                // Closed and drained: publish this worker's remaining
-                // buffered deltas so the post-join snapshot is exact.
-                self.backend.flush(worker);
-                return applied;
-            };
-            self.telemetry.record_queue_pop(
+            // Fresh RMW read: a worker must never miss a pause, or a
+            // run_workers job could write buffers it still owns.
+            // ord: job-pause
+            if self.paused.fetch_add(0, Ordering::Acquire) != 0 {
+                self.pause_gate(worker);
+                continue;
+            }
+            // Epoch snapshot *before* the scan: any publication after this
+            // point moves it and turns the park below into a no-op retry.
+            let status = self.wake[worker].status();
+            let drained = self.directory.drain_pass(
                 worker,
-                batch.ops.len() as u64,
-                batch.enqueued_at.elapsed().as_micros() as u64,
+                self.workers,
+                &mut cache,
+                &mut |_slot, lane, value| self.backend.update(worker, lane, value),
+                &mut |slot, count, publish_ns| {
+                    let dwell_us = self.now_ns().saturating_sub(publish_ns) / 1_000;
+                    self.telemetry.record_queue_pop(worker, count, dwell_us);
+                    self.telemetry.trace(worker, TraceKind::ShardDrain, slot);
+                },
             );
-            for &(lane, value) in &batch.ops {
-                self.backend.update(worker, lane, value);
+            if drained > 0 {
+                applied_here += drained;
+                self.applied.fetch_add(drained, QUIESCE_PUBLISH);
+                self.idle.notify();
+                continue;
             }
-            applied += batch.ops.len() as u64;
-            let mut q = self.lock_queue();
-            q.active -= 1;
-            q.applied += batch.ops.len() as u64;
-            if q.active == 0 && q.batches.is_empty() {
-                self.idle.notify_all();
+            // Empty pass. Exit iff closed and globally quiesced — both read
+            // fresh via RMWs, so a true "all done" is never missed.
+            let submitted = self.submitted.fetch_add(0, Ordering::Relaxed);
+            if submitted & SUBMIT_CLOSED != 0
+                && self.applied.fetch_add(0, Ordering::Relaxed) >= submitted & SUBMIT_MASK
+            {
+                // Publish this worker's remaining buffered deltas so the
+                // post-join snapshot is exact, then wake peers (they may be
+                // parked waiting for exactly this quiescence) and any
+                // drain() waiter.
+                self.backend.flush(worker);
+                for parker in self.wake.iter() {
+                    parker.notify();
+                }
+                self.idle.notify();
+                return applied_here;
+            }
+            match self.wake[worker].park(status, || self.telemetry.record_park(worker)) {
+                ParkResult::Slept => self.telemetry.record_unpark(worker),
+                ParkResult::Moved => {}
             }
         }
     }
 
-    /// Blocks until the queue has a free slot (backpressure) or closes,
-    /// returning the guard. While a [`CoupRuntime::run_workers`] job has
-    /// the queue paused, enqueued batches are not popped, so a producer
-    /// hitting the bound simply waits out the job.
-    fn wait_for_space(&self) -> MutexGuard<'_, QueueState> {
-        let mut q = self.lock_queue();
-        while q.batches.len() >= self.queue_capacity && !q.closed {
-            q = self
-                .space
-                .wait(q)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+    /// Where a worker sits out a [`CoupRuntime::run_workers`] job: announce
+    /// the pause was observed, then park until resumed (or closed). The job
+    /// starts only after *every* worker acknowledged, which is what makes
+    /// the buffer ownership hand-off sound without a queue lock.
+    fn pause_gate(&self, worker: usize) {
+        self.pause_acks.fetch_add(1, Ordering::Relaxed);
+        self.pause_done.notify();
+        loop {
+            let status = self.resume.status();
+            if self.paused.fetch_add(0, Ordering::Acquire) == 0 // ord: job-pause
+                || self.resume.is_closed()
+            {
+                break;
+            }
+            match self
+                .resume
+                .park(status, || self.telemetry.record_park(worker))
+            {
+                ParkResult::Slept => self.telemetry.record_unpark(worker),
+                ParkResult::Moved => {}
+            }
         }
-        q
+        self.pause_acks.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// The one enqueue path, blocking while the queue is full. `panic_if_
-    /// closed` selects the closed-queue reaction: panic (explicit
-    /// submissions — the runtime shut down under a live handle) or silently
-    /// discard ([`Submitter`]'s `Drop`, where panicking would abort).
-    fn enqueue(&self, ops: Vec<(usize, u64)>, panic_if_closed: bool) {
-        let mut q = self.wait_for_space();
-        if q.closed {
-            assert!(
-                !panic_if_closed,
-                "update submitted to a CoupRuntime that has shut down \
-                 (flush or drop all handles before shutdown())"
-            );
-            return;
+    /// Blocks until `applied` reaches `target` submitted updates. The
+    /// Acquire on the applied counter (paired with the workers'
+    /// [`QUIESCE_PUBLISH`] bumps, whose RMW release sequence accumulates
+    /// every worker's clock) is what makes the caller's subsequent reads see
+    /// every applied update.
+    fn wait_applied(&self, target: u64) {
+        loop {
+            let status = self.idle.status();
+            // ord: drain-quiesce
+            if self.applied.fetch_add(0, Ordering::Acquire) >= target {
+                return;
+            }
+            self.idle.park(status, || {});
         }
-        q.submitted += ops.len() as u64;
-        q.batches.push_back(UpdateBatch {
-            ops,
-            enqueued_at: Instant::now(),
-        });
-        drop(q);
-        self.work.notify_one();
-    }
-
-    /// Blocks until every batch enqueued so far has been applied, then
-    /// returns the guard (so callers can atomically follow up — e.g. pause).
-    fn wait_idle(&self) -> MutexGuard<'_, QueueState> {
-        let mut q = self.lock_queue();
-        while q.active > 0 || !q.batches.is_empty() {
-            q = self
-                .idle
-                .wait(q)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-        q
     }
 
     fn read(&self, lane: usize) -> u64 {
@@ -467,18 +477,14 @@ impl Shared {
         self.backend.read(usize::MAX, lane)
     }
 
-    /// Assembles a full [`MetricsSnapshot`]: queue counters under the queue
-    /// lock, the backend's per-worker counter folds, and the registry's
-    /// histograms and trace totals. No stop-the-world — workers keep
-    /// running while this sums their blocks.
+    /// Assembles a full [`MetricsSnapshot`]: submission counters, the
+    /// backend's per-worker counter folds, and the registry's histograms and
+    /// trace totals. No stop-the-world — workers keep running while this
+    /// sums their blocks.
     fn metrics(&self) -> MetricsSnapshot {
-        let (submitted, applied) = {
-            let q = self.lock_queue();
-            (q.submitted, q.applied)
-        };
         let mut snap = MetricsSnapshot {
-            updates_submitted: submitted,
-            updates_applied: applied,
+            updates_submitted: self.submitted.load(Ordering::Relaxed) & SUBMIT_MASK,
+            updates_applied: self.applied.load(Ordering::Relaxed),
             handle_reads: self.handle_reads.load(Ordering::Relaxed),
             read_cost: self.backend.read_cost(),
             buffer_stats: self.backend.buffer_stats(),
@@ -522,15 +528,16 @@ impl TelemetryHandle {
     /// (any drainer's — the rings have one shared cursor each), merged
     /// across workers and sorted by timestamp.
     #[must_use]
-    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+    pub fn drain_trace(&self) -> Vec<crate::trace::TraceEvent> {
         self.shared.telemetry.drain_trace()
     }
 }
 
-/// The batched MPSC write frontend: accumulates `(lane, value)` updates into
-/// a private [`UpdateBatch`] and enqueues it when full (or on
-/// [`Submitter::flush`] / drop). Cheap to clone — each clone is an
-/// independent producer with its own batch.
+/// The batched write frontend: accumulates `(lane, value)` updates into a
+/// private batch and publishes it into this producer's own SPSC ring when
+/// full (or on [`Submitter::flush`] / drop). Cheap to clone — each clone is
+/// an independent producer with its own batch and, from its first flush, its
+/// own shard slot.
 ///
 /// A `Submitter` is write-only; [`LaneHandle`] adds the synchronous read
 /// path, and [`CounterHandle`] adds operation typing on top of that.
@@ -538,6 +545,14 @@ impl TelemetryHandle {
 pub struct Submitter {
     shared: Arc<Shared>,
     batch: Vec<(usize, u64)>,
+    /// The claimed shard slot + ring, lazily acquired on the first flush so
+    /// read-mostly handles never occupy a slot.
+    shard: Option<ShardGrant>,
+    /// Producer mirror of the ring's tail cursor (its next write position).
+    tail: u64,
+    /// Last observed consumer cursor — refreshed only when the mirror says
+    /// the ring *looks* full, the classic Lamport-queue optimisation.
+    head_cache: u64,
 }
 
 impl Submitter {
@@ -546,10 +561,13 @@ impl Submitter {
         Submitter {
             shared,
             batch: Vec::with_capacity(capacity),
+            shard: None,
+            tail: 0,
+            head_cache: 0,
         }
     }
 
-    /// Appends one update to the current batch; enqueues the batch when it
+    /// Appends one update to the current batch; publishes the batch when it
     /// reaches the runtime's batch capacity.
     ///
     /// # Panics
@@ -568,46 +586,163 @@ impl Submitter {
         }
     }
 
-    /// Enqueues the current batch (no-op when empty). The updates become
-    /// visible to reads once a resident worker applies the batch; use
-    /// [`CoupRuntime::drain`] to wait for that.
+    /// Publishes the current batch into this producer's ring (no-op when
+    /// empty). The updates become visible to reads once a resident worker
+    /// applies them; use [`CoupRuntime::drain`] to wait for that.
     ///
     /// # Panics
     ///
     /// Panics if the runtime has shut down.
     pub fn flush(&mut self) {
-        if self.batch.is_empty() {
-            return;
-        }
-        let ops = std::mem::replace(
-            &mut self.batch,
-            Vec::with_capacity(self.shared.batch_capacity),
-        );
-        self.shared.enqueue(ops, true);
+        self.submit(true);
     }
 
-    /// Updates accumulated but not yet enqueued.
+    /// Updates accumulated but not yet published.
     #[must_use]
     pub fn pending(&self) -> usize {
         self.batch.len()
     }
+
+    /// The one publication path. `panic_if_closed` selects the closed-
+    /// runtime reaction: panic (explicit submissions — the runtime shut down
+    /// under a live handle) or silently discard (`Drop`, where panicking
+    /// would abort).
+    fn submit(&mut self, panic_if_closed: bool) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let count = self.batch.len() as u64;
+        // The gate: count the batch in, or learn the runtime closed — one
+        // indivisible RMW, so shutdown's workers either wait for these
+        // updates or this producer learns they must not be published.
+        let prev = self.shared.submitted.fetch_add(count, Ordering::Relaxed);
+        if prev & SUBMIT_CLOSED != 0 {
+            self.shared.submitted.fetch_sub(count, Ordering::Relaxed);
+            self.batch.clear();
+            // The phantom count may have parked an exiting worker on the
+            // quiescence check: re-wake everyone.
+            for parker in self.shared.wake.iter() {
+                parker.notify();
+            }
+            self.shared.idle.notify();
+            assert!(
+                !panic_if_closed,
+                "update submitted to a CoupRuntime that has shut down \
+                 (flush or drop all handles before shutdown())"
+            );
+            return;
+        }
+        if self.shard.is_none() {
+            self.claim_shard();
+        }
+        let grant = self.shard.as_ref().expect("claimed above");
+        let ring = grant.ring.as_ref();
+        let capacity = ring.capacity();
+        let slot = self.shared.directory.slot(grant.slot);
+        let worker = grant.slot % self.shared.workers;
+        let mut dirty = false;
+        for &(lane, value) in &self.batch {
+            while self.tail.wrapping_sub(self.head_cache) >= capacity {
+                // Publish what we have and wake the drainer before waiting:
+                // unpublished slots cannot be drained, and an unwoken
+                // drainer would never drain them.
+                if dirty {
+                    slot.last_publish_ns
+                        .store(self.shared.now_ns(), Ordering::Relaxed);
+                    ring.publish(self.tail);
+                    self.shared.wake[worker].notify();
+                    dirty = false;
+                }
+                self.head_cache = ring.head();
+                if self.tail.wrapping_sub(self.head_cache) < capacity {
+                    break;
+                }
+                // The drainer frees the whole ring in one consume pass, so
+                // space tends to appear within a scheduling quantum. Cede
+                // the CPU a few times before paying for a futex sleep: a
+                // park costs the producer a syscall round-trip *and* makes
+                // the drainer's next wake take the parker mutex, so keeping
+                // `sleepers == 0` on transient full edges speeds up the
+                // bottleneck side too. Zero retries under the model checker:
+                // the exhaustive schedules go straight at the park protocol.
+                for _ in 0..FULL_EDGE_YIELDS {
+                    sync::thread::yield_now();
+                    self.head_cache = ring.head();
+                    if self.tail.wrapping_sub(self.head_cache) < capacity {
+                        break;
+                    }
+                }
+                if self.tail.wrapping_sub(self.head_cache) < capacity {
+                    break;
+                }
+                let status = slot.space.status();
+                self.head_cache = ring.head();
+                if self.tail.wrapping_sub(self.head_cache) < capacity {
+                    break;
+                }
+                let telemetry = &self.shared.telemetry;
+                match slot.space.park(status, || telemetry.record_park(worker)) {
+                    ParkResult::Slept => telemetry.record_unpark(worker),
+                    ParkResult::Moved => {}
+                }
+            }
+            ring.write(self.tail, lane, value);
+            self.tail = self.tail.wrapping_add(1);
+            dirty = true;
+        }
+        if dirty {
+            slot.last_publish_ns
+                .store(self.shared.now_ns(), Ordering::Relaxed);
+            ring.publish(self.tail);
+            self.shared.wake[worker].notify();
+        }
+        self.batch.clear();
+    }
+
+    /// Claims a shard slot, parking on the directory's freed-slot edge while
+    /// every slot is held. The gate already counted our updates, so workers
+    /// cannot quiesce without them: a retiring producer's slot will free.
+    fn claim_shard(&mut self) {
+        let grant = loop {
+            if let Some(grant) = self.shared.directory.claim() {
+                break grant;
+            }
+            let status = self.shared.directory.freed.status();
+            if let Some(grant) = self.shared.directory.claim() {
+                break grant;
+            }
+            self.shared.directory.freed.park(status, || {});
+        };
+        // A recycled ring keeps its cursors (they only ever advance); the
+        // claim's Acquire made the previous generation's final, fully
+        // drained cursor values visible.
+        self.tail = grant.ring.producer_tail();
+        self.head_cache = self.tail;
+        self.shard = Some(grant);
+    }
 }
 
 impl Clone for Submitter {
-    /// A fresh producer over the same runtime, starting with an empty batch.
+    /// A fresh producer over the same runtime, starting with an empty batch
+    /// and no shard slot.
     fn clone(&self) -> Self {
         Submitter::new(Arc::clone(&self.shared))
     }
 }
 
 impl Drop for Submitter {
-    /// Flushes the final partial batch so dropping a handle never loses
-    /// updates. (If the runtime already shut down the batch is discarded —
-    /// flush explicitly before `shutdown()` to be certain.)
+    /// Publishes the final partial batch so dropping a handle never loses
+    /// updates (if the runtime already shut down the batch is discarded —
+    /// flush explicitly before `shutdown()` to be certain), then retires
+    /// this producer's shard slot so its worker can recycle it.
     fn drop(&mut self) {
         if !self.batch.is_empty() {
-            let ops = std::mem::take(&mut self.batch);
-            self.shared.enqueue(ops, false);
+            self.submit(false);
+        }
+        if let Some(grant) = self.shard.take() {
+            self.shared.directory.retire(&grant);
+            // The drainer owning this stripe frees the slot once drained.
+            self.shared.wake[grant.slot % self.shared.workers].notify();
         }
     }
 }
@@ -628,13 +763,13 @@ impl LaneHandle {
         self.submitter.push(lane, value);
     }
 
-    /// Enqueues the current partial batch (see [`Submitter::flush`]).
+    /// Publishes the current partial batch (see [`Submitter::flush`]).
     pub fn flush(&mut self) {
         self.submitter.flush();
     }
 
     /// Reads `lane` synchronously on the calling thread. Sees every applied
-    /// update; batches still queued (including this handle's own un-flushed
+    /// update; updates still queued (including this handle's own un-flushed
     /// batch) may be missing — read-your-writes requires
     /// [`LaneHandle::flush`] plus [`CoupRuntime::drain`].
     #[must_use]
@@ -745,7 +880,7 @@ impl<K: OpTag> CounterHandle<K> {
         self.raw.read(lane)
     }
 
-    /// Enqueues the current partial batch (see [`Submitter::flush`]).
+    /// Publishes the current partial batch (see [`Submitter::flush`]).
     pub fn flush(&mut self) {
         self.raw.flush();
     }
@@ -848,22 +983,27 @@ pub struct RuntimeResult {
 ///
 /// * **Handles** ([`CoupRuntime::submitter`] / [`handle`](Self::handle) /
 ///   [`counter`](Self::counter)): clonable, `Send`, batched — the service
-///   write path for non-worker threads.
+///   write path for non-worker threads. The first handle spawns the
+///   resident workers.
 /// * **Synchronous reads** ([`CoupRuntime::read`] / [`snapshot`](Self::snapshot),
 ///   or through any handle): the existing O(active-writers) reduction.
 /// * **Worker jobs** ([`CoupRuntime::run_workers`]): a closure run once per
 ///   resident-worker identity with direct backend access — the kernel
 ///   executor's path, with barriers and read-your-writes.
 ///
-/// [`CoupRuntime::shutdown`] (or `Drop`) quiesces: the queue closes, workers
-/// drain every remaining batch, flush their buffers, and exit.
+/// [`CoupRuntime::shutdown`] (or `Drop`) quiesces: the submission gate
+/// closes, workers drain every published ring, flush their buffers, and
+/// exit.
 #[derive(Debug)]
 pub struct CoupRuntime {
     shared: Arc<Shared>,
-    drainers: Vec<crate::sync::thread::JoinHandle<u64>>,
-    /// Serialises [`CoupRuntime::run_workers`] jobs: two jobs sharing worker
-    /// thread identities concurrently would break the buffers'
-    /// single-writer discipline.
+    /// Resident worker join handles — empty until the first submission
+    /// handle spawns them (lazy, so kernel-only runtimes pay nothing).
+    drainers: Mutex<Vec<crate::sync::thread::JoinHandle<u64>>>,
+    /// Serialises [`CoupRuntime::run_workers`] jobs (and the lazy worker
+    /// spawn): two jobs sharing worker thread identities concurrently would
+    /// break the buffers' single-writer discipline, and a spawn landing
+    /// mid-job would hand the same identities to a drainer.
     job: Mutex<()>,
     started: Instant,
 }
@@ -893,9 +1033,46 @@ impl CoupRuntime {
         self.shared.backend.name()
     }
 
-    /// A new write-only batched producer.
+    fn lock_drainers(&self) -> MutexGuard<'_, Vec<crate::sync::thread::JoinHandle<u64>>> {
+        self.drainers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Spawns the resident workers if they are not running yet. Serialised
+    /// against [`CoupRuntime::run_workers`] by the job lock, so workers
+    /// never materialise in the middle of a job's buffer ownership.
+    fn ensure_workers(&self) {
+        {
+            // Fast path once running; a stale miss just repeats the check
+            // under the lock.
+            let drainers = self.lock_drainers();
+            if !drainers.is_empty() {
+                return;
+            }
+        }
+        let _job = self
+            .job
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut drainers = self.lock_drainers();
+        if !drainers.is_empty() || self.shared.closed() {
+            return;
+        }
+        drainers.extend((0..self.shared.workers).map(|worker| {
+            let shared = Arc::clone(&self.shared);
+            crate::sync::thread::Builder::new()
+                .name(format!("coup-worker-{worker}"))
+                .spawn(move || shared.drain_loop(worker))
+                .expect("spawning a resident worker thread")
+        }));
+    }
+
+    /// A new write-only batched producer (spawns the resident workers on
+    /// first use).
     #[must_use]
     pub fn submitter(&self) -> Submitter {
+        self.ensure_workers();
         Submitter::new(Arc::clone(&self.shared))
     }
 
@@ -955,16 +1132,26 @@ impl CoupRuntime {
         self.shared.backend.buffer_stats()
     }
 
-    /// Updates enqueued and applied so far (both monotone; equal when the
-    /// queue is drained).
+    /// Updates submitted and applied so far (both monotone; equal when the
+    /// rings are drained).
     #[must_use]
     pub fn queue_depth(&self) -> (u64, u64) {
-        let q = self.shared.lock_queue();
-        (q.submitted, q.applied)
+        (
+            self.shared.submitted.load(Ordering::Relaxed) & SUBMIT_MASK,
+            self.shared.applied.load(Ordering::Relaxed),
+        )
     }
 
-    /// A consistent live snapshot of every runtime counter — queue depth,
-    /// backend read/buffer counters, and the telemetry registry's
+    /// Per-shard lifetime statistics (claims, updates drained, liveness)
+    /// for every directory slot ever claimed — the per-shard rows of the
+    /// bench JSON come from here.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.shared.directory.stats()
+    }
+
+    /// A consistent live snapshot of every runtime counter — submission
+    /// depth, backend read/buffer counters, and the telemetry registry's
     /// histograms — assembled by summing per-worker blocks, with no
     /// stop-the-world. Safe and meaningful mid-run: every field is
     /// individually monotone between observations on the same runtime, so
@@ -985,12 +1172,13 @@ impl CoupRuntime {
         }
     }
 
-    /// Blocks until every batch enqueued so far has been applied by the
+    /// Blocks until every update submitted so far has been applied by the
     /// resident workers. After `drain()`, reads observe every update whose
-    /// batch was flushed before the call — the runtime's quiescence point
+    /// batch was published before the call — the runtime's quiescence point
     /// short of a full shutdown.
     pub fn drain(&self) {
-        drop(self.shared.wait_idle());
+        let target = self.shared.submitted.fetch_add(0, Ordering::Relaxed) & SUBMIT_MASK;
+        self.shared.wait_applied(target);
     }
 
     /// Runs `job` once per resident-worker identity on dedicated threads and
@@ -998,10 +1186,10 @@ impl CoupRuntime {
     /// wall-clock time (including each worker's final buffer flush, so
     /// backends cannot hide work).
     ///
-    /// The submission queue is drained and paused for the duration — job
+    /// The submission path is drained and paused for the duration — job
     /// threads temporarily *are* the workers, with exclusive ownership of
     /// the per-worker privatized buffers — and resumes when the job ends.
-    /// Jobs serialise against each other. Batches submitted concurrently
+    /// Jobs serialise against each other. Updates submitted concurrently
     /// with a job are applied after it finishes.
     pub fn run_workers<R, F>(&self, job: F) -> (Vec<R>, Duration)
     where
@@ -1015,26 +1203,38 @@ impl CoupRuntime {
             .job
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        {
-            // Drain, then pause under the same guard so no batch can slip
-            // between the two: once `paused` is up, the job threads are the
-            // only writers of the worker buffers.
-            let mut q = self.shared.wait_idle();
-            q.paused = true;
-        }
-        // Resume draining even if the job panics — otherwise a caught panic
-        // would leave the queue paused forever and wedge every later
-        // submission and drain().
-        struct ResumeDraining<'a>(&'a Shared);
-        impl Drop for ResumeDraining<'_> {
-            fn drop(&mut self) {
-                let mut q = self.0.lock_queue();
-                q.paused = false;
-                drop(q);
-                self.0.work.notify_all();
+        let live_workers = self.lock_drainers().len() as u64;
+        // Quiesce first (the job must observe every update submitted before
+        // the call), then pause; the job starts only once every worker has
+        // acknowledged the pause from inside its gate, which is what hands
+        // the job threads exclusive buffer ownership.
+        self.drain();
+        if live_workers > 0 {
+            self.shared.paused.store(1, Ordering::Release); // ord: job-pause
+            for parker in self.shared.wake.iter() {
+                parker.notify();
+            }
+            loop {
+                let status = self.shared.pause_done.status();
+                if self.shared.pause_acks.fetch_add(0, Ordering::Relaxed) >= live_workers {
+                    break;
+                }
+                self.shared.pause_done.park(status, || {});
             }
         }
-        let _resume = ResumeDraining(self.shared.as_ref());
+        // Resume draining even if the job panics — otherwise a caught panic
+        // would leave the workers paused forever and wedge every later
+        // submission and drain().
+        struct ResumeDraining<'a>(&'a Shared, bool);
+        impl Drop for ResumeDraining<'_> {
+            fn drop(&mut self) {
+                if self.1 {
+                    self.0.paused.store(0, Ordering::Release); // ord: job-pause
+                    self.0.resume.notify();
+                }
+            }
+        }
+        let _resume = ResumeDraining(self.shared.as_ref(), live_workers > 0);
         let backend = self.shared.backend.as_ref();
         let engine = Engine::new(self.shared.workers);
         let start = Instant::now();
@@ -1047,29 +1247,36 @@ impl CoupRuntime {
         (results, start.elapsed())
     }
 
-    /// Closes the queue and joins the resident workers: they drain every
-    /// remaining batch, flush their privatized buffers, and exit. Returns
-    /// the total updates they applied. Safe to call twice (Drop after
-    /// shutdown). With `propagate_panics` false (the `Drop` path) a
-    /// panicked worker is ignored — re-raising during an unwind would
-    /// double-panic.
+    /// Closes the submission gate and joins the resident workers: they
+    /// drain every published update, flush their privatized buffers, and
+    /// exit once `applied == submitted`. Returns the total updates they
+    /// applied. Safe to call twice (Drop after shutdown). With
+    /// `propagate_panics` false (the `Drop` path) a panicked worker is
+    /// ignored — re-raising during an unwind would double-panic.
     fn close_and_join(&mut self, propagate_panics: bool) -> u64 {
-        {
-            let mut q = self.shared.lock_queue();
-            q.closed = true;
+        self.shared
+            .submitted
+            .fetch_or(SUBMIT_CLOSED, Ordering::Relaxed);
+        // Wake everyone who might be parked: workers (to run their exit
+        // check), producers on full rings or the claim edge (their workers
+        // keep draining until quiescence, so they finish or discard), and
+        // any pause machinery.
+        for parker in self.shared.wake.iter() {
+            parker.close();
         }
-        self.shared.work.notify_all();
-        // Wake producers blocked on a full queue so their submit can fail
-        // loudly (or their Drop can discard) instead of waiting forever.
-        self.shared.space.notify_all();
+        self.shared.directory.close_all();
+        self.shared.resume.close();
+        self.shared.pause_done.close();
+        let drainers: Vec<_> = self.lock_drainers().drain(..).collect();
         let mut applied = 0u64;
-        for drainer in self.drainers.drain(..) {
+        for drainer in drainers {
             match drainer.join() {
                 Ok(count) => applied += count,
                 Err(payload) if propagate_panics => std::panic::resume_unwind(payload),
                 Err(_) => {}
             }
         }
+        self.shared.idle.close();
         applied
     }
 
@@ -1104,10 +1311,10 @@ impl CoupRuntime {
 
 impl Drop for CoupRuntime {
     /// Dropping without [`CoupRuntime::shutdown`] still quiesces: remaining
-    /// batches are applied and workers join, so no enqueued update is ever
-    /// lost — only the final report is forfeited.
+    /// published updates are applied and workers join, so no submitted
+    /// update is ever lost — only the final report is forfeited.
     fn drop(&mut self) {
-        if !self.drainers.is_empty() {
+        if !self.lock_drainers().is_empty() {
             let _ = self.close_and_join(false);
         }
     }
@@ -1154,7 +1361,7 @@ mod tests {
         for _ in 0..8 {
             sub.push(3, 1); // two full batches, no explicit flush
         }
-        assert_eq!(sub.pending(), 0, "full batches were enqueued");
+        assert_eq!(sub.pending(), 0, "full batches were published");
         rt.drain();
         assert_eq!(rt.read(3), 8);
         let (submitted, applied) = rt.queue_depth();
@@ -1256,7 +1463,7 @@ mod tests {
     #[test]
     fn shutdown_drains_batches_still_queued() {
         // A burst larger than the workers can have applied by the time
-        // shutdown is called: closing the queue must still apply everything.
+        // shutdown is called: closing the gate must still apply everything.
         let rt = counting_runtime(16, 1, 8);
         let mut sub = rt.submitter();
         for i in 0..4096 {
@@ -1332,7 +1539,7 @@ mod tests {
             sub.push(0, 1);
         }
         rt.run_workers(|ctx| {
-            // The queue was drained before the job started.
+            // The rings were drained before the job started.
             if ctx.worker() == 0 {
                 assert_eq!(ctx.read(0), 8);
             }
@@ -1372,8 +1579,9 @@ mod tests {
 
     #[test]
     fn a_tiny_queue_capacity_applies_backpressure_without_losing_updates() {
-        // queue_capacity 1: producers constantly block on a full queue and
-        // must be woken by worker pops — every update still lands.
+        // queue_capacity 1: every producer's ring holds one update, so
+        // producers constantly park on the full edge and must be woken by
+        // worker drains — every update still lands.
         let rt = RuntimeBuilder::new(CommutativeOp::AddU64, 8)
             .workers(1)
             .batch_capacity(2)
@@ -1407,5 +1615,52 @@ mod tests {
             });
             assert_eq!(values, vec![8], "{kind:?}");
         }
+    }
+
+    #[test]
+    fn workers_spawn_lazily_on_the_first_handle() {
+        let rt = counting_runtime(4, 2, 4);
+        assert!(
+            rt.lock_drainers().is_empty(),
+            "no resident workers before the first handle"
+        );
+        // Kernel-only use never spawns drainers.
+        rt.run_workers(|ctx| ctx.update(0, 1));
+        assert!(rt.lock_drainers().is_empty());
+        let mut sub = rt.submitter();
+        assert_eq!(rt.lock_drainers().len(), 2, "first handle spawns workers");
+        sub.push(1, 5);
+        drop(sub);
+        let result = rt.shutdown();
+        assert_eq!(result.snapshot, vec![2, 5, 0, 0]);
+    }
+
+    #[test]
+    fn shard_stats_track_claims_and_recycling() {
+        let rt = counting_runtime(4, 1, 2);
+        let mut a = rt.submitter();
+        a.push(0, 1);
+        drop(a); // publish + retire slot 0
+        rt.drain();
+        // The slot frees once drained; the next producer recycles it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut b = rt.submitter();
+            b.push(1, 1);
+            drop(b);
+            rt.drain();
+            let stats = rt.shard_stats();
+            if stats.len() == 1 && stats[0].claims >= 2 {
+                assert!(!stats[0].live);
+                assert!(stats[0].drained >= 2);
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "slot 0 was never recycled: {stats:?}"
+            );
+        }
+        let result = rt.shutdown();
+        assert_eq!(result.snapshot[0], 1);
     }
 }

@@ -169,19 +169,19 @@ mod registry_impl {
     /// relaxed `fetch_add`s (RMW rather than plain store only because block
     /// 0 is shared with clamped out-of-range recorders).
     #[derive(Default)]
-    pub(super) struct AtomicHistogram {
+    pub(crate) struct AtomicHistogram {
         buckets: [AtomicU64; HIST_BUCKETS],
         sum: AtomicU64,
     }
 
     impl AtomicHistogram {
         #[inline]
-        pub(super) fn record(&self, value: u64) {
+        pub(crate) fn record(&self, value: u64) {
             self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
             self.sum.fetch_add(value, Ordering::Relaxed);
         }
 
-        pub(super) fn snapshot(&self) -> HistogramSnapshot {
+        pub(crate) fn snapshot(&self) -> HistogramSnapshot {
             let mut snap = HistogramSnapshot::default();
             for (out, bucket) in snap.buckets.iter_mut().zip(self.buckets.iter()) {
                 *out = bucket.load(Ordering::Relaxed);
@@ -195,25 +195,26 @@ mod registry_impl {
     /// workers' relaxed bumps never false-share.
     #[derive(Default)]
     #[repr(align(64))]
-    pub(super) struct WorkerBlock {
-        pub(super) read_width: AtomicHistogram,
-        pub(super) read_retries: AtomicHistogram,
-        pub(super) queue_dwell_us: AtomicHistogram,
-        pub(super) batch_size: AtomicHistogram,
-        pub(super) occupancy: AtomicHistogram,
-        pub(super) flush_words: AtomicHistogram,
-        pub(super) queue_parks: AtomicU64,
-        pub(super) trace_tick: AtomicU64,
+    pub(crate) struct WorkerBlock {
+        pub(crate) read_width: AtomicHistogram,
+        pub(crate) read_retries: AtomicHistogram,
+        pub(crate) queue_dwell_us: AtomicHistogram,
+        pub(crate) batch_size: AtomicHistogram,
+        pub(crate) occupancy: AtomicHistogram,
+        pub(crate) flush_words: AtomicHistogram,
+        pub(crate) queue_parks: AtomicU64,
+        pub(crate) queue_unparks: AtomicU64,
+        pub(crate) trace_tick: AtomicU64,
     }
 
-    pub(super) struct Inner {
-        pub(super) blocks: Box<[WorkerBlock]>,
-        pub(super) rings: Box<[TraceRing]>,
-        pub(super) sample_mask: u64,
+    pub(crate) struct Inner {
+        pub(crate) blocks: Box<[WorkerBlock]>,
+        pub(crate) rings: Box<[TraceRing]>,
+        pub(crate) sample_mask: u64,
     }
 
     impl Inner {
-        pub(super) fn new(workers: usize, config: TelemetryConfig) -> Self {
+        pub(crate) fn new(workers: usize, config: TelemetryConfig) -> Self {
             let workers = workers.max(1);
             let rings = if config.trace_capacity == 0 {
                 Vec::new()
@@ -232,7 +233,7 @@ mod registry_impl {
         /// Clamps out-of-range recorders (external handle readers pass
         /// `usize::MAX`) onto block 0.
         #[inline]
-        pub(super) fn block(&self, worker: usize) -> &WorkerBlock {
+        pub(crate) fn block(&self, worker: usize) -> &WorkerBlock {
             let index = if worker < self.blocks.len() {
                 worker
             } else {
@@ -390,6 +391,22 @@ impl TelemetryRegistry {
         self.trace(worker, TraceKind::QueuePark, 0);
     }
 
+    /// Counts one wake after a counted park and traces the unpark event.
+    /// Every [`TelemetryRegistry::record_park`] whose sleeper actually slept
+    /// is paired with exactly one `record_unpark` on the same worker index,
+    /// so `queue_parks - queue_unparks` bounds the threads asleep right now.
+    #[inline]
+    pub(crate) fn record_unpark(&self, worker: usize) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            inner
+                .block(worker)
+                .queue_unparks
+                .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
+        }
+        self.trace(worker, TraceKind::QueueUnpark, 0);
+    }
+
     /// Records one structured trace event, subject to the sampling rate.
     #[inline]
     pub(crate) fn trace(&self, worker: usize, kind: TraceKind, line: usize) {
@@ -433,6 +450,9 @@ impl TelemetryRegistry {
                 snap.queue_parks += block
                     .queue_parks
                     .load(crate::sync::atomic::Ordering::Relaxed);
+                snap.queue_unparks += block
+                    .queue_unparks
+                    .load(crate::sync::atomic::Ordering::Relaxed);
             }
             for ring in inner.rings.iter() {
                 snap.trace_recorded += ring.recorded();
@@ -460,8 +480,12 @@ pub struct MetricsSnapshot {
     pub updates_applied: u64,
     /// Synchronous reads served through external handles.
     pub handle_reads: u64,
-    /// Drainer condvar parks (empty or paused queue).
+    /// Parker sleeps: drainers on an empty stripe, producers on a full
+    /// ring, workers paused for a kernel job.
     pub queue_parks: u64,
+    /// Wakes after a counted park; parks minus unparks bounds the threads
+    /// currently asleep.
+    pub queue_unparks: u64,
     /// Trace events recorded into the rings (post-sampling).
     pub trace_recorded: u64,
     /// Trace events lost to ring overwrite before a drain reached them.
@@ -488,7 +512,7 @@ pub struct MetricsSnapshot {
 
 /// `(prometheus name, help text)` for every scalar counter, in the order of
 /// [`MetricsSnapshot::counter_values`] / `counter_slots`.
-const COUNTER_META: [(&str, &str); 15] = [
+const COUNTER_META: [(&str, &str); 16] = [
     (
         "coup_uptime_nanoseconds",
         "Nanoseconds since the telemetry registry was created.",
@@ -507,7 +531,11 @@ const COUNTER_META: [(&str, &str); 15] = [
     ),
     (
         "coup_queue_parks_total",
-        "Drainer condvar parks on an empty or paused queue.",
+        "Parker sleeps: empty stripe, full ring, or paused worker.",
+    ),
+    (
+        "coup_queue_unparks_total",
+        "Wakes after a counted park (pairs with coup_queue_parks_total).",
     ),
     (
         "coup_trace_events_recorded_total",
@@ -576,13 +604,14 @@ const HIST_META: [(&str, &str); HIST_COUNT] = [
 
 impl MetricsSnapshot {
     /// Scalar counter values in [`COUNTER_META`] order.
-    fn counter_values(&self) -> [u64; 15] {
+    fn counter_values(&self) -> [u64; 16] {
         [
             self.uptime_ns,
             self.updates_submitted,
             self.updates_applied,
             self.handle_reads,
             self.queue_parks,
+            self.queue_unparks,
             self.trace_recorded,
             self.trace_dropped,
             self.read_cost.reads,
@@ -597,13 +626,14 @@ impl MetricsSnapshot {
     }
 
     /// Mutable scalar counter slots in [`COUNTER_META`] order.
-    fn counter_slots(&mut self) -> [&mut u64; 15] {
+    fn counter_slots(&mut self) -> [&mut u64; 16] {
         [
             &mut self.uptime_ns,
             &mut self.updates_submitted,
             &mut self.updates_applied,
             &mut self.handle_reads,
             &mut self.queue_parks,
+            &mut self.queue_unparks,
             &mut self.trace_recorded,
             &mut self.trace_dropped,
             &mut self.read_cost.reads,
@@ -807,6 +837,7 @@ impl MetricsSnapshot {
                 "  \"updates_applied\": {},\n",
                 "  \"handle_reads\": {},\n",
                 "  \"queue_parks\": {},\n",
+                "  \"queue_unparks\": {},\n",
                 "  \"trace_recorded\": {},\n",
                 "  \"trace_dropped\": {},\n",
                 "  \"read_cost\": {{\"reads\": {}, \"buffer_words\": {}, \"retries\": {}, \"escalations\": {}}},\n",
@@ -826,6 +857,7 @@ impl MetricsSnapshot {
             self.updates_applied,
             self.handle_reads,
             self.queue_parks,
+            self.queue_unparks,
             self.trace_recorded,
             self.trace_dropped,
             self.read_cost.reads,
@@ -848,7 +880,13 @@ impl MetricsSnapshot {
     /// Parses the output of [`MetricsSnapshot::to_json`] back into a
     /// snapshot (exact round-trip; everything is an integer).
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let value = json::parse(text)?;
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Builds a snapshot from an already-parsed JSON value — the embedded
+    /// `"metrics"` subtree of a bench report parses through the same code
+    /// path as a standalone snapshot file.
+    pub(crate) fn from_value(value: &json::Value) -> Result<Self, String> {
         let root = value.as_object("snapshot")?;
         let read_cost = json::get(root, "read_cost")?.as_object("read_cost")?;
         let stats = json::get(root, "buffer_stats")?.as_object("buffer_stats")?;
@@ -858,6 +896,7 @@ impl MetricsSnapshot {
             updates_applied: json::get_u64(root, "updates_applied")?,
             handle_reads: json::get_u64(root, "handle_reads")?,
             queue_parks: json::get_u64(root, "queue_parks")?,
+            queue_unparks: json::get_u64(root, "queue_unparks")?,
             trace_recorded: json::get_u64(root, "trace_recorded")?,
             trace_dropped: json::get_u64(root, "trace_dropped")?,
             read_cost: ReadCost {
@@ -920,10 +959,10 @@ impl Merge for MetricsSnapshot {
 
 /// The dependency-free JSON subset parser backing
 /// [`MetricsSnapshot::from_json`] (the workspace's serde is an inert shim).
-mod json {
+pub(crate) mod json {
     /// A parsed JSON value; integers that fit `u64` stay exact.
     #[derive(Debug, Clone, PartialEq)]
-    pub(super) enum Value {
+    pub(crate) enum Value {
         Object(Vec<(String, Value)>),
         Array(Vec<Value>),
         UInt(u64),
@@ -934,21 +973,21 @@ mod json {
     }
 
     impl Value {
-        pub(super) fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
+        pub(crate) fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
             match self {
                 Value::Object(fields) => Ok(fields),
                 other => Err(format!("{what}: expected object, got {other:?}")),
             }
         }
 
-        pub(super) fn as_array(&self, what: &str) -> Result<&[Value], String> {
+        pub(crate) fn as_array(&self, what: &str) -> Result<&[Value], String> {
             match self {
                 Value::Array(items) => Ok(items),
                 other => Err(format!("{what}: expected array, got {other:?}")),
             }
         }
 
-        pub(super) fn as_u64(&self, what: &str) -> Result<u64, String> {
+        pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
             match self {
                 Value::UInt(n) => Ok(*n),
                 other => Err(format!("{what}: expected unsigned integer, got {other:?}")),
@@ -956,7 +995,7 @@ mod json {
         }
     }
 
-    pub(super) fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+    pub(crate) fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
         fields
             .iter()
             .find(|(name, _)| name == key)
@@ -964,11 +1003,11 @@ mod json {
             .ok_or_else(|| format!("missing key {key:?}"))
     }
 
-    pub(super) fn get_u64(fields: &[(String, Value)], key: &str) -> Result<u64, String> {
+    pub(crate) fn get_u64(fields: &[(String, Value)], key: &str) -> Result<u64, String> {
         get(fields, key)?.as_u64(key)
     }
 
-    pub(super) fn parse(text: &str) -> Result<Value, String> {
+    pub(crate) fn parse(text: &str) -> Result<Value, String> {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -1196,6 +1235,7 @@ mod tests {
             updates_applied: 998,
             handle_reads: 7,
             queue_parks: 3,
+            queue_unparks: 2,
             trace_recorded: 40,
             trace_dropped: 2,
             read_cost: ReadCost {
@@ -1359,6 +1399,7 @@ mod tests {
         registry.record_occupancy(3, 7);
         registry.record_flush_words(2, 9);
         registry.record_park(1);
+        registry.record_unpark(1);
         let mut snap = MetricsSnapshot::default();
         registry.fill(&mut snap);
         assert_eq!(snap.read_width.count(), 3);
@@ -1370,13 +1411,16 @@ mod tests {
         assert_eq!(snap.occupancy.sum, 7);
         assert_eq!(snap.flush_words.sum, 9);
         assert_eq!(snap.queue_parks, 1);
+        assert_eq!(snap.queue_unparks, 1);
         assert!(snap.uptime_ns > 0);
-        // The park traced an event; reads don't trace.
-        assert_eq!(snap.trace_recorded, 1);
+        // The park and unpark each traced an event; reads don't trace.
+        assert_eq!(snap.trace_recorded, 2);
         let events = registry.drain_trace();
-        assert_eq!(events.len(), 1);
+        assert_eq!(events.len(), 2);
         assert_eq!(events[0].kind, crate::trace::TraceKind::QueuePark);
         assert_eq!(events[0].worker, 1);
+        assert_eq!(events[1].kind, crate::trace::TraceKind::QueueUnpark);
+        assert_eq!(events[1].worker, 1);
     }
 
     #[cfg(feature = "telemetry")]
@@ -1386,11 +1430,13 @@ mod tests {
         assert!(!registry.is_enabled());
         registry.record_read(0, 3, 1);
         registry.record_park(0);
+        registry.record_unpark(0);
         registry.trace(0, TraceKind::Flush, 9);
         let mut snap = MetricsSnapshot::default();
         registry.fill(&mut snap);
         assert_eq!(snap.read_width.count(), 0);
         assert_eq!(snap.queue_parks, 0);
+        assert_eq!(snap.queue_unparks, 0);
         assert_eq!(snap.trace_recorded, 0);
         assert!(registry.drain_trace().is_empty());
     }

@@ -39,6 +39,9 @@ pub enum TraceKind {
     QueuePark,
     /// A drainer woke from the queue condvar and resumed popping batches.
     QueueUnpark,
+    /// A drainer consumed a published batch from a shard ring; the `line`
+    /// field carries the directory slot index.
+    ShardDrain,
 }
 
 impl TraceKind {
@@ -53,6 +56,7 @@ impl TraceKind {
             TraceKind::HeldBypass => 4,
             TraceKind::QueuePark => 5,
             TraceKind::QueueUnpark => 6,
+            TraceKind::ShardDrain => 7,
         }
     }
 
@@ -67,6 +71,7 @@ impl TraceKind {
             4 => TraceKind::HeldBypass,
             5 => TraceKind::QueuePark,
             6 => TraceKind::QueueUnpark,
+            7 => TraceKind::ShardDrain,
             _ => return None,
         })
     }
@@ -81,6 +86,7 @@ impl TraceKind {
             TraceKind::HeldBypass => "held_bypass",
             TraceKind::QueuePark => "queue_park",
             TraceKind::QueueUnpark => "queue_unpark",
+            TraceKind::ShardDrain => "shard_drain",
         }
     }
 }
@@ -335,6 +341,7 @@ mod ring {
                 TraceKind::HeldBypass,
                 TraceKind::QueuePark,
                 TraceKind::QueueUnpark,
+                TraceKind::ShardDrain,
             ] {
                 assert_eq!(TraceKind::from_u8(kind.as_u8()), Some(kind));
             }

@@ -10,7 +10,7 @@
 //! buffers written with plain stores, reduced on demand by readers) behind
 //! the same facade.
 //!
-//! Four sections:
+//! Six sections:
 //!
 //! 1. a raw contended-counter sweep over producer counts,
 //! 2. an update/read-mix sweep across producer counts (reads are COUP's
@@ -26,14 +26,19 @@
 //!    facade worker jobs, with every run verified against the sequential
 //!    reference — including pgrank over a million-line store with
 //!    per-thread buffer memory capped at a few KiB,
-//! 5. the telemetry-overhead measurement: the hist kernel with the metrics
+//! 5. the sharded-submission sweep: producer counts 8 → 1024 through the
+//!    per-producer SPSC rings, with park/unpark totals and per-shard
+//!    `(slot, claims, drained)` rows,
+//! 6. the telemetry-overhead measurement: the hist kernel with the metrics
 //!    registry enabled versus runtime-disabled, quantifying what the
 //!    relaxed-atomic instrumentation costs on the hot path.
 //!
-//! The kernel table, the overhead measurement, and the coup hist run's full
+//! The kernel table, the submission sweep, the overhead measurement, and
+//! the coup hist run's full
 //! [`MetricsSnapshot`](coup_runtime::MetricsSnapshot) are also written to
-//! `BENCH_runtime.json` (schema `coup-bench-runtime/v1`, documented in the
-//! README) so perf trajectories are machine-diffable across commits.
+//! `BENCH_runtime.json` (schema `coup-bench-runtime/v2`, written and parsed
+//! by [`coup_runtime::bench`], documented in the README) so perf
+//! trajectories are machine-diffable across commits.
 //!
 //! On a many-core machine the COUP advantage grows with the core count
 //! (private buffers eliminate the coherence ping-pong of the hot lines); on
@@ -47,7 +52,10 @@ use coup_runtime::{
     run_contended, BackendKind, BufferConfig, ContendedSpec, CoupBackend, CoupRuntime,
     RuntimeBuilder, DEFAULT_FLUSH_THRESHOLD,
 };
-use coup_runtime::{MetricsSnapshot, TelemetryConfig};
+use coup_runtime::{
+    BenchKernelRow, BenchOverhead, BenchReport, BenchShardRow, BenchSweepRow, MetricsSnapshot,
+    TelemetryConfig, BENCH_SCHEMA,
+};
 use coup_workloads::bfs::BfsWorkload;
 use coup_workloads::hist::{HistScheme, HistWorkload};
 use coup_workloads::kernel::{ExecutionBackend, RuntimeBackend, RuntimeKind, UpdateKernel};
@@ -180,16 +188,68 @@ fn sweep_capacity(producers: usize, updates_per_thread: usize) {
     println!();
 }
 
-/// One row of the kernel × backend table, kept for `BENCH_runtime.json`.
-struct KernelRow {
-    name: &'static str,
-    atomic_mops: f64,
-    coup_mops: f64,
-    updates: u64,
-    reads: u64,
+/// The sharded-submission sweep: producer counts 8 → 1024 against both
+/// backends, total update volume held roughly constant so the sweep
+/// measures submission-path scaling, not more work. Each point records the
+/// COUP run's park/unpark totals and its per-shard `(slot, claims,
+/// drained)` rows for `BENCH_runtime.json` — capped at the heaviest-drained
+/// [`SWEEP_SHARD_ROWS`] slots, with the omission counted, never silent.
+const SWEEP_SHARD_ROWS: usize = 16;
+
+fn sweep_submission() -> Vec<BenchSweepRow> {
+    println!(
+        "sharded submission sweep, 64 shared lanes, ~4M updates total, \
+         {WORKERS} resident workers (per-shard rows land in BENCH_runtime.json)"
+    );
+    println!(
+        "{:>9} | {:>14} | {:>14} | {:>8} | {:>7} | {:>12}",
+        "producers", "atomic (Mops)", "coup (Mops)", "speedup", "parks", "shards used"
+    );
+    let mut rows = Vec::new();
+    for producers in [8usize, 64, 256, 1024] {
+        let per_thread = (4_000_000 / producers).max(1_000);
+        let spec = ContendedSpec::contended(per_thread);
+        let atomic = runtime(BackendKind::Atomic, CommutativeOp::AddU64, spec.lanes);
+        let coup = runtime(BackendKind::Coup, CommutativeOp::AddU64, spec.lanes);
+        let ra = run_contended(&atomic, producers, &spec);
+        let rc = run_contended(&coup, producers, &spec);
+        assert_eq!(atomic.snapshot(), coup.snapshot(), "backends must agree");
+        let mut shards: Vec<BenchShardRow> = coup
+            .shard_stats()
+            .into_iter()
+            .filter(|s| s.claims > 0)
+            .map(|s| BenchShardRow {
+                slot: s.slot,
+                claims: s.claims,
+                drained: s.drained,
+            })
+            .collect();
+        let claimed = shards.len();
+        shards.sort_by(|a, b| b.drained.cmp(&a.drained).then(a.slot.cmp(&b.slot)));
+        shards.truncate(SWEEP_SHARD_ROWS);
+        println!(
+            "{producers:>9} | {:>14.1} | {:>14.1} | {:>7.2}x | {:>7} | {:>12}",
+            ra.mops(),
+            rc.mops(),
+            rc.mops() / ra.mops(),
+            rc.metrics.queue_parks,
+            claimed,
+        );
+        rows.push(BenchSweepRow {
+            producers,
+            atomic_mops: ra.mops(),
+            coup_mops: rc.mops(),
+            queue_parks: rc.metrics.queue_parks,
+            queue_unparks: rc.metrics.queue_unparks,
+            shards,
+            shards_omitted: claimed.saturating_sub(SWEEP_SHARD_ROWS),
+        });
+    }
+    println!();
+    rows
 }
 
-fn run_kernel(name: &'static str, kernel: &dyn UpdateKernel, threads: usize) -> KernelRow {
+fn run_kernel(name: &'static str, kernel: &dyn UpdateKernel, threads: usize) -> BenchKernelRow {
     let (atomic, coup) = compare_runtime_backends(kernel, threads)
         .expect("both runs verify against the sequential reference");
     println!(
@@ -200,8 +260,8 @@ fn run_kernel(name: &'static str, kernel: &dyn UpdateKernel, threads: usize) -> 
         coup.updates,
         coup.reads,
     );
-    KernelRow {
-        name,
+    BenchKernelRow {
+        kernel: name.to_string(),
         atomic_mops: atomic.mops(),
         coup_mops: coup.mops(),
         updates: coup.updates,
@@ -297,46 +357,40 @@ fn measure_overhead(threads: usize, reps: usize) -> OverheadRow {
     }
 }
 
-/// Serialises the run into `BENCH_runtime.json` (schema
-/// `coup-bench-runtime/v1`; see README). Hand-rolled like the snapshot
-/// exporter — the workspace builds without serde. The embedded metrics
-/// object is round-tripped through [`MetricsSnapshot::from_json`] before
-/// the file is written, so a report that would not parse back never lands
-/// on disk.
-fn emit_bench_json(threads: usize, rows: &[KernelRow], overhead: &OverheadRow) {
-    let mut kernels = String::new();
-    for (i, row) in rows.iter().enumerate() {
-        if i > 0 {
-            kernels.push(',');
-        }
-        kernels.push_str(&format!(
-            "\n    {{\"kernel\": {:?}, \"atomic_mops\": {:.3}, \"coup_mops\": {:.3}, \
-             \"speedup\": {:.3}, \"updates\": {}, \"reads\": {}}}",
-            row.name,
-            row.atomic_mops,
-            row.coup_mops,
-            row.coup_mops / row.atomic_mops,
-            row.updates,
-            row.reads,
-        ));
-    }
-    let metrics_json = overhead.metrics.to_json();
-    let parsed = MetricsSnapshot::from_json(&metrics_json)
-        .expect("metrics snapshot must round-trip through its own JSON");
-    assert_eq!(
-        parsed, overhead.metrics,
-        "metrics JSON round-trip changed the snapshot"
-    );
-    let json = format!(
-        "{{\n  \"schema\": \"coup-bench-runtime/v1\",\n  \"threads\": {threads},\n  \
-         \"workers\": {WORKERS},\n  \"kernels\": [{kernels}\n  ],\n  \
-         \"telemetry_overhead\": {{\"kernel\": \"hist (1M px, 256b)\", \"threads\": {threads}, \
-         \"enabled_mops\": {:.3}, \"disabled_mops\": {:.3}, \"overhead_pct\": {:.3}}},\n  \
-         \"metrics\": {metrics_json}\n}}\n",
-        overhead.enabled_mops, overhead.disabled_mops, overhead.overhead_pct,
-    );
+/// Serialises the run into `BENCH_runtime.json` (schema [`BENCH_SCHEMA`];
+/// see README). The writer and parser live together in
+/// [`coup_runtime::bench`], and the whole report is round-tripped through
+/// [`BenchReport::from_json`] before the file is written, so a report that
+/// would not parse back never lands on disk.
+fn emit_bench_json(
+    threads: usize,
+    rows: Vec<BenchKernelRow>,
+    sweep: Vec<BenchSweepRow>,
+    overhead: OverheadRow,
+) {
+    let report = BenchReport {
+        threads,
+        workers: WORKERS,
+        kernels: rows,
+        submission_sweep: sweep,
+        telemetry_overhead: BenchOverhead {
+            kernel: "hist (1M px, 256b)".to_string(),
+            threads,
+            enabled_mops: overhead.enabled_mops,
+            disabled_mops: overhead.disabled_mops,
+            overhead_pct: overhead.overhead_pct,
+        },
+        metrics: overhead.metrics,
+    };
+    let json = report.to_json();
+    let parsed =
+        BenchReport::from_json(&json).expect("bench report must round-trip through its own JSON");
+    assert_eq!(parsed, report, "bench JSON round-trip changed the report");
     match std::fs::write("BENCH_runtime.json", &json) {
-        Ok(()) => println!("wrote BENCH_runtime.json ({} bytes)", json.len()),
+        Ok(()) => println!(
+            "wrote BENCH_runtime.json ({BENCH_SCHEMA}, {} bytes)",
+            json.len()
+        ),
         Err(err) => println!("could not write BENCH_runtime.json: {err}"),
     }
 }
@@ -354,6 +408,7 @@ fn main() {
         sweep_read_mix(producers, 400_000);
     }
     sweep_capacity(4, 400_000);
+    let sweep = sweep_submission();
 
     println!("workload kernels through ExecutionBackend at {threads} threads");
     println!(
@@ -384,5 +439,5 @@ fn main() {
     println!();
 
     let overhead = measure_overhead(threads, 7);
-    emit_bench_json(threads, &rows, &overhead);
+    emit_bench_json(threads, rows, sweep, overhead);
 }

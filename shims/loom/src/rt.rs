@@ -845,6 +845,14 @@ thread_local! {
 /// Run `f` with the current model context, or return `None` when the calling
 /// thread is not controlled by a model execution (fallback-to-std mode).
 pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> Option<R> {
+    // A panicking thread is unwinding out of a failed (or aborted)
+    // execution; destructors running shim ops must not re-enter the
+    // scheduler — check_abort would panic inside the panic and abort the
+    // process, masking the model's failure message. Fall back to the raw
+    // std primitives instead: the execution's verdict is already decided.
+    if std::thread::panicking() {
+        return None;
+    }
     let ctx = CTX.with(|ctx| ctx.borrow().clone());
     ctx.map(|(exec, tid)| f(&exec, tid))
 }

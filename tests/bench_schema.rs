@@ -1,0 +1,204 @@
+//! Schema tests for `BENCH_runtime.json` (`coup-bench-runtime/v2`): the
+//! report writer and parser live together in `coup_runtime::bench`, and
+//! these tests pin the contract from outside the crate — a full-featured
+//! round trip, the committed file parsing cleanly, and the structural
+//! invariants trajectory tooling relies on (ascending sweep points,
+//! honest shard-row caps, the park/unpark gap bounded by the workers
+//! asleep at the sample point).
+
+use coup_runtime::{
+    BenchKernelRow, BenchOverhead, BenchReport, BenchShardRow, BenchSweepRow, MetricsSnapshot,
+    BENCH_SCHEMA,
+};
+use std::path::Path;
+
+fn sample_report() -> BenchReport {
+    let mut metrics = MetricsSnapshot {
+        uptime_ns: 123_456_789,
+        updates_submitted: 4_000_000,
+        updates_applied: 4_000_000,
+        queue_parks: 17,
+        queue_unparks: 17,
+        ..MetricsSnapshot::default()
+    };
+    // Populate a histogram so the embedded-metrics path covers buckets too.
+    metrics.batch_size.buckets[3] = 11;
+    metrics.batch_size.sum = 88;
+    BenchReport {
+        threads: 8,
+        workers: 2,
+        kernels: vec![
+            BenchKernelRow {
+                kernel: "hist (1M px, 256b)".into(),
+                atomic_mops: 12.375,
+                coup_mops: 40.5,
+                updates: 1_000_000,
+                reads: 0,
+            },
+            BenchKernelRow {
+                kernel: "bfs (200k v)".into(),
+                atomic_mops: 7.0,
+                coup_mops: 9.125,
+                updates: 800_000,
+                reads: 1_024,
+            },
+        ],
+        submission_sweep: vec![
+            BenchSweepRow {
+                producers: 8,
+                atomic_mops: 41.5,
+                coup_mops: 47.625,
+                queue_parks: 9,
+                queue_unparks: 9,
+                shards: vec![BenchShardRow {
+                    slot: 0,
+                    claims: 1,
+                    drained: 500_000,
+                }],
+                shards_omitted: 0,
+            },
+            BenchSweepRow {
+                producers: 1024,
+                atomic_mops: 7.0625,
+                coup_mops: 11.25,
+                queue_parks: 4_096,
+                queue_unparks: 4_096,
+                shards: vec![
+                    BenchShardRow {
+                        slot: 3,
+                        claims: 2,
+                        drained: 4_000,
+                    },
+                    BenchShardRow {
+                        slot: 7,
+                        claims: 1,
+                        drained: 3_900,
+                    },
+                ],
+                shards_omitted: 1008,
+            },
+        ],
+        telemetry_overhead: BenchOverhead {
+            kernel: "hist (1M px, 256b)".into(),
+            threads: 8,
+            enabled_mops: 39.5,
+            disabled_mops: 40.0,
+            overhead_pct: 1.2658227848101267,
+        },
+        metrics,
+    }
+}
+
+/// `from_json(to_json(report)) == report` exactly: floats are written with
+/// the shortest round-trip representation, so nothing is lost to
+/// formatting. This is the test the schema bump rides on — any field added
+/// to the report must survive the loop or fail here.
+#[test]
+fn v2_report_round_trips_exactly() {
+    let report = sample_report();
+    let json = report.to_json();
+    assert!(
+        json.contains(&format!("\"schema\": \"{BENCH_SCHEMA}\"")),
+        "writer must stamp the v2 schema: {json}"
+    );
+    let parsed = BenchReport::from_json(&json).expect("own output must parse");
+    assert_eq!(parsed, report, "round trip changed the report");
+    // And the loop is idempotent: a second pass writes byte-identical JSON.
+    assert_eq!(parsed.to_json(), json, "re-serialization drifted");
+}
+
+/// A v1 file must be rejected by name, not silently half-parsed: trajectory
+/// tooling diffing across the schema bump needs the loud error.
+#[test]
+fn v1_schema_is_rejected() {
+    let err = BenchReport::from_json(
+        "{\"schema\": \"coup-bench-runtime/v1\", \"threads\": 8, \"workers\": 2}",
+    )
+    .expect_err("v1 must not parse as v2");
+    assert!(err.contains("coup-bench-runtime/v1"), "err: {err}");
+    assert!(err.contains(BENCH_SCHEMA), "err: {err}");
+}
+
+/// Corrupt documents fail with anchored messages instead of defaults.
+#[test]
+fn missing_sections_are_loud() {
+    let err = BenchReport::from_json(&format!(
+        "{{\"schema\": \"{BENCH_SCHEMA}\", \"threads\": 8, \"workers\": 2, \"kernels\": []}}"
+    ))
+    .expect_err("a report without a submission sweep must not parse");
+    assert!(err.contains("submission_sweep"), "err: {err}");
+}
+
+/// The committed `BENCH_runtime.json` at the workspace root parses as v2
+/// and satisfies the structural invariants: sweep points strictly ascending
+/// in producer count and reaching >= 64 (the regime where sharding must
+/// beat the old mutex queue), per-shard rows present with honest caps
+/// (`claims` covers every drained update), and the park/unpark gap
+/// bounded by the sleeping resident workers at the sample point.
+#[test]
+fn committed_bench_file_is_valid_v2() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("BENCH_runtime.json must be committed: {err}"));
+    let report = BenchReport::from_json(&text)
+        .unwrap_or_else(|err| panic!("committed bench file must parse as v2: {err}"));
+
+    assert!(!report.kernels.is_empty(), "kernel table is empty");
+    assert!(
+        report.kernels.iter().any(|k| k.kernel.starts_with("hist")),
+        "kernel table lost the hist row"
+    );
+
+    assert!(
+        report.submission_sweep.len() >= 3,
+        "submission sweep needs at least 3 producer counts, got {}",
+        report.submission_sweep.len()
+    );
+    let mut last = 0usize;
+    for row in &report.submission_sweep {
+        assert!(
+            row.producers > last,
+            "sweep points must ascend: {} after {last}",
+            row.producers
+        );
+        last = row.producers;
+        assert!(
+            !row.shards.is_empty(),
+            "sweep point {} carries no shard rows",
+            row.producers
+        );
+        // The sweep samples metrics at drain()-quiescence while the runtime
+        // is still live, so up to `workers` drainers are asleep right then:
+        // parks may lead unparks by exactly the sleeping-thread count,
+        // never more (that would be a stranded sleeper).
+        assert!(
+            row.queue_parks - row.queue_unparks <= report.workers as u64,
+            "park asymmetry at {} producers: {} parks vs {} unparks exceeds \
+             the {} resident workers that may be asleep at the sample point",
+            row.producers,
+            row.queue_parks,
+            row.queue_unparks,
+            report.workers
+        );
+        let claims: u64 = row.shards.iter().map(|s| s.claims).sum();
+        assert!(
+            claims > 0,
+            "sweep point {} shard rows show no claims",
+            row.producers
+        );
+    }
+    assert!(
+        last >= 64,
+        "sweep must reach the >=64-producer regime, stopped at {last}"
+    );
+
+    assert!(
+        report.telemetry_overhead.enabled_mops > 0.0
+            && report.telemetry_overhead.disabled_mops > 0.0,
+        "overhead measurement is empty"
+    );
+    assert_eq!(
+        report.metrics.updates_submitted, report.metrics.updates_applied,
+        "the committed metrics snapshot was not quiescent"
+    );
+}
