@@ -296,6 +296,45 @@ fn bench_workload_kernels(c: &mut Criterion) {
     }
 }
 
+fn bench_update_service(c: &mut Criterion) {
+    // The `examples/update_service.rs` shape scaled down to a bench row:
+    // external producers pushing pseudo-random lane traffic through their
+    // own submitters into a 2-worker runtime, then a full drain and a
+    // hot-lane read probe. This group is what CI's bench guard pins: it is
+    // captured with `--save-baseline` on the default build, then re-run with
+    // the `san` feature enabled but `--cfg coup_san` absent under
+    // `--baseline ... --fail-delta ...`, proving the sanitizer facade is
+    // zero-cost when the cfg is off.
+    let mut group = c.benchmark_group("update_service");
+    group.sample_size(10);
+    let lanes = 1024usize;
+    let producers = 4usize;
+    let per_producer = 25_000usize;
+    group.throughput(Throughput::Elements((producers * per_producer) as u64));
+    for (kind, label) in [(BackendKind::Atomic, "atomic"), (BackendKind::Coup, "coup")] {
+        group.bench_function(format!("{label}/{producers}p"), |b| {
+            b.iter(|| {
+                let rt = make_runtime(kind, lanes, 2);
+                std::thread::scope(|scope| {
+                    for p in 0..producers {
+                        let mut sub = rt.submitter();
+                        scope.spawn(move || {
+                            let mut lane = p;
+                            for _ in 0..per_producer {
+                                lane = (lane.wrapping_mul(25) + 7) % lanes;
+                                sub.push(lane, 1);
+                            }
+                        });
+                    }
+                });
+                rt.drain();
+                (0..8).map(|lane| rt.read(lane)).sum::<u64>()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_telemetry_overhead(c: &mut Criterion) {
     // What the live metrics registry costs on the hottest kernel: the same
     // 8-thread hist run with telemetry enabled (default: full histograms,
@@ -331,6 +370,7 @@ criterion_group!(
     bench_read_mix,
     bench_capacity_sweep,
     bench_submission_batch_sweep,
+    bench_update_service,
     bench_workload_kernels,
     bench_telemetry_overhead
 );

@@ -25,13 +25,36 @@
 //!   tree. A one-sided tag is a protocol with a missing half: a publish
 //!   nobody reads, or a read nothing orders.
 //!
-//! String literals and comments are stripped before token scanning, so
-//! `"SeqCst"` in a panic message or `Release` in prose never trips a rule.
+//! String literals and comments are stripped before token scanning —
+//! including multi-line strings, raw strings with any number of `#`s, and
+//! nested block comments — so `"SeqCst"` in a panic message or `Release`
+//! in prose never trips a rule. Named ordering constants
+//! (`const FOO: Ordering = Ordering::Release;`) are resolved: their use
+//! sites inherit the definition's ordering and `ord:` tags, which is what
+//! lets the mutation cfgs swap a constant to `Relaxed` without moving the
+//! contract — the lint (and the site table it emits for `coup-san`) always
+//! describes the strong definition.
+//!
+//! Beyond diagnostics, the lint emits a **static site table**
+//! ([`SiteTable`], schema `coup-lint-sites/v1`): every source line whose
+//! effective ordering is non-`Relaxed`, with its orderings, tags, and how
+//! the ordering arrived (literal token, constant definition, or constant
+//! use). The `coup-san` sanitizer cross-checks its dynamic edges against
+//! this table, and CI regenerates ARCHITECTURE.md's pairing-tag table from
+//! [`render_pairing_table`].
 
+use std::collections::HashSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+/// Schema identifier of the site-table JSON emitted by
+/// [`render_sites_json`].
+pub const SITES_SCHEMA: &str = "coup-lint-sites/v1";
+
+/// Schema identifier of the report JSON emitted by [`render_report_json`].
+pub const REPORT_SCHEMA: &str = "coup-lint/v1";
 
 /// One lint finding, anchored to a file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +79,73 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Where a site's non-`Relaxed` ordering comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A literal `Ordering::…` token at the call site.
+    Direct,
+    /// The definition line of a named ordering constant.
+    ConstDef,
+    /// A call site that names an ordering constant.
+    ConstUse,
+}
+
+impl SiteKind {
+    /// Stable string form used in the JSON schema.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SiteKind::Direct => "direct",
+            SiteKind::ConstDef => "const-def",
+            SiteKind::ConstUse => "const-use",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "direct" => Some(SiteKind::Direct),
+            "const-def" => Some(SiteKind::ConstDef),
+            "const-use" => Some(SiteKind::ConstUse),
+            _ => None,
+        }
+    }
+}
+
+/// One entry of the static site table: a source line whose effective
+/// memory ordering is non-`Relaxed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// File display name (relative to the linted root).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// How the ordering arrives at this line.
+    pub kind: SiteKind,
+    /// Ordering-constant name for `ConstDef`/`ConstUse` sites; empty for
+    /// `Direct` sites.
+    pub via: String,
+    /// True when the line calls `fence(…)` rather than an atomic op.
+    pub fence: bool,
+    /// Effective non-`Relaxed` ordering tokens, sorted and deduped. For a
+    /// const use these are the *strong* definition's ordering even when a
+    /// mutation cfg compiles the `Relaxed` twin — the table describes the
+    /// contract, not the build.
+    pub orderings: Vec<String>,
+    /// `ord:` pairing tags in effect (local comment plus, for const uses,
+    /// the definition's), sorted and deduped; `allow-seqcst` excluded.
+    pub tags: Vec<String>,
+}
+
+/// The static site table: scanned file names plus every ordered site,
+/// sorted by `(file, line)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SiteTable {
+    /// Sorted display names of the scanned files.
+    pub files: Vec<String>,
+    /// Sites sorted by `(file, line)`.
+    pub sites: Vec<Site>,
+}
+
 /// Result of linting a set of sources.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -69,6 +159,10 @@ pub struct Report {
     /// refactor that silently drops a whole edge still lints clean, but
     /// its tag disappears from this list.
     pub paired_tags: Vec<String>,
+    /// The static site table entries, sorted by `(file, line)`.
+    pub sites: Vec<Site>,
+    /// Display names of the scanned files, in scan order.
+    pub scanned: Vec<String>,
 }
 
 impl Report {
@@ -76,6 +170,16 @@ impl Report {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// Extracts the site table (sorted copies of `scanned` and `sites`).
+    #[must_use]
+    pub fn site_table(&self) -> SiteTable {
+        let mut files = self.scanned.clone();
+        files.sort();
+        let mut sites = self.sites.clone();
+        sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        SiteTable { files, sites }
     }
 }
 
@@ -94,98 +198,167 @@ struct TagEntry {
     first_line: usize,
 }
 
-/// Splits one source line into its code part (strings blanked, comments
-/// removed) and its line-comment text, tracking block-comment state across
-/// lines. Good enough for a lint pass: raw strings and nested block
-/// comments are handled, exotic macro token trees are not expected.
-fn split_line(line: &str, block_depth: &mut usize) -> (String, String) {
-    let bytes: Vec<char> = line.chars().collect();
-    let mut code = String::with_capacity(line.len());
-    let mut comment = String::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        if *block_depth > 0 {
-            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                *block_depth -= 1;
-                i += 2;
-            } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
-                *block_depth += 1;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match bytes[i] {
-            '/' if bytes.get(i + 1) == Some(&'/') => {
-                comment.push_str(&bytes[i + 2..].iter().collect::<String>());
-                break;
-            }
-            '/' if bytes.get(i + 1) == Some(&'*') => {
-                *block_depth += 1;
-                i += 2;
-            }
-            '"' => {
-                code.push(' ');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
+/// A registered `const NAME: Ordering = Ordering::<non-Relaxed>;`.
+#[derive(Debug)]
+struct ConstInfo {
+    name: String,
+    ordering: &'static str,
+    tags: Vec<String>,
+}
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Release", "Acquire", "AcqRel", "SeqCst"];
+
+/// String-literal state carried across lines by [`LineScanner`].
+#[derive(Debug, Clone, Copy)]
+enum StrMode {
+    /// Inside a `"…"` (or `b"…"`) literal; backslash escapes apply.
+    Normal,
+    /// Inside a raw literal opened with `hashes` `#`s; closes only on
+    /// `"` followed by that many `#`s.
+    Raw { hashes: usize },
+}
+
+/// Splits source lines into code (strings blanked, comments removed) and
+/// line-comment text, carrying block-comment depth *and* string state
+/// across lines — a multi-line string or `r#"…"#` raw literal spanning
+/// lines never leaks tokens into the code channel.
+#[derive(Debug, Default)]
+struct LineScanner {
+    block_depth: usize,
+    string: Option<StrMode>,
+}
+
+impl LineScanner {
+    fn split(&mut self, line: &str) -> (String, String) {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            if let Some(mode) = self.string {
+                match mode {
+                    StrMode::Normal => match bytes[i] {
                         '\\' => i += 2,
                         '"' => {
+                            self.string = None;
                             i += 1;
-                            break;
                         }
                         _ => i += 1,
-                    }
-                }
-            }
-            'r' if bytes.get(i + 1) == Some(&'"')
-                || (bytes.get(i + 1) == Some(&'#') && bytes.get(i + 2) == Some(&'"')) =>
-            {
-                // Raw string (up to one `#`, which is all this tree uses).
-                let hashed = bytes[i + 1] == '#';
-                let close: &[char] = if hashed { &['"', '#'] } else { &['"'] };
-                code.push(' ');
-                i += if hashed { 3 } else { 2 };
-                while i < bytes.len() {
-                    if bytes[i..].starts_with(close) {
-                        i += close.len();
-                        break;
-                    }
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs. lifetime: a char literal closes within a
-                // few chars (`'x'`, `'\n'`, `'\u{..}'`); a lifetime never
-                // closes. Scan ahead for the close quote.
-                let mut j = i + 1;
-                if bytes.get(j) == Some(&'\\') {
-                    j += 1;
-                    if bytes.get(j) == Some(&'u') {
-                        while j < bytes.len() && bytes[j] != '}' {
-                            j += 1;
+                    },
+                    StrMode::Raw { hashes } => {
+                        if bytes[i] == '"'
+                            && bytes.len() - i > hashes
+                            && bytes[i + 1..i + 1 + hashes].iter().all(|c| *c == '#')
+                        {
+                            self.string = None;
+                            i += 1 + hashes;
+                        } else {
+                            i += 1;
                         }
                     }
-                    j += 1;
-                } else {
-                    j += 1;
                 }
-                if bytes.get(j) == Some(&'\'') {
-                    code.push(' ');
-                    i = j + 1;
+                continue;
+            }
+            if self.block_depth > 0 {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    self.block_depth -= 1;
+                    i += 2;
+                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    self.block_depth += 1;
+                    i += 2;
                 } else {
-                    code.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    comment.push_str(&bytes[i + 2..].iter().collect::<String>());
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    self.block_depth += 1;
+                    i += 2;
+                }
+                '"' => {
+                    code.push(' ');
+                    self.string = Some(StrMode::Normal);
+                    i += 1;
+                }
+                'r' | 'b' if !prev_is_ident(&bytes, i) => {
+                    if let Some((skip, mode)) = string_opener(&bytes, i) {
+                        code.push(' ');
+                        self.string = Some(mode);
+                        i += skip;
+                    } else {
+                        code.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs. lifetime: a char literal closes
+                    // within a few chars (`'x'`, `'\n'`, `'\u{..}'`); a
+                    // lifetime never closes. Scan ahead for the close
+                    // quote.
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&'\\') {
+                        j += 1;
+                        if bytes.get(j) == Some(&'u') {
+                            while j < bytes.len() && bytes[j] != '}' {
+                                j += 1;
+                            }
+                        }
+                        j += 1;
+                    } else {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'\'') {
+                        code.push(' ');
+                        i = j + 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
                     i += 1;
                 }
             }
-            c => {
-                code.push(c);
-                i += 1;
-            }
         }
+        (code, comment)
     }
-    (code, comment)
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Detects `r"`, `r#…#"`, `b"`, and `br#…#"` string openers starting at
+/// `i` (where `bytes[i]` is `r` or `b`), returning the opener length and
+/// the string mode to enter.
+fn string_opener(bytes: &[char], i: usize) -> Option<(usize, StrMode)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    if j == i {
+        return None;
+    }
+    if raw {
+        let mut hashes = 0;
+        while bytes.get(j + hashes) == Some(&'#') {
+            hashes += 1;
+        }
+        (bytes.get(j + hashes) == Some(&'"'))
+            .then_some((j + hashes + 1 - i, StrMode::Raw { hashes }))
+    } else {
+        (bytes.get(j) == Some(&'"')).then_some((j + 1 - i, StrMode::Normal))
+    }
 }
 
 /// Extracts the `ord:` tags of one comment string: everything after an
@@ -225,6 +398,72 @@ fn idents(code: &str) -> impl Iterator<Item = &str> {
         .filter(|t| !t.is_empty())
 }
 
+/// `ord:` tags attached to line `idx`: its own trailing comment plus the
+/// contiguous comment block directly above it. Attribute lines (a
+/// `#[cfg(…)]` gate sitting between a site and its comment block) are
+/// skipped, so cfg-gated sites keep their tags; a blank line still breaks
+/// the block.
+fn line_tags(lines: &[(String, String)], idx: usize) -> Vec<String> {
+    let mut tags = ord_tags(&lines[idx].1);
+    let mut above = idx;
+    while above > 0 {
+        above -= 1;
+        let (prev_code, prev_comment) = &lines[above];
+        let code = prev_code.trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#![");
+        let comment_only = code.is_empty() && !prev_comment.is_empty();
+        if !is_attr && !comment_only {
+            break;
+        }
+        tags.extend(ord_tags(prev_comment));
+    }
+    tags
+}
+
+/// Parses `[pub(…)] const NAME: Ordering = Ordering::<Ord>;` from one
+/// sanitized code line, returning `(NAME, ordering)`.
+fn const_def(code: &str) -> Option<(String, &'static str)> {
+    let (head, rest) = code.split_once("const ")?;
+    // `const` must be an item keyword here, not part of an identifier or a
+    // `*const` pointer type.
+    if head
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '*')
+    {
+        return None;
+    }
+    let (name, rest) = rest.split_once(':')?;
+    let name = name.trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+    {
+        return None;
+    }
+    let (ty, value) = rest.split_once('=')?;
+    let ty = ty.trim().trim_start_matches(':');
+    if ty != "Ordering" && !ty.ends_with("::Ordering") {
+        return None;
+    }
+    let ord_token = value.trim().split_once("Ordering::").map(|(_, o)| o)?;
+    let ord: String = ord_token
+        .chars()
+        .take_while(char::is_ascii_alphanumeric)
+        .collect();
+    ORDERINGS
+        .iter()
+        .find(|o| **o == ord)
+        .map(|o| (name.to_string(), *o))
+}
+
+fn push_unique<T: PartialEq>(v: &mut Vec<T>, item: T) {
+    if !v.contains(&item) {
+        v.push(item);
+    }
+}
+
 /// Lints in-memory sources: `(name, content)` pairs. The unit of the
 /// pairing check (R-PAIR) is the whole set, matching how the binary lints
 /// a directory tree.
@@ -232,19 +471,49 @@ fn idents(code: &str) -> impl Iterator<Item = &str> {
 pub fn lint_sources(sources: &[(String, String)]) -> Report {
     let mut report = Report {
         files: sources.len(),
+        scanned: sources.iter().map(|(n, _)| n.clone()).collect(),
         ..Report::default()
     };
     let mut ledger: Vec<(String, TagEntry)> = Vec::new();
 
-    for (name, content) in sources {
-        let is_sync = Path::new(name).file_name().is_some_and(|f| f == "sync.rs");
-        let mut block_depth = 0usize;
-        let lines: Vec<(String, String)> = content
-            .lines()
-            .map(|line| split_line(line, &mut block_depth))
-            .collect();
+    // Pass A: sanitize every file (string/comment state is per file).
+    let sanitized: Vec<Vec<(String, String)>> = sources
+        .iter()
+        .map(|(_, content)| {
+            let mut scanner = LineScanner::default();
+            content.lines().map(|l| scanner.split(l)).collect()
+        })
+        .collect();
 
-        for (idx, (code, comment)) in lines.iter().enumerate() {
+    // Pass B: register named ordering constants. Only non-Relaxed
+    // definitions enter the registry — the `coup_*_mutation` twins are
+    // Relaxed by construction and untagged, and letting them in would
+    // erase the strong definition's contract. First strong def wins.
+    let mut consts: Vec<ConstInfo> = Vec::new();
+    let mut def_lines: HashSet<(usize, usize)> = HashSet::new();
+    for (fidx, lines) in sanitized.iter().enumerate() {
+        for (idx, (code, _)) in lines.iter().enumerate() {
+            let Some((name, ordering)) = const_def(code) else {
+                continue;
+            };
+            def_lines.insert((fidx, idx));
+            if ordering == "Relaxed" || consts.iter().any(|c| c.name == name) {
+                continue;
+            }
+            consts.push(ConstInfo {
+                name,
+                ordering,
+                tags: line_tags(lines, idx),
+            });
+        }
+    }
+
+    // Pass C: diagnostics, the pairing ledger, and the site table.
+    for (fidx, (name, _)) in sources.iter().enumerate() {
+        let lines = &sanitized[fidx];
+        let is_sync = Path::new(name).file_name().is_some_and(|f| f == "sync.rs");
+
+        for (idx, (code, _comment)) in lines.iter().enumerate() {
             let lineno = idx + 1;
             if !is_sync
                 && (code.contains("std::sync::atomic") || code.contains("core::sync::atomic"))
@@ -261,34 +530,58 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
 
             let mut sides = Sides::default();
             let mut seqcst = false;
+            let mut orderings: Vec<String> = Vec::new();
             for token in idents(code) {
                 match token {
-                    "Release" => sides.release = true,
-                    "Acquire" => sides.acquire = true,
+                    "Release" => {
+                        sides.release = true;
+                        push_unique(&mut orderings, token.to_string());
+                    }
+                    "Acquire" => {
+                        sides.acquire = true;
+                        push_unique(&mut orderings, token.to_string());
+                    }
                     "AcqRel" => {
                         sides.release = true;
                         sides.acquire = true;
+                        push_unique(&mut orderings, token.to_string());
                     }
-                    "SeqCst" => seqcst = true,
+                    "SeqCst" => {
+                        seqcst = true;
+                        push_unique(&mut orderings, token.to_string());
+                    }
                     _ => {}
                 }
             }
-            if !sides.release && !sides.acquire && !seqcst {
+            let direct_sides = sides;
+
+            // Const uses: a registered ordering constant named on a
+            // non-definition, non-import line pulls in its definition's
+            // ordering and tags.
+            let trimmed = code.trim();
+            let is_import = trimmed.starts_with("use ")
+                || trimmed.starts_with("pub use ")
+                || trimmed.starts_with("pub(crate) use ")
+                || trimmed.starts_with("pub(super) use ");
+            let is_def = def_lines.contains(&(fidx, idx));
+            let mut via: Vec<&ConstInfo> = Vec::new();
+            if !is_def && !is_import {
+                for token in idents(code) {
+                    if let Some(info) = consts.iter().find(|c| c.name == token) {
+                        if !via.iter().any(|v| v.name == info.name) {
+                            via.push(info);
+                        }
+                    }
+                }
+            }
+
+            if !sides.release && !sides.acquire && !seqcst && via.is_empty() {
                 continue;
             }
 
-            // Tags on the site's own line plus the contiguous comment block
-            // directly above it (comment-only lines, no blank in between).
-            let mut tags = ord_tags(comment);
-            let mut above = idx;
-            while above > 0 {
-                above -= 1;
-                let (prev_code, prev_comment) = &lines[above];
-                if !prev_code.trim().is_empty() || prev_comment.is_empty() {
-                    break;
-                }
-                tags.extend(ord_tags(prev_comment));
-            }
+            // Tags on the site's own line plus the contiguous comment
+            // block directly above it.
+            let mut tags = line_tags(lines, idx);
 
             if seqcst {
                 if !tags.iter().any(|t| t == "allow-seqcst") {
@@ -307,9 +600,60 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
                 sides.acquire = true;
             }
 
-            let pairing: Vec<&String> = tags.iter().filter(|t| *t != "allow-seqcst").collect();
+            for info in &via {
+                match info.ordering {
+                    "Release" => sides.release = true,
+                    "Acquire" => sides.acquire = true,
+                    "AcqRel" | "SeqCst" => {
+                        sides.release = true;
+                        sides.acquire = true;
+                    }
+                    _ => {}
+                }
+                push_unique(&mut orderings, info.ordering.to_string());
+                for tag in &info.tags {
+                    tags.push(tag.clone());
+                }
+            }
+
+            let mut pairing: Vec<String> = Vec::new();
+            for tag in tags.iter().filter(|t| *t != "allow-seqcst") {
+                push_unique(&mut pairing, tag.clone());
+            }
+
+            if !orderings.is_empty() {
+                let kind = if is_def {
+                    SiteKind::ConstDef
+                } else if via.is_empty() {
+                    SiteKind::Direct
+                } else {
+                    SiteKind::ConstUse
+                };
+                let via_name = if is_def {
+                    const_def(code).map(|(n, _)| n).unwrap_or_default()
+                } else {
+                    via.iter()
+                        .map(|v| v.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let mut site_orderings = orderings.clone();
+                site_orderings.sort();
+                let mut site_tags = pairing.clone();
+                site_tags.sort();
+                report.sites.push(Site {
+                    file: name.clone(),
+                    line: lineno,
+                    kind,
+                    via: via_name,
+                    fence: idents(code).any(|t| t == "fence"),
+                    orderings: site_orderings,
+                    tags: site_tags,
+                });
+            }
+
             if pairing.is_empty() {
-                if !seqcst {
+                if !seqcst && (direct_sides.release || direct_sides.acquire) {
                     report.diagnostics.push(Diagnostic {
                         file: name.clone(),
                         line: lineno,
@@ -321,7 +665,7 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
                 }
                 continue;
             }
-            for tag in pairing {
+            for tag in &pairing {
                 match ledger.iter_mut().find(|(t, _)| t == tag) {
                     Some((_, entry)) => {
                         entry.sides.release |= sides.release;
@@ -366,6 +710,9 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     report.paired_tags.sort();
     report
+        .sites
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
 }
 
 /// Recursively lints every `.rs` file under `root` (or `root` itself if it
@@ -407,175 +754,428 @@ fn collect_rs(path: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> 
     Ok(())
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+// --- renderers ---------------------------------------------------------
 
-    fn lint_one(name: &str, src: &str) -> Vec<Diagnostic> {
-        lint_sources(&[(name.to_string(), src.to_string())]).diagnostics
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
     }
+    out.push('"');
+    out
+}
 
-    #[test]
-    fn clean_paired_tags_pass() {
-        let src = "fn publish(flag: &AtomicU64) {\n    // ord: handoff\n    flag.store(1, Ordering::Release);\n}\nfn consume(flag: &AtomicU64) -> u64 {\n    flag.load(Ordering::Acquire) // ord: handoff\n}\n";
-        assert!(lint_one("a.rs", src).is_empty());
+fn json_str_list(items: &[String]) -> String {
+    let body: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// Renders a site table as deterministic JSON (schema
+/// [`SITES_SCHEMA`]): one object per line, sorted by `(file, line)`, so
+/// the output is diffable and byte-stable across runs — the battery test
+/// asserts it round-trips byte-identically through [`parse_sites_json`].
+#[must_use]
+pub fn render_sites_json(table: &SiteTable) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    out.push_str(&json_str(SITES_SCHEMA));
+    out.push_str(",\n  \"files\": [");
+    for (i, f) in table.files.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_str(f));
     }
-
-    #[test]
-    fn acqrel_counts_as_both_sides() {
-        let src = "// ord: rmw-edge\nfn f(x: &AtomicU64) { x.fetch_add(1, Ordering::AcqRel); }\n";
-        assert!(lint_one("a.rs", src).is_empty());
+    if !table.files.is_empty() {
+        out.push_str("\n  ");
     }
-
-    #[test]
-    fn untagged_release_is_r_tag_with_exact_location() {
-        let src = "fn f(x: &AtomicU64) {\n    x.store(1, Ordering::Release);\n}\n";
-        let diags = lint_one("a.rs", src);
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].rule, "R-TAG");
-        assert_eq!(diags[0].file, "a.rs");
-        assert_eq!(diags[0].line, 2);
+    out.push_str("],\n  \"sites\": [");
+    for (i, s) in table.sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&format!(
+            "{{\"file\": {}, \"line\": {}, \"kind\": {}, \"via\": {}, \"fence\": {}, \"orderings\": {}, \"tags\": {}}}",
+            json_str(&s.file),
+            s.line,
+            json_str(s.kind.as_str()),
+            json_str(&s.via),
+            s.fence,
+            json_str_list(&s.orderings),
+            json_str_list(&s.tags),
+        ));
     }
-
-    #[test]
-    fn one_sided_tag_is_r_pair() {
-        let src = "// ord: lonely\nfn f(x: &AtomicU64) { x.store(1, Ordering::Release); }\n";
-        let diags = lint_one("a.rs", src);
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].rule, "R-PAIR");
-        assert!(
-            diags[0].message.contains("`lonely`")
-                && diags[0].message.contains("no acquire-side site"),
-            "unexpected message: {}",
-            diags[0].message
-        );
+    if !table.sites.is_empty() {
+        out.push_str("\n  ");
     }
+    out.push_str("]\n}\n");
+    out
+}
 
-    #[test]
-    fn stray_seqcst_is_r_seqcst_and_allowlisted_seqcst_passes() {
-        let stray = "fn f(x: &AtomicU64) { x.load(Ordering::SeqCst); }\n";
-        let diags = lint_one("a.rs", stray);
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].rule, "R-SEQCST");
-        assert_eq!(diags[0].line, 1);
-
-        let allowed =
-            "fn f(x: &AtomicU64) { x.load(Ordering::SeqCst); } // ord: allow-seqcst(total-order)\n";
-        assert!(lint_one("a.rs", allowed).is_empty());
+/// Renders a full lint report as JSON (schema [`REPORT_SCHEMA`]). The
+/// format changes nothing about exit-code semantics: `violations == 0`
+/// exactly when text mode would have exited 0.
+#[must_use]
+pub fn render_report_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    out.push_str(&json_str(REPORT_SCHEMA));
+    out.push_str(&format!(
+        ",\n  \"files\": {},\n  \"violations\": {},\n  \"diagnostics\": [",
+        report.files,
+        report.diagnostics.len()
+    ));
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&format!(
+            "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(d.rule),
+            json_str(&d.message),
+        ));
     }
-
-    #[test]
-    fn std_atomic_import_is_r_import_except_in_sync_rs() {
-        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n";
-        let diags = lint_one("backend.rs", src);
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].rule, "R-IMPORT");
-        assert_eq!(diags[0].line, 1);
-
-        assert!(lint_one("sync.rs", src).is_empty());
-        assert!(lint_one("some/dir/sync.rs", src).is_empty());
-        // The facade path is exactly what the rule steers people toward.
-        assert!(lint_one("backend.rs", "use crate::sync::atomic::Ordering;\n").is_empty());
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
     }
+    out.push_str("],\n  \"paired_tags\": ");
+    out.push_str(&json_str_list(&report.paired_tags));
+    out.push_str("\n}\n");
+    out
+}
 
-    #[test]
-    fn strings_and_comments_do_not_trip_rules() {
-        let src = "// This mentions Ordering::SeqCst and std::sync::atomic in prose.\n/* Release Acquire AcqRel in a block comment. */\nfn f() { let _ = \"Ordering::SeqCst std::sync::atomic Release\"; }\n";
-        assert!(lint_one("a.rs", src).is_empty());
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Renders diagnostics as GitHub Actions workflow annotations
+/// (`::error file=…,line=…,title=…::message`), one per line, so CI
+/// surfaces lint findings inline on the PR diff.
+#[must_use]
+pub fn render_github(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        let file = gh_escape(&d.file).replace(',', "%2C").replace(':', "%3A");
+        out.push_str(&format!(
+            "::error file={},line={},title=coup-lint {}::{}\n",
+            file,
+            d.line,
+            d.rule,
+            gh_escape(&d.message)
+        ));
     }
+    out
+}
 
-    #[test]
-    fn contiguous_comment_block_carries_the_tag_but_a_blank_line_breaks_it() {
-        let attached = "fn f(x: &AtomicU64) {\n    // why this publishes\n    // ord: edge\n    x.store(1, Ordering::Release);\n    x.load(Ordering::Acquire); // ord: edge\n}\n";
-        assert!(lint_one("a.rs", attached).is_empty());
-
-        let detached =
-            "fn f(x: &AtomicU64) {\n    // ord: edge\n\n    x.store(1, Ordering::Release);\n}\n";
-        let diags = lint_one("a.rs", detached);
-        assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(diags[0].rule, "R-TAG");
-        assert_eq!(diags[0].line, 4);
+/// Renders the per-tag pairing table as markdown: one row per `ord:` tag
+/// with the release-side and acquire-side sites implementing the edge.
+/// ARCHITECTURE.md's committed copy is regenerated from this output by the
+/// CI doc-drift guard, so the rendering is deterministic.
+#[must_use]
+pub fn render_pairing_table(table: &SiteTable) -> String {
+    let mut tags: Vec<&str> = Vec::new();
+    for site in &table.sites {
+        for tag in &site.tags {
+            push_unique(&mut tags, tag.as_str());
+        }
     }
+    tags.sort_unstable();
 
-    #[test]
-    fn tag_list_stops_at_prose() {
-        let src = "fn f(x: &AtomicU64) {\n    // ord: edge-a, edge-b — mutation lane weakens this AcqRel edge\n    x.fetch_or(1, Ordering::AcqRel);\n    x.load(Ordering::Acquire); // ord: edge-a\n    // ord: edge-b\n    x.load(Ordering::Acquire);\n}\n";
-        let diags = lint_one("a.rs", src);
-        assert!(diags.is_empty(), "{diags:?}");
-    }
-
-    #[test]
-    fn pairing_is_cross_file() {
-        let publish = (
-            "w.rs".to_string(),
-            "// ord: split\nfn w(x: &AtomicU64) { x.store(1, Ordering::Release); }\n".to_string(),
-        );
-        let consume = (
-            "r.rs".to_string(),
-            "// ord: split\nfn r(x: &AtomicU64) { x.load(Ordering::Acquire); }\n".to_string(),
-        );
-        assert!(lint_sources(&[publish.clone(), consume]).is_clean());
-        let half = lint_sources(&[publish]);
-        assert_eq!(half.diagnostics.len(), 1);
-        assert_eq!(half.diagnostics[0].rule, "R-PAIR");
-    }
-
-    #[test]
-    fn release_fence_pairs_with_acquire_fence() {
-        let src = "fn f() {\n    fence(Ordering::Release); // ord: fence-edge\n    fence(Ordering::Acquire); // ord: fence-edge\n}\n";
-        assert!(lint_one("a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn the_real_runtime_tree_is_clean() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../runtime/src");
-        let report = lint_dir(&root).expect("runtime sources must be readable");
-        assert!(
-            report.is_clean(),
-            "coup-lint found violations in crates/runtime/src:\n{}",
-            report
-                .diagnostics
+    let mut out = String::new();
+    out.push_str("| `ord:` tag | release side | acquire side |\n");
+    out.push_str("|---|---|---|\n");
+    for tag in tags {
+        let cell = |release: bool| -> String {
+            let sites: Vec<String> = table
+                .sites
                 .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
-        assert!(
-            report.files >= 9,
-            "expected the full runtime tree, scanned only {} files",
-            report.files
-        );
+                .filter(|s| s.tags.iter().any(|t| t == tag))
+                .filter(|s| {
+                    s.orderings.iter().any(|o| {
+                        o == "AcqRel"
+                            || o == "SeqCst"
+                            || (release && o == "Release")
+                            || (!release && o == "Acquire")
+                    })
+                })
+                .map(|s| format!("`{}:{}`", s.file, s.line))
+                .collect();
+            if sites.is_empty() {
+                "—".to_string()
+            } else {
+                sites.join(", ")
+            }
+        };
+        out.push_str(&format!("| `{tag}` | {} | {} |\n", cell(true), cell(false)));
+    }
+    out
+}
+
+// --- minimal JSON parsing (just enough for the sites schema) -----------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonP<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonP<'_> {
+    fn ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
     }
 
-    /// The sharded submission fabric's ordering contract, as tag groups:
-    /// every edge of the ring / slot-directory / parker / quiescence
-    /// protocols must be *present* in the committed tree with both sides
-    /// tagged. A refactor that drops an edge (or renames its tag on only
-    /// one side) fails here even though the tree still lints clean.
-    #[test]
-    fn the_real_runtime_tree_pairs_the_sharded_submission_tags() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../runtime/src");
-        let report = lint_dir(&root).expect("runtime sources must be readable");
-        for tag in [
-            // SPSC ring: tail publication and head (space) handoff.
-            "ring-publish",
-            "ring-consume",
-            // Slot directory: claim CAS vs. drainer's FREE store, and the
-            // producer's RETIRED store vs. the drainer's state load.
-            "shard-claim",
-            "shard-retire",
-            // Parker epoch word and the pause gate built on it.
-            "queue-wake",
-            "job-pause",
-            // Worker applied-count vs. drain()/shutdown() quiescence.
-            "drain-quiesce",
-        ] {
-            assert!(
-                report.paired_tags.iter().any(|t| t == tag),
-                "ord tag `{tag}` is missing or one-sided in crates/runtime/src; \
-                 paired tags present: {:?}",
-                report.paired_tags
-            );
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.lit("false").map(|()| Json::Bool(false)),
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.i;
+                while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+                    self.i += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.i])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected value at byte {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    // Re-decode as UTF-8 safe: we pushed chars below.
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.b.get(self.i).copied();
+                    self.i += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            self.i += 4;
+                            out.push(hex);
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
         }
     }
 }
+
+fn json_get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn json_strings(v: &Json, what: &str) -> Result<Vec<String>, String> {
+    let Json::Arr(items) = v else {
+        return Err(format!("`{what}` is not an array"));
+    };
+    items
+        .iter()
+        .map(|i| match i {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(format!("`{what}` contains a non-string")),
+        })
+        .collect()
+}
+
+/// Parses site-table JSON produced by [`render_sites_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: wrong schema
+/// tag, missing field, or type mismatch.
+pub fn parse_sites_json(text: &str) -> Result<SiteTable, String> {
+    let mut p = JsonP {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at byte {}", p.i));
+    }
+    let Json::Obj(fields) = v else {
+        return Err("top level is not an object".into());
+    };
+    match json_get(&fields, "schema") {
+        Some(Json::Str(s)) if s == SITES_SCHEMA => {}
+        Some(Json::Str(s)) => {
+            return Err(format!("unknown schema `{s}`, expected `{SITES_SCHEMA}`"))
+        }
+        _ => return Err("missing `schema`".into()),
+    }
+    let files = json_strings(
+        json_get(&fields, "files").ok_or("missing `files`")?,
+        "files",
+    )?;
+    let Some(Json::Arr(raw_sites)) = json_get(&fields, "sites") else {
+        return Err("missing `sites` array".into());
+    };
+    let mut sites = Vec::with_capacity(raw_sites.len());
+    for (n, raw) in raw_sites.iter().enumerate() {
+        let Json::Obj(f) = raw else {
+            return Err(format!("site {n} is not an object"));
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            match json_get(f, key) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("site {n}: missing string `{key}`")),
+            }
+        };
+        let kind = SiteKind::parse(&str_field("kind")?)
+            .ok_or_else(|| format!("site {n}: unknown kind"))?;
+        let line = match json_get(f, "line") {
+            Some(Json::Num(l)) => usize::try_from(*l).map_err(|_| format!("site {n}: bad line"))?,
+            _ => return Err(format!("site {n}: missing number `line`")),
+        };
+        let fence = match json_get(f, "fence") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(format!("site {n}: missing bool `fence`")),
+        };
+        sites.push(Site {
+            file: str_field("file")?,
+            line,
+            kind,
+            via: str_field("via")?,
+            fence,
+            orderings: json_strings(
+                json_get(f, "orderings").ok_or_else(|| format!("site {n}: missing `orderings`"))?,
+                "orderings",
+            )?,
+            tags: json_strings(
+                json_get(f, "tags").ok_or_else(|| format!("site {n}: missing `tags`"))?,
+                "tags",
+            )?,
+        });
+    }
+    Ok(SiteTable { files, sites })
+}
+
+#[cfg(test)]
+mod tests;

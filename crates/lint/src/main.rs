@@ -1,32 +1,99 @@
-//! `coup-lint [PATH]...` — lints Rust sources for the runtime's atomics
-//! house rules (facade imports, SeqCst allowlist, `// ord:` pairing tags).
+//! `coup-lint [OPTIONS] [PATH]...` — lints Rust sources for the runtime's
+//! atomics house rules (facade imports, SeqCst allowlist, `// ord:`
+//! pairing tags) and emits the static site table consumed by `coup-san`.
 //!
-//! With no arguments it lints `crates/runtime/src`, i.e. it expects to run
-//! from the workspace root, which is what CI and `cargo run -p coup-lint`
-//! do. Exit codes: `0` clean, `1` diagnostics found, `2` I/O error.
+//! With no path arguments it lints `crates/runtime/src`, i.e. it expects
+//! to run from the workspace root, which is what CI and
+//! `cargo run -p coup-lint` do.
+//!
+//! Options:
+//!
+//! - `--format text|json|github` — diagnostics as human text (default),
+//!   machine-readable JSON (schema `coup-lint/v1`), or GitHub Actions
+//!   `::error` annotations.
+//! - `--sites <PATH|->` — write the static site table (schema
+//!   `coup-lint-sites/v1`) to `PATH`, or to stdout with `-`.
+//! - `--pairing-table` — print the markdown pairing-tag table
+//!   (regenerated into ARCHITECTURE.md by the CI doc-drift guard).
+//!
+//! When `--pairing-table` or `--sites -` owns stdout, diagnostics move to
+//! stderr. Exit codes are stable across all formats: `0` clean, `1`
+//! diagnostics found, `2` usage or I/O error.
 
+use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 
+use coup_lint::{
+    render_github, render_pairing_table, render_report_json, render_sites_json, Report,
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: coup-lint [--format text|json|github] [--sites PATH|-] \
+         [--pairing-table] [PATH]..."
+    );
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let default = ["crates/runtime/src".to_string()];
-    let paths: &[String] = if args.is_empty() { &default } else { &args };
+    let mut format = Format::Text;
+    let mut sites_out: Option<String> = None;
+    let mut pairing = false;
+    let mut paths: Vec<String> = Vec::new();
 
-    let mut files = 0usize;
-    let mut diagnostics = Vec::new();
-    for path in paths {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                _ => return usage(),
+            },
+            "--sites" => match it.next() {
+                Some(path) => sites_out = Some(path),
+                None => return usage(),
+            },
+            "--pairing-table" => pairing = true,
+            flag if flag.starts_with("--") => return usage(),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        paths.push("crates/runtime/src".to_string());
+    }
+
+    let mut merged = Report::default();
+    for path in &paths {
         match coup_lint::lint_dir(Path::new(path)) {
             Ok(report) => {
-                files += report.files;
-                diagnostics.extend(report.diagnostics.into_iter().map(|mut d| {
-                    // Re-anchor relative names under the argument so the
-                    // output is clickable from the invocation directory.
-                    if !d.file.starts_with(path.as_str()) {
-                        d.file = format!("{}/{}", path.trim_end_matches('/'), d.file);
+                merged.files += report.files;
+                merged.scanned.extend(report.scanned);
+                merged.sites.extend(report.sites);
+                for tag in report.paired_tags {
+                    if !merged.paired_tags.contains(&tag) {
+                        merged.paired_tags.push(tag);
                     }
-                    d
-                }));
+                }
+                merged
+                    .diagnostics
+                    .extend(report.diagnostics.into_iter().map(|mut d| {
+                        // Re-anchor relative names under the argument so the
+                        // output is clickable from the invocation directory.
+                        if !d.file.starts_with(path.as_str()) {
+                            d.file = format!("{}/{}", path.trim_end_matches('/'), d.file);
+                        }
+                        d
+                    }));
             }
             Err(err) => {
                 eprintln!("coup-lint: {path}: {err}");
@@ -34,18 +101,82 @@ fn main() -> ExitCode {
             }
         }
     }
+    merged
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    merged.paired_tags.sort();
 
-    if diagnostics.is_empty() {
-        println!("coup-lint: {files} files clean");
+    let table = merged.site_table();
+    if let Some(dest) = &sites_out {
+        let json = render_sites_json(&table);
+        if dest == "-" {
+            print!("{json}");
+        } else if let Err(err) = fs::write(dest, json) {
+            eprintln!("coup-lint: {dest}: {err}");
+            return ExitCode::from(2);
+        }
+    }
+    if pairing {
+        print!("{}", render_pairing_table(&table));
+    }
+
+    // When a table owns stdout, diagnostics move to stderr so the table
+    // output stays machine-consumable.
+    let to_stderr = pairing || sites_out.as_deref() == Some("-");
+    let emit = |line: &str| {
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+
+    let clean = merged.diagnostics.is_empty();
+    match format {
+        Format::Text => {
+            if clean {
+                emit(&format!("coup-lint: {} files clean", merged.files));
+            } else {
+                for d in &merged.diagnostics {
+                    emit(&d.to_string());
+                }
+                emit(&format!(
+                    "coup-lint: {} violation(s) in {} files",
+                    merged.diagnostics.len(),
+                    merged.files
+                ));
+            }
+        }
+        Format::Json => {
+            let json = render_report_json(&merged);
+            if to_stderr {
+                eprint!("{json}");
+            } else {
+                print!("{json}");
+            }
+        }
+        Format::Github => {
+            if clean {
+                emit(&format!("coup-lint: {} files clean", merged.files));
+            } else {
+                let annotations = render_github(&merged.diagnostics);
+                if to_stderr {
+                    eprint!("{annotations}");
+                } else {
+                    print!("{annotations}");
+                }
+                emit(&format!(
+                    "coup-lint: {} violation(s) in {} files",
+                    merged.diagnostics.len(),
+                    merged.files
+                ));
+            }
+        }
+    }
+
+    if clean {
         ExitCode::SUCCESS
     } else {
-        for d in &diagnostics {
-            println!("{d}");
-        }
-        println!(
-            "coup-lint: {} violation(s) in {files} files",
-            diagnostics.len()
-        );
         ExitCode::from(1)
     }
 }

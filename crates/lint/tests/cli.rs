@@ -82,3 +82,159 @@ fn the_committed_runtime_tree_is_clean_via_the_binary() {
         "committed runtime tree has lint violations:\n{stdout}"
     );
 }
+
+fn dirty_tree(name: &str) -> PathBuf {
+    let dir = scratch_dir(name);
+    fs::write(
+        dir.join("bad.rs"),
+        "fn f(x: &AtomicU64) {\n    x.store(1, Ordering::Release);\n}\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn json_format_reports_violations_and_keeps_exit_codes() {
+    let dir = dirty_tree("json");
+    let out = run_lint(&["--format", "json", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"schema\": \"coup-lint/v1\""),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"violations\": 1"), "stdout: {stdout}");
+    assert!(stdout.contains("\"rule\": \"R-TAG\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"line\": 2"), "stdout: {stdout}");
+
+    // Clean tree: violations 0, exit 0, same schema.
+    let clean = scratch_dir("json-clean");
+    fs::write(clean.join("ok.rs"), "fn f() {}\n").unwrap();
+    let out = run_lint(&["--format", "json", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"violations\": 0"));
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&clean);
+}
+
+#[test]
+fn github_format_emits_error_annotations() {
+    let dir = dirty_tree("github");
+    let out = run_lint(&["--format", "github", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("line=2,title=coup-lint R-TAG::"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.starts_with("::error file="), "stdout: {stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sites_to_stdout_round_trips_and_diagnostics_move_to_stderr() {
+    let dir = scratch_dir("sites");
+    fs::write(
+        dir.join("proto.rs"),
+        concat!(
+            "// ord: cli-edge\n",
+            "pub(crate) const PUBLISH: Ordering = Ordering::Release;\n",
+            "fn f(x: &AtomicU64) {\n",
+            "    x.store(1, PUBLISH);\n",
+            "    x.load(Ordering::Acquire); // ord: cli-edge\n",
+            "    x.swap(0, Ordering::SeqCst);\n",
+            "}\n",
+        ),
+    )
+    .unwrap();
+    let out = run_lint(&["--sites", "-", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The seeded R-SEQCST keeps stdout machine-consumable: diagnostics on
+    // stderr, exit code still 1.
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stderr.contains("[R-SEQCST]"), "stderr: {stderr}");
+    assert!(!stdout.contains("R-SEQCST"), "stdout: {stdout}");
+
+    let table = coup_lint::parse_sites_json(&stdout).expect("stdout parses as a site table");
+    assert_eq!(table.files, vec!["proto.rs".to_string()]);
+    assert!(
+        table
+            .sites
+            .iter()
+            .any(|s| s.line == 2 && s.kind == coup_lint::SiteKind::ConstDef && s.via == "PUBLISH"),
+        "{:?}",
+        table.sites
+    );
+    assert!(
+        table
+            .sites
+            .iter()
+            .any(|s| s.line == 4 && s.kind == coup_lint::SiteKind::ConstUse),
+        "{:?}",
+        table.sites
+    );
+    assert_eq!(
+        coup_lint::render_sites_json(&table),
+        stdout,
+        "round-trip changed bytes"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sites_to_file_matches_stdout_output() {
+    let dir = scratch_dir("sites-file");
+    fs::write(
+        dir.join("ok.rs"),
+        "fn f(x: &AtomicU64) {\n    // ord: edge\n    x.store(1, Ordering::Release);\n    x.load(Ordering::Acquire); // ord: edge\n}\n",
+    )
+    .unwrap();
+    let sites_path = dir.join("sites.json");
+    let out = run_lint(&[
+        "--sites",
+        sites_path.to_str().unwrap(),
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    // stdout keeps the normal summary when the table goes to a file.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("files clean"));
+    let written = fs::read_to_string(&sites_path).expect("sites file written");
+    let stdout_run = run_lint(&["--sites", "-", dir.to_str().unwrap()]);
+    // The scratch dir now holds sites.json too, but only .rs files are
+    // scanned, so the two tables are identical.
+    assert_eq!(written, String::from_utf8_lossy(&stdout_run.stdout));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pairing_table_prints_markdown_rows() {
+    let dir = scratch_dir("pairing");
+    fs::write(
+        dir.join("ok.rs"),
+        "fn f(x: &AtomicU64) {\n    // ord: edge\n    x.store(1, Ordering::Release);\n    x.load(Ordering::Acquire); // ord: edge\n}\n",
+    )
+    .unwrap();
+    let out = run_lint(&["--pairing-table", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(
+        stdout.starts_with("| `ord:` tag | release side | acquire side |"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("| `edge` | `ok.rs:3` | `ok.rs:4` |"),
+        "stdout: {stdout}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flags_exit_two() {
+    let out = run_lint(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = run_lint(&["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -57,13 +57,17 @@ use std::sync::Arc;
 /// orders the `privatized` bump before it), so weakening *it* changes
 /// nothing observable. The mutation for the stats handshake therefore
 /// attacks the fold-side Acquire instead, which is singly covered.
-#[cfg(not(coup_model_mutation))]
+///
+/// `--cfg coup_san_mutation="epoch_publish"` weakens `EPOCH_PUBLISH` alone
+/// so the real-thread sanitizer lane can prove it has teeth (see
+/// `tests/san_battery.rs`).
+#[cfg(not(any(coup_model_mutation, coup_san_mutation = "epoch_publish")))]
 const EPOCH_PUBLISH: Ordering = Ordering::Release; // ord: seqlock-epoch
 #[cfg(not(coup_model_mutation))]
 const WRITER_RETIRE: Ordering = Ordering::AcqRel; // ord: writer-bitmap
 #[cfg(not(coup_model_mutation))]
 const EVICTION_FOLD: Ordering = Ordering::Acquire; // ord: evict-stats
-#[cfg(coup_model_mutation)]
+#[cfg(any(coup_model_mutation, coup_san_mutation = "epoch_publish"))]
 const EPOCH_PUBLISH: Ordering = Ordering::Relaxed;
 #[cfg(coup_model_mutation)]
 const WRITER_RETIRE: Ordering = Ordering::Relaxed;
@@ -1051,6 +1055,22 @@ impl CoupBackend {
         // ord: read-hold
         meta.read_holds.fetch_sub(1, Ordering::AcqRel);
         value
+    }
+
+    /// Test/sanitizer hook: run a read through the escalation path
+    /// unconditionally. The hold protocol only engages after
+    /// [`READ_RETRY_LIMIT`] invalidated optimistic passes — timing no
+    /// deterministic test can force — so the sanitizer battery uses this to
+    /// drive the `read-hold` sites and prove their ordering contract on
+    /// real threads.
+    #[cfg(any(test, coup_san))]
+    pub fn read_escalated(&self, thread: usize, index: usize) -> u64 {
+        let slot = self.geometry.slot(index);
+        let mut cost = ReadCost {
+            reads: 1,
+            ..ReadCost::default()
+        };
+        self.reduce_with_hold(thread, slot, index, &mut cost)
     }
 }
 

@@ -49,7 +49,11 @@ use std::sync::Arc;
 /// overwriting a slot whose loads are still in flight. It therefore carries
 /// a tag but no mutation; the mutations attack the four singly-covered
 /// edges below instead.
-#[cfg(not(coup_model_mutation))]
+///
+/// `--cfg coup_san_mutation="ring_publish"` weakens `RING_PUBLISH` alone so
+/// the real-thread sanitizer lane can prove *it* has teeth too (see
+/// `tests/san_battery.rs`).
+#[cfg(not(any(coup_model_mutation, coup_san_mutation = "ring_publish")))]
 pub(crate) const RING_PUBLISH: Ordering = Ordering::Release; // ord: ring-publish
 #[cfg(not(coup_model_mutation))]
 pub(crate) const SHARD_RETIRE: Ordering = Ordering::Release; // ord: shard-retire
@@ -57,7 +61,7 @@ pub(crate) const SHARD_RETIRE: Ordering = Ordering::Release; // ord: shard-retir
 pub(crate) const WAKE_PUBLISH: Ordering = Ordering::Release; // ord: queue-wake
 #[cfg(not(coup_model_mutation))]
 pub(crate) const QUIESCE_PUBLISH: Ordering = Ordering::Release; // ord: drain-quiesce
-#[cfg(coup_model_mutation)]
+#[cfg(any(coup_model_mutation, coup_san_mutation = "ring_publish"))]
 pub(crate) const RING_PUBLISH: Ordering = Ordering::Relaxed;
 #[cfg(coup_model_mutation)]
 pub(crate) const SHARD_RETIRE: Ordering = Ordering::Relaxed;

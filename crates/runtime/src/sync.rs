@@ -1,14 +1,25 @@
 //! Synchronization facade: the single choke point for every atomic, mutex,
 //! condvar, spin hint, and thread spawn in this crate.
 //!
-//! Normally these re-exports are exactly `std`. Under `--cfg coup_model`
-//! with the `model` feature they switch to the `loom` shim, whose types run
-//! inside a deterministic model-checking scheduler with C11-style weak
-//! memory (per-location modification order + happens-before clocks), so the
-//! `model_tests` module can exhaustively explore interleavings of the
-//! runtime's lock-free protocols. Outside a `loom::model(..)` execution the
-//! shim types transparently delegate to `std`, which is why the ordinary
-//! test suite still passes when compiled with the model cfg.
+//! Normally these re-exports are exactly `std`. Two cfg-gated backends swap
+//! in without any call-site changes:
+//!
+//! * `--cfg coup_model` + `model` feature → the `loom` shim, whose types run
+//!   inside a deterministic model-checking scheduler with C11-style weak
+//!   memory (per-location modification order + happens-before clocks), so
+//!   the `model_tests` module can exhaustively explore interleavings of the
+//!   runtime's lock-free protocols. Outside a `loom::model(..)` execution
+//!   the shim types transparently delegate to `std`.
+//! * `--cfg coup_san` + `san` feature → the `coup-san` happens-before
+//!   sanitizer: every atomic delegates to a real std atomic while shadow
+//!   vector clocks and publication records track which `ord:`-tagged site
+//!   published every observed value, cross-checked at runtime against the
+//!   static site table `coup-lint` extracts from this directory (see
+//!   `tests/san_battery.rs`). Runs on real threads at full speed, so the
+//!   whole tier-1 suite and the stress battery execute under it in CI.
+//!
+//! If both cfgs are set, the model backend wins (the sanitizer needs real
+//! threads, which the model scheduler replaces).
 //!
 //! House rules (enforced by `coup-lint`, see `crates/lint`):
 //! - no `std::sync::atomic` imports anywhere in this crate outside this file;
@@ -27,9 +38,51 @@ pub(crate) use loom::{
     thread,
 };
 
-#[cfg(not(all(coup_model, feature = "model")))]
+#[cfg(all(coup_san, feature = "san", not(all(coup_model, feature = "model"))))]
+pub(crate) use coup_san::{
+    hint,
+    sync::{atomic, Condvar, Mutex, MutexGuard},
+    thread,
+};
+
+#[cfg(not(any(all(coup_model, feature = "model"), all(coup_san, feature = "san"))))]
 pub(crate) use std::{
     hint,
     sync::{atomic, Condvar, Mutex, MutexGuard},
     thread,
 };
+
+/// Compile-time proof that the default build's facade is a plain `std`
+/// re-export — not a wrapper with the same name. Each helper only
+/// type-checks if the facade type *unifies* with the `std` type, so any
+/// accidental indirection in the default arm fails `cargo test` at
+/// compile time rather than silently costing performance.
+#[cfg(all(
+    test,
+    not(all(coup_model, feature = "model")),
+    not(all(coup_san, feature = "san"))
+))]
+mod std_facade_identity {
+    fn is_std_atomic_u64(x: &std::sync::atomic::AtomicU64) -> &std::sync::atomic::AtomicU64 {
+        x
+    }
+    fn is_std_mutex(x: &std::sync::Mutex<u8>) -> &std::sync::Mutex<u8> {
+        x
+    }
+    fn is_std_condvar(x: &std::sync::Condvar) -> &std::sync::Condvar {
+        x
+    }
+
+    #[test]
+    fn default_facade_is_a_plain_std_reexport() {
+        let atomic: super::atomic::AtomicU64 = super::atomic::AtomicU64::new(7);
+        assert_eq!(
+            is_std_atomic_u64(&atomic).load(std::sync::atomic::Ordering::Relaxed),
+            7
+        );
+        let mutex: super::Mutex<u8> = super::Mutex::new(3);
+        assert_eq!(*is_std_mutex(&mutex).lock().unwrap(), 3);
+        let condvar: super::Condvar = super::Condvar::new();
+        is_std_condvar(&condvar).notify_one();
+    }
+}

@@ -20,6 +20,16 @@
 //!   bench -- --baseline before`). Both flags may be combined to update a
 //!   baseline while comparing against it (the comparison reads the old
 //!   values first).
+//! * **Label filtering** (positional argument, Criterion convention):
+//!   `cargo bench -- update_service` runs only the benchmarks whose
+//!   `group/id` label contains the substring; everything else is skipped
+//!   silently.
+//! * **Regression gating** (`--fail-delta <pct>`, a shim extension): with
+//!   `--baseline`, the worst positive delta across the whole process is
+//!   tracked, and `criterion_main!` exits with status 1 if it exceeds the
+//!   threshold — CI's noise-band guard for "this change must not slow the
+//!   benches down" (the workspace uses it to prove the sanitizer facade is
+//!   zero-cost when `--cfg coup_san` is off).
 //!
 //! Outlier analysis and HTML reports remain out of scope.
 //!
@@ -48,6 +58,9 @@ pub enum Throughput {
 #[derive(Debug)]
 pub struct Criterion {
     test_mode: bool,
+    /// Positional label filter: only benchmarks whose `group/id` label
+    /// contains this substring run.
+    filter: Option<String>,
     /// `--save-baseline <name>`: merge every mean into this baseline.
     save_baseline: Option<Baseline>,
     /// `--baseline <name>`: compare every mean against this loaded baseline.
@@ -73,10 +86,59 @@ impl Default for Criterion {
         };
         Criterion::configured(
             args.iter().any(|a| a == "--test"),
+            positional_filter(&args),
             flag("--save-baseline"),
             flag("--baseline"),
             default_baseline_dir(),
         )
+    }
+}
+
+/// The first free-standing argument, Criterion's benchmark-name filter.
+/// Skips the binary path, harness mode flags (`--test`, `--bench`), and
+/// every `--flag value` pair the shim understands.
+fn positional_filter(args: &[String]) -> Option<String> {
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--test" | "--bench" => {}
+            "--save-baseline" | "--baseline" | "--fail-delta" => {
+                let _ = iter.next();
+            }
+            a if a.starts_with("--") => {}
+            a => return Some(a.to_string()),
+        }
+    }
+    None
+}
+
+/// Worst positive baseline delta observed anywhere in this process, as
+/// `(label, delta percent)`. Feeds [`exit_if_over_fail_delta`].
+static WORST_DELTA: std::sync::Mutex<Option<(String, f64)>> = std::sync::Mutex::new(None);
+
+/// `criterion_main!` epilogue: if `--fail-delta <pct>` was given and any
+/// benchmark regressed past the threshold against its `--baseline` mean,
+/// print the worst offender and exit nonzero. No-op without the flag.
+pub fn exit_if_over_fail_delta() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(limit) = args
+        .iter()
+        .position(|a| a == "--fail-delta")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+    else {
+        return;
+    };
+    let worst = WORST_DELTA.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((label, delta)) = worst.as_ref() {
+        if *delta > limit {
+            eprintln!(
+                "fail-delta: {label} regressed {delta:+.1}% against the baseline \
+                 (limit {limit:+.1}%)"
+            );
+            std::process::exit(1);
+        }
+        println!("fail-delta: worst delta {delta:+.1}% ({label}) within {limit:+.1}% limit");
     }
 }
 
@@ -106,6 +168,7 @@ fn default_baseline_dir() -> PathBuf {
 impl Criterion {
     fn configured(
         test_mode: bool,
+        filter: Option<String>,
         save_baseline: Option<String>,
         baseline: Option<String>,
         baseline_dir: PathBuf,
@@ -119,6 +182,7 @@ impl Criterion {
         };
         Criterion {
             test_mode,
+            filter,
             save_baseline: save_baseline.map(load),
             baseline: baseline.map(load),
             baseline_dir,
@@ -171,6 +235,10 @@ impl Criterion {
         match baseline.means.get(label) {
             Some(&base) if base > 0.0 => {
                 let delta = (mean.as_secs_f64() - base) / base * 100.0;
+                let mut worst = WORST_DELTA.lock().unwrap_or_else(|e| e.into_inner());
+                if worst.as_ref().is_none_or(|(_, d)| delta > *d) {
+                    *worst = Some((label.to_string(), delta));
+                }
                 format!("  {delta:+7.1}% vs '{}'", baseline.name)
             }
             _ => format!("      new vs '{}'", baseline.name),
@@ -224,13 +292,18 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !label.contains(filter.as_str()) {
+                return self;
+            }
+        }
         let samples = if self.test_mode { 1 } else { self.sample_size };
         let mut bencher = Bencher {
             samples,
             durations: Vec::with_capacity(samples),
         };
         f(&mut bencher);
-        let label = format!("{}/{}", self.name, id);
         match bencher.report() {
             Some((min, mean)) => {
                 let rate = match self.throughput {
@@ -334,6 +407,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::exit_if_over_fail_delta();
         }
     };
 }
@@ -343,7 +417,7 @@ mod tests {
     use super::*;
 
     fn plain() -> Criterion {
-        Criterion::configured(false, None, None, default_baseline_dir())
+        Criterion::configured(false, None, None, None, default_baseline_dir())
     }
 
     #[test]
@@ -403,7 +477,7 @@ mod tests {
         // Hand-written baseline (labels may themselves contain slashes).
         std::fs::write(&path, "g/fast\t0.000001000\ng/slow\t1.000000000\n").unwrap();
 
-        let mut c = Criterion::configured(false, None, Some("before".into()), dir.clone());
+        let mut c = Criterion::configured(false, None, None, Some("before".into()), dir.clone());
         let baseline = c.baseline.as_ref().expect("baseline loaded");
         assert_eq!(baseline.means.len(), 2);
         assert_eq!(baseline.means["g/slow"], 1.0);
@@ -427,7 +501,7 @@ mod tests {
     #[test]
     fn save_baseline_writes_parseable_means() {
         let dir = std::env::temp_dir().join(format!("criterion-shim-save-{}", std::process::id()));
-        let mut c = Criterion::configured(false, Some("after".into()), None, dir.clone());
+        let mut c = Criterion::configured(false, None, Some("after".into()), None, dir.clone());
         let mut group = c.benchmark_group("g");
         group.sample_size(2);
         group.bench_function("timed", |b| {
@@ -452,7 +526,7 @@ mod tests {
             "figures/fig02\t0.25\nruntime/old\t1.0\n",
         )
         .unwrap();
-        let mut c = Criterion::configured(false, Some("x".into()), None, dir.clone());
+        let mut c = Criterion::configured(false, None, Some("x".into()), None, dir.clone());
         c.record("runtime/old", Duration::from_millis(500));
         c.record("runtime/new", Duration::from_millis(2));
         let means = load_baseline(&dir.join("x.baseline"));
@@ -468,5 +542,64 @@ mod tests {
     #[test]
     fn missing_baseline_files_load_empty() {
         assert!(load_baseline(Path::new("/nonexistent/nope.baseline")).is_empty());
+    }
+
+    #[test]
+    fn positional_filter_skips_flags_and_their_values() {
+        let args: Vec<String> = [
+            "bench-bin",
+            "--test",
+            "--save-baseline",
+            "before",
+            "--fail-delta",
+            "5",
+            "update_service",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(positional_filter(&args).as_deref(), Some("update_service"));
+        assert_eq!(positional_filter(&args[..6]), None);
+    }
+
+    #[test]
+    fn filter_runs_only_matching_labels() {
+        let mut c = Criterion::configured(
+            false,
+            Some("update_service".into()),
+            None,
+            None,
+            default_baseline_dir(),
+        );
+        let mut matched = 0usize;
+        let mut skipped = 0usize;
+        let mut group = c.benchmark_group("update_service_steady");
+        group.sample_size(1);
+        group.bench_function("p8", |b| b.iter(|| matched += 1));
+        group.finish();
+        let mut group = c.benchmark_group("runtime_read_mix");
+        group.sample_size(1);
+        group.bench_function("p8", |b| b.iter(|| skipped += 1));
+        group.finish();
+        assert_eq!(matched, 1, "matching label must run");
+        assert_eq!(skipped, 0, "non-matching label must be skipped");
+    }
+
+    #[test]
+    fn regressions_feed_the_worst_delta_tracker() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-delta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b.baseline"), "g/regressed\t0.000000001\n").unwrap();
+        let c = Criterion::configured(false, None, None, Some("b".into()), dir.clone());
+        // A 1 s mean against a 1 ns baseline is an enormous regression…
+        let column = c.compare("g/regressed", Duration::from_secs(1));
+        assert!(column.contains('+'), "got: {column}");
+        // …which must be visible to the process-global fail-delta check
+        // (other tests may record regressions too, so assert a floor, not
+        // an exact value).
+        let worst = WORST_DELTA.lock().unwrap_or_else(|e| e.into_inner());
+        let (_, delta) = worst.as_ref().expect("worst delta recorded");
+        assert!(*delta > 1_000.0, "got {delta}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
