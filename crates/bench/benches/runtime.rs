@@ -24,7 +24,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use coup_protocol::ops::CommutativeOp;
 use coup_runtime::{
-    run_contended, BackendKind, BufferConfig, ContendedSpec, RuntimeBuilder, TelemetryConfig,
+    run_contended, BackendKind, BufferConfig, ContendedSpec, ReadTier, RuntimeBuilder,
+    TelemetryConfig,
 };
 use coup_workloads::bfs::BfsWorkload;
 use coup_workloads::hist::{HistScheme, HistWorkload};
@@ -106,6 +107,7 @@ fn bench_capacity_sweep(c: &mut Criterion) {
         reads_per_1000: 2,
         seed: 0x5EED,
         theta: 0.0,
+        read_tier: ReadTier::Exact,
     };
     group.throughput(Throughput::Elements(
         (producers * UPDATES_PER_THREAD) as u64,
@@ -335,6 +337,54 @@ fn bench_update_service(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_read_tier_sweep(c: &mut Criterion) {
+    // The tiered-consistency crossover: the read-heavy contended mix served
+    // by (a) the atomic baseline, (b) COUP reducing every read over the
+    // writer bitmap's buffers, and (c) COUP answering reads from the stale
+    // tier — the store word plus an outstanding-delta bound, no reduction,
+    // no read hold. `exact/rN` loses its lead as N grows (each read pays
+    // O(active writers)); `stale/rN` should hold the update-path advantage
+    // flat across the sweep. The stale rows run with a 1 ms background
+    // refresher resident, as a monitoring deployment would. These rows are
+    // part of CI's bench-guard baseline.
+    let mut group = c.benchmark_group("read_tier_sweep");
+    group.sample_size(10);
+    // Fan-out geometry: as many resident workers as producers, so an exact
+    // read may reduce every worker's buffered partial (the regime where the
+    // relaxed tier pays — mirrors the example's read-tier section).
+    let producers = 4usize;
+    let workers = producers;
+    for reads_per_1000 in [100u32, 300, 500] {
+        let spec = ContendedSpec::contended(UPDATES_PER_THREAD).with_reads(reads_per_1000);
+        group.throughput(Throughput::Elements(
+            (producers * UPDATES_PER_THREAD) as u64,
+        ));
+        group.bench_function(format!("atomic/r{reads_per_1000}"), |b| {
+            b.iter(|| {
+                let rt = make_runtime(BackendKind::Atomic, spec.lanes, workers);
+                run_contended(&rt, producers, &spec)
+            });
+        });
+        group.bench_function(format!("exact/r{reads_per_1000}"), |b| {
+            b.iter(|| {
+                let rt = make_runtime(BackendKind::Coup, spec.lanes, workers);
+                run_contended(&rt, producers, &spec)
+            });
+        });
+        let stale_spec = spec.with_read_tier(ReadTier::Stale);
+        group.bench_function(format!("stale/r{reads_per_1000}"), |b| {
+            b.iter(|| {
+                let rt = RuntimeBuilder::new(CommutativeOp::AddU64, stale_spec.lanes)
+                    .workers(workers)
+                    .refresh_interval(std::time::Duration::from_millis(1))
+                    .build();
+                run_contended(&rt, producers, &stale_spec)
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_telemetry_overhead(c: &mut Criterion) {
     // What the live metrics registry costs on the hottest kernel: the same
     // 8-thread hist run with telemetry enabled (default: full histograms,
@@ -372,6 +422,7 @@ criterion_group!(
     bench_submission_batch_sweep,
     bench_update_service,
     bench_workload_kernels,
+    bench_read_tier_sweep,
     bench_telemetry_overhead
 );
 criterion_main!(runtime);

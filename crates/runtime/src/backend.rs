@@ -129,6 +129,29 @@ impl ReadCost {
     }
 }
 
+/// A tiered (eventually-consistent) read: the shared-store word plus a
+/// staleness bound, returned by [`UpdateBackend::read_stale`] without
+/// reducing any writer buffers — the pay-only-for-precision tier of the
+/// paper's §3.1.2 reductions, modeled on CRDT eventual consistency.
+///
+/// # The bound's contract
+///
+/// `staleness` counts buffered updates that *may* be missing from `value`
+/// and is **never an under-report**: for any exact read `E` of the same
+/// lane that happened-before this stale read, replaying at most
+/// `staleness` outstanding updates over `value` covers `E`. (For add-one
+/// counters this is literally `E ≤ value + staleness`.) The bound is
+/// monotone — it can over-report when a concurrent migration lands a
+/// counted delta in the store before the value load, never the reverse.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StaleRead {
+    /// The lane's shared-store word, loaded without touching writer buffers.
+    pub value: u64,
+    /// Upper bound on the buffered updates outstanding against `value` at
+    /// the read's linearization point (the writer-bitmap load).
+    pub staleness: u64,
+}
+
 /// Cumulative buffer-side counters of a [`CoupBackend`]: how often the sparse
 /// privatized tables claimed, evicted, and drained slots. The software
 /// analogue of a cache's miss/eviction statistics, summed over all workers.
@@ -355,6 +378,21 @@ pub trait UpdateBackend: Send + Sync {
     /// Reads lane `index` on behalf of worker `thread`, reducing buffered
     /// partial updates as needed.
     fn read(&self, thread: usize, index: usize) -> u64;
+
+    /// The relaxed read tier: lane `index`'s shared-store word plus a
+    /// staleness bound, *without* reducing writer buffers (see
+    /// [`StaleRead`] for the bound's contract). The default is an exact
+    /// read with staleness 0 — correct for backends whose reads never
+    /// buffer ([`AtomicBackend`]); [`CoupBackend`] overrides it with the
+    /// O(active writers) pending-count walk that never loads a buffer word
+    /// and never arms a read hold, so monitor/dashboard traffic cannot
+    /// defer a writer's flush.
+    fn read_stale(&self, thread: usize, index: usize) -> StaleRead {
+        StaleRead {
+            value: self.read(thread, index),
+            staleness: 0,
+        }
+    }
 
     /// Publishes any updates worker `thread` still holds privately.
     ///
@@ -627,6 +665,15 @@ pub const READ_RETRY_LIMIT: u32 = 16;
 /// window bounds both the owner's miss cost and the per-writer probe cost a
 /// reducing reader pays.
 pub const PROBE_WINDOW: usize = 8;
+
+/// Hold-deferral fairness cap: how many flush budgets a slot's pending
+/// count may stretch to while read holds keep deferring its threshold
+/// flush, before the migration proceeds despite the hold. Back-to-back
+/// exact-read holds (a hammering poller) could otherwise defer a writer's
+/// flush indefinitely, growing the buffered delta — and every concurrent
+/// [`StaleRead::staleness`] bound — without limit. See
+/// [`CoupBackend::update`] for the progress trade-off.
+pub const HOLD_DEFER_FACTOR: u32 = 4;
 
 impl CoupBackend {
     /// Creates a backend with `len` zeroed lanes of `op`'s width and one
@@ -912,11 +959,18 @@ impl CoupBackend {
                 dirty = true;
             }
         }
-        buf.pending[idx].store(0, Ordering::Relaxed);
         let mut applied = 0;
         if dirty {
             applied = self.store.reduce_line(line, &partial);
         }
+        // Retire the pending count only *after* the reduce has landed, with
+        // Release: a stale reader whose Acquire pending load observes this
+        // zero (or any later count the owner publishes over it) is
+        // guaranteed to collect the migrated delta from its subsequent
+        // store load — the counted-or-visible dichotomy `read_stale`'s
+        // staleness bound rests on.
+        // ord: stale-pending
+        buf.pending[idx].store(0, Ordering::Release);
         // AcqRel + the bitmap's RMW release sequence: a reader whose acquire
         // load of the bitmap observes this clear (or any later RMW) also
         // observes the reduce above, so the delta it will no longer collect
@@ -1131,6 +1185,14 @@ impl UpdateBackend for CoupBackend {
                 // ord: writer-bitmap
                 .fetch_or(1u64 << thread, Ordering::AcqRel);
         }
+        // Publish the outstanding-delta count *before* the delta store
+        // below, with Release: any reader that can observe the buffered
+        // word (exact reads via `buffer-word`, and transitively anything
+        // that happened-after such a read) also observes a pending count
+        // covering it, which is what lets `read_stale`'s staleness bound
+        // claim it never under-reports.
+        // ord: stale-pending
+        pending.store(count, Ordering::Release);
         let word = &buf.slots[idx].words[slot.word];
         // Single-writer fast path: plain load + lane combine + plain store.
         // No lock prefix, no CAS — the whole point of privatization.
@@ -1145,16 +1207,24 @@ impl UpdateBackend for CoupBackend {
         // Threshold flushes defer while an escalated reader holds the line
         // (the hold is what guarantees that reader's progress); the pending
         // count keeps growing and the flush happens on the first update
-        // after the hold drops.
+        // after the hold drops. The deferral is *bounded*, though:
+        // sustained exact-read traffic can re-arm holds back-to-back, and
+        // an unbounded deferral would let a hammering poller grow this
+        // slot's buffered delta (and every stale read's staleness bound)
+        // without limit. Once the count stretches to HOLD_DEFER_FACTOR
+        // flush budgets the migration proceeds despite the hold — the
+        // escalated reader loses one seqlock pass per forced flush but
+        // regains a full budget (`flush_threshold` updates) of quiet window
+        // to complete, so writer progress is guaranteed and reader
+        // starvation stays closed in practice.
         if count >= self.flush_threshold
-            && self.line_meta[slot.line].read_holds.load(Ordering::Relaxed) == 0
+            && (self.line_meta[slot.line].read_holds.load(Ordering::Relaxed) == 0
+                || count >= self.flush_threshold.saturating_mul(HOLD_DEFER_FACTOR))
         {
             self.migrate_slot(thread, idx, None);
             buf.flushes
                 .store(buf.flushes.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
             self.telemetry.trace(thread, TraceKind::Flush, slot.line);
-        } else {
-            pending.store(count, Ordering::Relaxed);
         }
     }
 
@@ -1202,6 +1272,51 @@ impl UpdateBackend for CoupBackend {
         self.telemetry
             .record_read(thread, cost.buffer_words, cost.retries);
         value
+    }
+
+    /// The relaxed tier: the store word plus the outstanding buffered-delta
+    /// count of the line's active writers. Never loads a buffer word, never
+    /// retries, never arms a read hold — a hammering dashboard poller on
+    /// this path cannot defer a single writer flush.
+    ///
+    /// The load order is the proof. (1) Writer bitmap first (Acquire): this
+    /// is the read's linearization point. (2) Each named writer's pending
+    /// count (Acquire, pairing `stale-pending`): the owner publishes the
+    /// count *before* the delta word on update and zeroes it *after* the
+    /// reduce on migration, both Release. (3) The store word **last**. So
+    /// every buffered delta an exact read that happened-before this call
+    /// could have observed is either *counted* — the pending load returns a
+    /// count covering it — or *visible* — the pending load returned a later
+    /// migrate-zero (or the bitmap load a later bit-clear, or the tag probe
+    /// a later re-tag), whose Release edge orders that delta's reduce before
+    /// the store load below. Loading the value first would break this: a
+    /// migration landing between the value load and the pending load would
+    /// be counted in neither place, under-reporting the bound.
+    fn read_stale(&self, thread: usize, index: usize) -> StaleRead {
+        debug_assert!(index < self.store.len());
+        let slot = self.geometry.slot(index);
+        // ord: writer-bitmap
+        let mut bits = self.line_meta[slot.line].writers.load(Ordering::Acquire);
+        let mut staleness = 0u64;
+        while bits != 0 {
+            let writer = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if let Some(idx) = self.buffers[writer].locate(slot.line) {
+                // A racing owner may have migrated and re-dirtied the slot
+                // since the bitmap load; any stale count read here only
+                // over-reports (its deltas are already store-visible),
+                // which the bound's monotone contract permits.
+                // ord: stale-pending
+                staleness += u64::from(self.buffers[writer].pending[idx].load(Ordering::Acquire));
+            }
+            // Tag not found with the bit set: an eviction re-tagged the
+            // slot, and the probe's Acquire tag load observed a re-tag
+            // published *after* that eviction's reduce — the evicted delta
+            // is guaranteed visible in the store load below.
+        }
+        let value = self.store.load_lane(index);
+        self.telemetry.record_stale_read(thread, staleness);
+        StaleRead { value, staleness }
     }
 
     fn flush(&self, thread: usize) {
@@ -1754,6 +1869,106 @@ mod tests {
         b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel); // ord: read-hold
         b.update(0, 0, 1);
         assert_eq!(b.store().load_lane(0), 7, "hold released, flush resumed");
+    }
+
+    /// The regression test of the hold-fairness bound: a hold that never
+    /// drops (the hammering-poller limit where exact reads re-arm holds
+    /// back-to-back) must not defer a writer's threshold flush forever. The
+    /// buffered delta may stretch to [`HOLD_DEFER_FACTOR`] flush budgets;
+    /// the next threshold crossing migrates *despite* the hold.
+    #[test]
+    fn sustained_read_holds_cannot_defer_flushes_unboundedly() {
+        let threshold = 2u32;
+        let b = CoupBackend::with_flush_threshold(CommutativeOp::AddU64, 8, 2, threshold);
+        b.line_meta[0].read_holds.fetch_add(1, Ordering::AcqRel); // ord: read-hold
+        let cap = u64::from(threshold * HOLD_DEFER_FACTOR);
+        for i in 1..=cap {
+            b.update(0, 0, 1);
+            assert!(
+                b.store().load_lane(0) == 0 || i == cap,
+                "flushed before the deferral cap at update {i}"
+            );
+        }
+        assert_eq!(
+            b.store().load_lane(0),
+            cap,
+            "the deferral cap forces the migration despite the live hold"
+        );
+        // The stale tier sees the drained line immediately: the bound
+        // collapses back to zero once the forced flush lands.
+        assert_eq!(
+            b.read_stale(1, 0),
+            StaleRead {
+                value: cap,
+                staleness: 0
+            }
+        );
+        b.line_meta[0].read_holds.fetch_sub(1, Ordering::AcqRel); // ord: read-hold
+    }
+
+    #[test]
+    fn read_stale_returns_store_word_and_counts_outstanding_deltas() {
+        let b = CoupBackend::new(CommutativeOp::AddU64, 8, 4);
+        assert_eq!(b.read_stale(0, 2), StaleRead::default(), "cold line");
+        b.update(0, 2, 10);
+        b.update(1, 2, 20);
+        b.update(1, 2, 5);
+        let stale = b.read_stale(3, 2);
+        assert_eq!(stale.value, 0, "nothing migrated: the store word is zero");
+        assert_eq!(stale.staleness, 3, "three buffered updates outstanding");
+        // The exact read is covered by value + the bound's replayed deltas
+        // (for add-one... here arbitrary adds, so only the count contract).
+        assert_eq!(b.read(3, 2), 35);
+        b.flush(0);
+        b.flush(1);
+        let stale = b.read_stale(3, 2);
+        assert_eq!(
+            stale,
+            StaleRead {
+                value: 35,
+                staleness: 0
+            },
+            "quiesced: the stale tier is exact with a zero bound"
+        );
+    }
+
+    /// The whole point of the tier: a stale read pays no reduction — no
+    /// buffer words, no retries, no escalations, and no read hold a writer
+    /// would have to defer to.
+    #[test]
+    fn read_stale_never_reduces_and_never_arms_holds() {
+        let b = CoupBackend::new(CommutativeOp::AddU64, 8, 8);
+        for t in 0..8 {
+            b.update(t, 3, 1);
+        }
+        let before = b.read_cost();
+        for _ in 0..100 {
+            let stale = b.read_stale(0, 3);
+            assert_eq!((stale.value, stale.staleness), (0, 8));
+        }
+        assert_eq!(
+            b.read_cost().since(&before),
+            ReadCost::default(),
+            "stale reads are invisible to the exact-read cost counters"
+        );
+        assert_eq!(b.line_meta[0].read_holds.load(Ordering::Relaxed), 0);
+    }
+
+    /// `update_read` through the atomic default keeps working when only
+    /// `read_stale` is overridden, and the atomic backend's default tier is
+    /// exact with a zero bound.
+    #[test]
+    fn atomic_backend_stale_tier_is_exact() {
+        let b = AtomicBackend::new(CommutativeOp::AddU64, 8);
+        b.update(0, 1, 41);
+        b.update(1, 1, 1);
+        assert_eq!(
+            b.read_stale(0, 1),
+            StaleRead {
+                value: 42,
+                staleness: 0
+            }
+        );
     }
 
     /// Capacity evictions steer around read-held lines: with two slots and a

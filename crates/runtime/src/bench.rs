@@ -1,14 +1,18 @@
 //! The machine-readable benchmark report behind `BENCH_runtime.json`
-//! (schema [`BENCH_SCHEMA`] = `coup-bench-runtime/v2`).
+//! (schema [`BENCH_SCHEMA`] = `coup-bench-runtime/v3`).
 //!
 //! v1 carried the kernel table, the telemetry-overhead measurement, and the
-//! full metrics snapshot of the instrumented hist run. v2 adds the
+//! full metrics snapshot of the instrumented hist run. v2 added the
 //! **submission sweep**: the sharded submission path measured across
 //! producer counts (8 → 1024), each sweep point carrying its park/unpark
 //! totals and the per-shard `(slot, claims, drained)` rows from
 //! [`ShardStat`](crate::ShardStat) — so a perf-trajectory diff across
 //! commits sees not just the throughput but *how* the directory spread the
-//! producers over slots.
+//! producers over slots. v3 adds the **read-tier sweep**: the read-heavy
+//! contended mix measured per read rate under all three read paths (atomic
+//! baseline, COUP exact reductions, COUP `read_stale`), with the derived
+//! Δ% columns recomputed on every write — the crossover evidence behind the
+//! tiered-consistency read path.
 //!
 //! Writer and parser live together so the schema cannot drift: the example
 //! that emits the file round-trips the report through [`BenchReport::from_json`]
@@ -20,7 +24,7 @@ use crate::telemetry::json::{self, Value};
 use crate::telemetry::MetricsSnapshot;
 
 /// Schema identifier of the report format this module reads and writes.
-pub const BENCH_SCHEMA: &str = "coup-bench-runtime/v2";
+pub const BENCH_SCHEMA: &str = "coup-bench-runtime/v3";
 
 /// One row of the kernel × backend table.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -70,6 +74,23 @@ pub struct BenchSweepRow {
     pub shards_omitted: usize,
 }
 
+/// One read-rate point of the read-tier sweep: the same contended mix run
+/// against the atomic baseline, COUP with exact (reducing) reads, and COUP
+/// with `read_stale`. The derived `stale_vs_exact_pct` / `stale_vs_atomic_pct`
+/// columns (`(stale/other - 1) * 100`) are recomputed on every write and
+/// ignored by the parser, like the kernel table's `speedup`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReadTierRow {
+    /// Reads per 1000 operations of the contended mix at this point.
+    pub reads_per_1000: u32,
+    /// Throughput of the atomic baseline (reads are plain loads).
+    pub atomic_mops: f64,
+    /// Throughput of COUP serving reads exactly (on-read reduction).
+    pub exact_mops: f64,
+    /// Throughput of COUP serving reads from the stale tier.
+    pub stale_mops: f64,
+}
+
 /// The telemetry-overhead measurement.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchOverhead {
@@ -96,6 +117,8 @@ pub struct BenchReport {
     pub kernels: Vec<BenchKernelRow>,
     /// Sharded submission path across producer counts.
     pub submission_sweep: Vec<BenchSweepRow>,
+    /// Read-heavy contended mix across read rates and read tiers.
+    pub read_tier_sweep: Vec<BenchReadTierRow>,
     /// Telemetry-overhead measurement.
     pub telemetry_overhead: BenchOverhead,
     /// Full metrics snapshot of the instrumented kernel run.
@@ -173,11 +196,29 @@ impl BenchReport {
                 row.shards_omitted,
             ));
         }
+        let mut tiers = String::new();
+        for (i, row) in self.read_tier_sweep.iter().enumerate() {
+            if i > 0 {
+                tiers.push(',');
+            }
+            tiers.push_str(&format!(
+                "\n    {{\"reads_per_1000\": {}, \"atomic_mops\": {}, \"exact_mops\": {}, \
+                 \"stale_mops\": {}, \"stale_vs_exact_pct\": {:.1}, \
+                 \"stale_vs_atomic_pct\": {:.1}}}",
+                row.reads_per_1000,
+                row.atomic_mops,
+                row.exact_mops,
+                row.stale_mops,
+                (row.stale_mops / row.exact_mops - 1.0) * 100.0,
+                (row.stale_mops / row.atomic_mops - 1.0) * 100.0,
+            ));
+        }
         let o = &self.telemetry_overhead;
         format!(
             "{{\n  \"schema\": {BENCH_SCHEMA:?},\n  \"threads\": {},\n  \
              \"workers\": {},\n  \"kernels\": [{kernels}\n  ],\n  \
              \"submission_sweep\": [{sweep}\n  ],\n  \
+             \"read_tier_sweep\": [{tiers}\n  ],\n  \
              \"telemetry_overhead\": {{\"kernel\": {:?}, \"threads\": {}, \
              \"enabled_mops\": {}, \"disabled_mops\": {}, \"overhead_pct\": {}}},\n  \
              \"metrics\": {}\n}}\n",
@@ -192,8 +233,9 @@ impl BenchReport {
         )
     }
 
-    /// Parses a schema-v2 report. Rejects any other schema string loudly —
-    /// a trajectory tool comparing v1 and v2 files must know, not guess.
+    /// Parses a schema-v3 report. Rejects any other schema string loudly
+    /// (v1 and v2 included) — a trajectory tool comparing files across
+    /// schema generations must know, not guess.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let root = json::parse(text)?;
         let fields = root.as_object("bench report")?;
@@ -236,6 +278,16 @@ impl BenchReport {
                 shards_omitted: get_usize(row, "shards_omitted")?,
             });
         }
+        let mut read_tier_sweep = Vec::new();
+        for item in json::get(fields, "read_tier_sweep")?.as_array("read_tier_sweep")? {
+            let row = item.as_object("read tier row")?;
+            read_tier_sweep.push(BenchReadTierRow {
+                reads_per_1000: json::get_u64(row, "reads_per_1000")? as u32,
+                atomic_mops: as_f64(row, "atomic_mops")?,
+                exact_mops: as_f64(row, "exact_mops")?,
+                stale_mops: as_f64(row, "stale_mops")?,
+            });
+        }
         let o = json::get(fields, "telemetry_overhead")?.as_object("telemetry_overhead")?;
         let telemetry_overhead = BenchOverhead {
             kernel: get_str(o, "kernel")?,
@@ -250,6 +302,7 @@ impl BenchReport {
             workers: get_usize(fields, "workers")?,
             kernels,
             submission_sweep,
+            read_tier_sweep,
             telemetry_overhead,
             metrics,
         })
@@ -292,6 +345,12 @@ mod tests {
                 ],
                 shards_omitted: 62,
             }],
+            read_tier_sweep: vec![BenchReadTierRow {
+                reads_per_1000: 300,
+                atomic_mops: 55.5,
+                exact_mops: 10.25,
+                stale_mops: 61.75,
+            }],
             telemetry_overhead: BenchOverhead {
                 kernel: "hist (1M px, 256b)".into(),
                 threads: 8,
@@ -306,9 +365,11 @@ mod tests {
     }
 
     #[test]
-    fn v1_files_are_rejected_by_name() {
-        let err = BenchReport::from_json("{\"schema\": \"coup-bench-runtime/v1\"}")
-            .expect_err("v1 must not parse as v2");
-        assert!(err.contains("coup-bench-runtime/v1"), "err: {err}");
+    fn superseded_schemas_are_rejected_by_name() {
+        for old in ["coup-bench-runtime/v1", "coup-bench-runtime/v2"] {
+            let err = BenchReport::from_json(&format!("{{\"schema\": {old:?}}}"))
+                .expect_err("superseded schemas must not parse as v3");
+            assert!(err.contains(old), "err: {err}");
+        }
     }
 }

@@ -95,14 +95,16 @@ pub mod telemetry;
 pub mod trace;
 
 pub use backend::{
-    AtomicBackend, BufferConfig, BufferStats, CoupBackend, EvictionPolicy, ReadCost, UpdateBackend,
-    DEFAULT_FLUSH_THRESHOLD, MAX_COUP_THREADS, PROBE_WINDOW, READ_RETRY_LIMIT,
+    AtomicBackend, BufferConfig, BufferStats, CoupBackend, EvictionPolicy, ReadCost, StaleRead,
+    UpdateBackend, DEFAULT_FLUSH_THRESHOLD, MAX_COUP_THREADS, PROBE_WINDOW, READ_RETRY_LIMIT,
 };
 pub use bench::{
-    BenchKernelRow, BenchOverhead, BenchReport, BenchShardRow, BenchSweepRow, BENCH_SCHEMA,
+    BenchKernelRow, BenchOverhead, BenchReadTierRow, BenchReport, BenchShardRow, BenchSweepRow,
+    BENCH_SCHEMA,
 };
 pub use harness::{
-    expected_counts, run_contended, splitmix64, ContendedSpec, LaneSampler, ThroughputReport,
+    expected_counts, run_contended, splitmix64, ContendedSpec, LaneSampler, ReadTier,
+    ThroughputReport,
 };
 pub use runtime::{
     tag, BackendKind, CounterHandle, CoupRuntime, JobCtx, LaneHandle, RuntimeBuilder,

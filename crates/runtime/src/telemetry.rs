@@ -202,6 +202,7 @@ mod registry_impl {
         pub(crate) batch_size: AtomicHistogram,
         pub(crate) occupancy: AtomicHistogram,
         pub(crate) flush_words: AtomicHistogram,
+        pub(crate) staleness: AtomicHistogram,
         pub(crate) queue_parks: AtomicU64,
         pub(crate) queue_unparks: AtomicU64,
         pub(crate) trace_tick: AtomicU64,
@@ -367,6 +368,17 @@ impl TelemetryRegistry {
         let _ = (worker, resident);
     }
 
+    /// Records the staleness bound one relaxed-tier read returned.
+    #[inline]
+    pub(crate) fn record_stale_read(&self, worker: usize, staleness: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(inner) = &self.inner {
+            inner.block(worker).staleness.record(staleness);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (worker, staleness);
+    }
+
     /// Records the non-identity word count of one slot migration.
     #[inline]
     pub(crate) fn record_flush_words(&self, worker: usize, words: u64) {
@@ -447,6 +459,7 @@ impl TelemetryRegistry {
                 snap.batch_size.merge(&block.batch_size.snapshot());
                 snap.occupancy.merge(&block.occupancy.snapshot());
                 snap.flush_words.merge(&block.flush_words.snapshot());
+                snap.staleness.merge(&block.staleness.snapshot());
                 snap.queue_parks += block
                     .queue_parks
                     .load(crate::sync::atomic::Ordering::Relaxed);
@@ -480,6 +493,12 @@ pub struct MetricsSnapshot {
     pub updates_applied: u64,
     /// Synchronous reads served through external handles.
     pub handle_reads: u64,
+    /// Relaxed-tier reads served through the facade
+    /// ([`crate::CoupRuntime::read_stale`] and its handle variants).
+    pub stale_reads: u64,
+    /// Eventually-consistent snapshots published by the background
+    /// refresher (plus explicit [`crate::CoupRuntime::refresh_now`] calls).
+    pub snapshot_refreshes: u64,
     /// Parker sleeps: drainers on an empty stripe, producers on a full
     /// ring, workers paused for a kernel job.
     pub queue_parks: u64,
@@ -508,11 +527,13 @@ pub struct MetricsSnapshot {
     pub occupancy: HistogramSnapshot,
     /// Non-identity words applied per slot migration.
     pub flush_words: HistogramSnapshot,
+    /// Staleness bound returned per relaxed-tier read.
+    pub staleness: HistogramSnapshot,
 }
 
 /// `(prometheus name, help text)` for every scalar counter, in the order of
 /// [`MetricsSnapshot::counter_values`] / `counter_slots`.
-const COUNTER_META: [(&str, &str); 16] = [
+const COUNTER_META: [(&str, &str); 18] = [
     (
         "coup_uptime_nanoseconds",
         "Nanoseconds since the telemetry registry was created.",
@@ -528,6 +549,14 @@ const COUNTER_META: [(&str, &str); 16] = [
     (
         "coup_handle_reads_total",
         "Synchronous reads served through external handles.",
+    ),
+    (
+        "coup_stale_reads_total",
+        "Relaxed-tier reads served through the facade.",
+    ),
+    (
+        "coup_snapshot_refreshes_total",
+        "Eventually-consistent snapshots published by the refresher.",
     ),
     (
         "coup_queue_parks_total",
@@ -580,7 +609,7 @@ const COUNTER_META: [(&str, &str); 16] = [
 ];
 
 /// Number of distinct histogram series a [`MetricsSnapshot`] carries.
-pub const HIST_COUNT: usize = 6;
+pub const HIST_COUNT: usize = 7;
 
 /// `(prometheus name, help text)` for every histogram, in the order of
 /// [`MetricsSnapshot::histograms`].
@@ -600,16 +629,22 @@ const HIST_META: [(&str, &str); HIST_COUNT] = [
         "coup_flush_words",
         "Non-identity words applied per slot migration.",
     ),
+    (
+        "coup_staleness",
+        "Staleness bound returned per relaxed-tier read.",
+    ),
 ];
 
 impl MetricsSnapshot {
     /// Scalar counter values in [`COUNTER_META`] order.
-    fn counter_values(&self) -> [u64; 16] {
+    fn counter_values(&self) -> [u64; 18] {
         [
             self.uptime_ns,
             self.updates_submitted,
             self.updates_applied,
             self.handle_reads,
+            self.stale_reads,
+            self.snapshot_refreshes,
             self.queue_parks,
             self.queue_unparks,
             self.trace_recorded,
@@ -626,12 +661,14 @@ impl MetricsSnapshot {
     }
 
     /// Mutable scalar counter slots in [`COUNTER_META`] order.
-    fn counter_slots(&mut self) -> [&mut u64; 16] {
+    fn counter_slots(&mut self) -> [&mut u64; 18] {
         [
             &mut self.uptime_ns,
             &mut self.updates_submitted,
             &mut self.updates_applied,
             &mut self.handle_reads,
+            &mut self.stale_reads,
+            &mut self.snapshot_refreshes,
             &mut self.queue_parks,
             &mut self.queue_unparks,
             &mut self.trace_recorded,
@@ -656,6 +693,7 @@ impl MetricsSnapshot {
             self.batch_size,
             self.occupancy,
             self.flush_words,
+            self.staleness,
         ]
     }
 
@@ -668,14 +706,15 @@ impl MetricsSnapshot {
             &mut self.batch_size,
             &mut self.occupancy,
             &mut self.flush_words,
+            &mut self.staleness,
         ]
     }
 
     /// Every histogram the snapshot carries, paired with its metric name, in
     /// a fixed order (`coup_read_width`, `coup_read_retries_per_read`,
     /// `coup_queue_dwell_microseconds`, `coup_batch_size`,
-    /// `coup_buffer_occupancy`, `coup_flush_words`) — for callers that
-    /// iterate the series uniformly instead of naming fields.
+    /// `coup_buffer_occupancy`, `coup_flush_words`, `coup_staleness`) — for
+    /// callers that iterate the series uniformly instead of naming fields.
     #[must_use]
     pub fn histograms(&self) -> [(&'static str, HistogramSnapshot); HIST_COUNT] {
         let mut out = [("", HistogramSnapshot::default()); HIST_COUNT];
@@ -744,8 +783,8 @@ impl MetricsSnapshot {
     /// integer. Used by the schema-check tests and the CI scrape lane.
     pub fn from_prometheus(text: &str) -> Result<Self, String> {
         let mut snap = MetricsSnapshot::default();
-        let mut cumulative = [[None::<u64>; HIST_BUCKETS]; 6];
-        let mut counts = [None::<u64>; 6];
+        let mut cumulative = [[None::<u64>; HIST_BUCKETS]; HIST_COUNT];
+        let mut counts = [None::<u64>; HIST_COUNT];
         let hist_index = |base: &str| HIST_META.iter().position(|(name, _)| *name == base);
         for raw in text.lines() {
             let line = raw.trim();
@@ -836,6 +875,8 @@ impl MetricsSnapshot {
                 "  \"updates_submitted\": {},\n",
                 "  \"updates_applied\": {},\n",
                 "  \"handle_reads\": {},\n",
+                "  \"stale_reads\": {},\n",
+                "  \"snapshot_refreshes\": {},\n",
                 "  \"queue_parks\": {},\n",
                 "  \"queue_unparks\": {},\n",
                 "  \"trace_recorded\": {},\n",
@@ -848,7 +889,8 @@ impl MetricsSnapshot {
                 "    \"queue_dwell_us\": {},\n",
                 "    \"batch_size\": {},\n",
                 "    \"occupancy\": {},\n",
-                "    \"flush_words\": {}\n",
+                "    \"flush_words\": {},\n",
+                "    \"staleness\": {}\n",
                 "  }}\n",
                 "}}"
             ),
@@ -856,6 +898,8 @@ impl MetricsSnapshot {
             self.updates_submitted,
             self.updates_applied,
             self.handle_reads,
+            self.stale_reads,
+            self.snapshot_refreshes,
             self.queue_parks,
             self.queue_unparks,
             self.trace_recorded,
@@ -874,6 +918,7 @@ impl MetricsSnapshot {
             hist(&self.batch_size),
             hist(&self.occupancy),
             hist(&self.flush_words),
+            hist(&self.staleness),
         )
     }
 
@@ -895,6 +940,8 @@ impl MetricsSnapshot {
             updates_submitted: json::get_u64(root, "updates_submitted")?,
             updates_applied: json::get_u64(root, "updates_applied")?,
             handle_reads: json::get_u64(root, "handle_reads")?,
+            stale_reads: json::get_u64(root, "stale_reads")?,
+            snapshot_refreshes: json::get_u64(root, "snapshot_refreshes")?,
             queue_parks: json::get_u64(root, "queue_parks")?,
             queue_unparks: json::get_u64(root, "queue_unparks")?,
             trace_recorded: json::get_u64(root, "trace_recorded")?,
@@ -921,6 +968,7 @@ impl MetricsSnapshot {
             "batch_size",
             "occupancy",
             "flush_words",
+            "staleness",
         ];
         let mut slots = snap.histogram_slots();
         for (slot, key) in slots.iter_mut().zip(keys) {

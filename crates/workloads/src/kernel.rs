@@ -37,7 +37,7 @@
 //! relax to a per-lane relative-error bound.
 
 use coup_protocol::ops::CommutativeOp;
-use coup_runtime::{BackendKind, BufferConfig, Merge, RuntimeBuilder, TelemetryConfig};
+use coup_runtime::{BackendKind, BufferConfig, Merge, ReadTier, RuntimeBuilder, TelemetryConfig};
 use coup_sim::config::SystemConfig;
 use coup_sim::op::{BoxedProgram, ScriptedProgram, ThreadOp};
 use coup_sim::stats::RunStats;
@@ -620,6 +620,7 @@ pub struct RuntimeBackend {
     flush_threshold: Option<u32>,
     buffer_config: Option<BufferConfig>,
     telemetry: Option<TelemetryConfig>,
+    read_tier: ReadTier,
 }
 
 impl RuntimeBackend {
@@ -637,7 +638,24 @@ impl RuntimeBackend {
             flush_threshold: None,
             buffer_config: None,
             telemetry: None,
+            read_tier: ReadTier::Exact,
         }
+    }
+
+    /// Serves [`KernelStep::Read`]s from the chosen consistency tier.
+    ///
+    /// [`ReadTier::Stale`] only affects *static* kernels, whose reads feed
+    /// the run's checksum but never its control flow — verification still
+    /// compares the exact shutdown snapshot, so the kernel's [`Tolerance`]
+    /// is honoured regardless of tier. Dynamic kernels
+    /// ([`UpdateKernel::program`]) derive their next steps from read values
+    /// (BFS builds each frontier from bitmap words), so they always read
+    /// exactly, whatever tier was requested. [`KernelStep::UpdateRead`]
+    /// (decrement-and-test) likewise stays exact on every tier.
+    #[must_use]
+    pub fn with_read_tier(mut self, read_tier: ReadTier) -> Self {
+        self.read_tier = read_tier;
+        self
     }
 
     /// Overrides the COUP backend's per-line flush budget.
@@ -705,7 +723,12 @@ impl Merge for WorkerCounts {
 }
 
 impl WorkerCounts {
-    fn apply(&mut self, ctx: &coup_runtime::JobCtx<'_>, step: KernelStep) -> Option<u64> {
+    fn apply(
+        &mut self,
+        ctx: &coup_runtime::JobCtx<'_>,
+        tier: ReadTier,
+        step: KernelStep,
+    ) -> Option<u64> {
         match step {
             // Input values are baked into the update steps and compute
             // delays model core cycles real cores spend elsewhere in this
@@ -726,7 +749,10 @@ impl WorkerCounts {
                 Some(value)
             }
             KernelStep::Read { slot } => {
-                let value = ctx.read(slot);
+                let value = match tier {
+                    ReadTier::Exact => ctx.read(slot),
+                    ReadTier::Stale => ctx.read_stale(slot).value,
+                };
                 self.checksum = self.checksum.wrapping_add(value);
                 self.reads += 1;
                 Some(value)
@@ -761,16 +787,19 @@ impl RuntimeBackend {
         // kernels are driven interactively, each worker feeding its own
         // program the lane values its reads return. Both backends pay the
         // same generation cost, so ratios stay fair.
+        let read_tier = self.read_tier;
         let (counts, elapsed) = runtime.run_workers(|ctx| {
             let mut counts = WorkerCounts::default();
             if let Some(mut program) = kernel.program(ctx.worker(), ctx.workers()) {
+                // Dynamic programs branch on what their reads return, so the
+                // relaxed tier is never sound here — they read exactly.
                 let mut last_read = None;
                 while let Some(step) = program.next(last_read.take()) {
-                    last_read = counts.apply(&ctx, step);
+                    last_read = counts.apply(&ctx, ReadTier::Exact, step);
                 }
             } else {
                 kernel.for_each_step(ctx.worker(), ctx.workers(), &mut |step| {
-                    counts.apply(&ctx, step);
+                    counts.apply(&ctx, read_tier, step);
                 });
             }
             counts.checksum = std::hint::black_box(counts.checksum);
@@ -900,6 +929,43 @@ mod tests {
             assert_eq!(report.reads, 4 * 6);
             assert!(report.mops() > 0.0);
         }
+    }
+
+    #[test]
+    fn stale_read_tier_verifies_static_kernels_on_both_runtime_backends() {
+        let kernel = CounterKernel {
+            slots: 6,
+            rounds: 50,
+        };
+        for kind in [RuntimeKind::Atomic, RuntimeKind::Coup] {
+            let report = RuntimeBackend::new(kind, 4)
+                .with_read_tier(ReadTier::Stale)
+                .execute(&kernel)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            // Stale reads change what the read pass *observes*, never the
+            // verified shutdown snapshot — the run still verifies exactly.
+            assert_eq!(report.updates, 4 * 6 * 50, "{kind:?}");
+            assert_eq!(report.reads, 4 * 6, "{kind:?}");
+            if kind == RuntimeKind::Coup {
+                // Every Read step went through the relaxed path: the
+                // staleness histogram saw one sample per read, and no read
+                // paid a reduction.
+                assert_eq!(report.metrics.staleness.count(), 4 * 6);
+                assert_eq!(report.metrics.read_cost.reads, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_read_tier_leaves_dynamic_programs_exact() {
+        // DynamicTotalKernel's program asserts its post-barrier read sees
+        // every thread's update — only true because dynamic kernels ignore
+        // the requested tier and read exactly.
+        let report = RuntimeBackend::new(RuntimeKind::Coup, 4)
+            .with_read_tier(ReadTier::Stale)
+            .execute(&DynamicTotalKernel)
+            .expect("dynamic kernels stay exact under the stale tier");
+        assert_eq!(report.metrics.staleness.count(), 0);
     }
 
     #[test]

@@ -1,14 +1,16 @@
-//! Schema tests for `BENCH_runtime.json` (`coup-bench-runtime/v2`): the
+//! Schema tests for `BENCH_runtime.json` (`coup-bench-runtime/v3`): the
 //! report writer and parser live together in `coup_runtime::bench`, and
 //! these tests pin the contract from outside the crate — a full-featured
 //! round trip, the committed file parsing cleanly, and the structural
 //! invariants trajectory tooling relies on (ascending sweep points,
 //! honest shard-row caps, the park/unpark gap bounded by the workers
-//! asleep at the sample point).
+//! asleep at the sample point, kernel-row update counts backed by a
+//! non-zero applied count in the metrics snapshot, and the telemetry
+//! overhead inside its budget).
 
 use coup_runtime::{
-    BenchKernelRow, BenchOverhead, BenchReport, BenchShardRow, BenchSweepRow, MetricsSnapshot,
-    BENCH_SCHEMA,
+    BenchKernelRow, BenchOverhead, BenchReadTierRow, BenchReport, BenchShardRow, BenchSweepRow,
+    MetricsSnapshot, BENCH_SCHEMA,
 };
 use std::path::Path;
 
@@ -78,6 +80,20 @@ fn sample_report() -> BenchReport {
                 shards_omitted: 1008,
             },
         ],
+        read_tier_sweep: vec![
+            BenchReadTierRow {
+                reads_per_1000: 100,
+                atomic_mops: 50.25,
+                exact_mops: 22.5,
+                stale_mops: 55.125,
+            },
+            BenchReadTierRow {
+                reads_per_1000: 300,
+                atomic_mops: 48.0,
+                exact_mops: 10.5,
+                stale_mops: 52.75,
+            },
+        ],
         telemetry_overhead: BenchOverhead {
             kernel: "hist (1M px, 256b)".into(),
             threads: 8,
@@ -89,17 +105,44 @@ fn sample_report() -> BenchReport {
     }
 }
 
+/// The accounting invariants trajectory tooling needs beyond raw parsing —
+/// shared between the committed-file test and the negative tests, so a
+/// file that *would* regress the committed accounting is provably rejected.
+fn check_accounting(report: &BenchReport) -> Result<(), String> {
+    let kernel_updates: u64 = report.kernels.iter().map(|k| k.updates).sum();
+    if kernel_updates > 0 && report.metrics.updates_applied == 0 {
+        return Err(format!(
+            "kernel rows report {kernel_updates} updates but the metrics \
+             snapshot's updates_applied is zero — the report was emitted \
+             without the measured runs' accounting"
+        ));
+    }
+    if report.metrics.updates_submitted != report.metrics.updates_applied {
+        return Err(format!(
+            "metrics snapshot is not quiescent: {} submitted vs {} applied",
+            report.metrics.updates_submitted, report.metrics.updates_applied
+        ));
+    }
+    if report.telemetry_overhead.overhead_pct > 5.0 {
+        return Err(format!(
+            "median telemetry overhead {}% busts the 5% budget",
+            report.telemetry_overhead.overhead_pct
+        ));
+    }
+    Ok(())
+}
+
 /// `from_json(to_json(report)) == report` exactly: floats are written with
 /// the shortest round-trip representation, so nothing is lost to
 /// formatting. This is the test the schema bump rides on — any field added
 /// to the report must survive the loop or fail here.
 #[test]
-fn v2_report_round_trips_exactly() {
+fn v3_report_round_trips_exactly() {
     let report = sample_report();
     let json = report.to_json();
     assert!(
         json.contains(&format!("\"schema\": \"{BENCH_SCHEMA}\"")),
-        "writer must stamp the v2 schema: {json}"
+        "writer must stamp the v3 schema: {json}"
     );
     let parsed = BenchReport::from_json(&json).expect("own output must parse");
     assert_eq!(parsed, report, "round trip changed the report");
@@ -107,16 +150,18 @@ fn v2_report_round_trips_exactly() {
     assert_eq!(parsed.to_json(), json, "re-serialization drifted");
 }
 
-/// A v1 file must be rejected by name, not silently half-parsed: trajectory
-/// tooling diffing across the schema bump needs the loud error.
+/// v1 and v2 files must be rejected by name, not silently half-parsed:
+/// trajectory tooling diffing across schema bumps needs the loud error.
 #[test]
-fn v1_schema_is_rejected() {
-    let err = BenchReport::from_json(
-        "{\"schema\": \"coup-bench-runtime/v1\", \"threads\": 8, \"workers\": 2}",
-    )
-    .expect_err("v1 must not parse as v2");
-    assert!(err.contains("coup-bench-runtime/v1"), "err: {err}");
-    assert!(err.contains(BENCH_SCHEMA), "err: {err}");
+fn superseded_schemas_are_rejected() {
+    for old in ["coup-bench-runtime/v1", "coup-bench-runtime/v2"] {
+        let err = BenchReport::from_json(&format!(
+            "{{\"schema\": {old:?}, \"threads\": 8, \"workers\": 2}}"
+        ))
+        .expect_err("superseded schemas must not parse as v3");
+        assert!(err.contains(old), "err: {err}");
+        assert!(err.contains(BENCH_SCHEMA), "err: {err}");
+    }
 }
 
 /// Corrupt documents fail with anchored messages instead of defaults.
@@ -129,19 +174,38 @@ fn missing_sections_are_loud() {
     assert!(err.contains("submission_sweep"), "err: {err}");
 }
 
-/// The committed `BENCH_runtime.json` at the workspace root parses as v2
+/// The regression this schema generation fixes: a report whose kernel rows
+/// claim update volume while the metrics snapshot applied nothing is the
+/// zeros-only accounting bug the committed v2 file carried — it must fail
+/// validation loudly.
+#[test]
+fn kernel_updates_over_a_zero_applied_count_are_rejected() {
+    let mut report = sample_report();
+    report.metrics.updates_submitted = 0;
+    report.metrics.updates_applied = 0;
+    let err = check_accounting(&report)
+        .expect_err("kernel updates over an all-zero snapshot must not validate");
+    assert!(err.contains("updates_applied"), "err: {err}");
+    // And the fixed shape passes.
+    check_accounting(&sample_report()).expect("the sample report's accounting is sound");
+}
+
+/// The committed `BENCH_runtime.json` at the workspace root parses as v3
 /// and satisfies the structural invariants: sweep points strictly ascending
 /// in producer count and reaching >= 64 (the regime where sharding must
 /// beat the old mutex queue), per-shard rows present with honest caps
-/// (`claims` covers every drained update), and the park/unpark gap
-/// bounded by the sleeping resident workers at the sample point.
+/// (`claims` covers every drained update), the park/unpark gap bounded by
+/// the sleeping resident workers at the sample point, read-tier rows
+/// ascending in read rate with the stale tier beating exact reductions
+/// where reads dominate, and the accounting invariants of
+/// [`check_accounting`].
 #[test]
-fn committed_bench_file_is_valid_v2() {
+fn committed_bench_file_is_valid_v3() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|err| panic!("BENCH_runtime.json must be committed: {err}"));
     let report = BenchReport::from_json(&text)
-        .unwrap_or_else(|err| panic!("committed bench file must parse as v2: {err}"));
+        .unwrap_or_else(|err| panic!("committed bench file must parse as v3: {err}"));
 
     assert!(!report.kernels.is_empty(), "kernel table is empty");
     assert!(
@@ -193,12 +257,54 @@ fn committed_bench_file_is_valid_v2() {
     );
 
     assert!(
+        report.read_tier_sweep.len() >= 3,
+        "read-tier sweep needs at least 3 read rates, got {}",
+        report.read_tier_sweep.len()
+    );
+    let mut last_rate = 0u32;
+    for row in &report.read_tier_sweep {
+        assert!(
+            row.reads_per_1000 > last_rate,
+            "read-tier points must ascend: {} after {last_rate}",
+            row.reads_per_1000
+        );
+        last_rate = row.reads_per_1000;
+        assert!(
+            row.atomic_mops > 0.0 && row.exact_mops > 0.0 && row.stale_mops > 0.0,
+            "read-tier row {} carries an empty measurement",
+            row.reads_per_1000
+        );
+        if row.reads_per_1000 >= 300 {
+            // The tiered read path's committed acceptance evidence: where
+            // reads dominate, the stale tier must beat exact reductions.
+            assert!(
+                row.stale_mops > row.exact_mops,
+                "read-tier row {}: stale {} Mops does not beat exact {} Mops",
+                row.reads_per_1000,
+                row.stale_mops,
+                row.exact_mops
+            );
+        }
+    }
+
+    assert!(
         report.telemetry_overhead.enabled_mops > 0.0
             && report.telemetry_overhead.disabled_mops > 0.0,
         "overhead measurement is empty"
     );
-    assert_eq!(
-        report.metrics.updates_submitted, report.metrics.updates_applied,
-        "the committed metrics snapshot was not quiescent"
+    check_accounting(&report).unwrap_or_else(|err| panic!("committed accounting invalid: {err}"));
+    assert!(
+        report.metrics.updates_applied > 0 && report.metrics.handle_reads > 0,
+        "the committed snapshot must carry the measured facade volume, \
+         not zeros ({} applied, {} handle reads)",
+        report.metrics.updates_applied,
+        report.metrics.handle_reads
+    );
+    assert!(
+        report.metrics.stale_reads > 0 && report.metrics.snapshot_refreshes > 0,
+        "the committed snapshot must include the read-tier sweep's stale \
+         traffic ({} stale reads, {} refreshes)",
+        report.metrics.stale_reads,
+        report.metrics.snapshot_refreshes
     );
 }
